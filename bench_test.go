@@ -1,0 +1,488 @@
+// Package bench holds the repository-level benchmark suite: one benchmark
+// per table and figure of the paper's evaluation (driving the same harness
+// as cmd/oo7bench) plus real micro-benchmarks of the implementation's hot
+// paths.
+//
+// The table/figure benchmarks report two kinds of numbers:
+//   - ns/op etc.: real Go time to execute the workload in this process;
+//   - sim-ms-*: the deterministic simulated 1994 response times whose
+//     *shape* reproduces the paper (see DESIGN.md §6 and EXPERIMENTS.md).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full paper-scale (small OO7 database) run is the default; it takes a
+// few seconds per benchmark. Pass -short to use the reduced configuration.
+package bench
+
+import (
+	"testing"
+
+	"quickstore/internal/btree"
+	"quickstore/internal/core"
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/harness"
+	"quickstore/internal/oo7"
+	"quickstore/internal/sim"
+	"quickstore/internal/vmem"
+	"quickstore/internal/wal"
+)
+
+func params(b *testing.B) oo7.Params {
+	if testing.Short() {
+		return oo7.SmallTest()
+	}
+	return oo7.Small()
+}
+
+// buildEnvs builds one OO7 database per system (outside the timer).
+func buildEnvs(b *testing.B, p oo7.Params) map[harness.System]*harness.Env {
+	b.Helper()
+	envs := map[harness.System]*harness.Env{}
+	for _, sys := range harness.AllSystems {
+		env, err := harness.Build(sys, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		envs[sys] = env
+	}
+	return envs
+}
+
+// benchOps runs the named operations cold on every system b.N times and
+// reports both real time and the simulated cold milliseconds per system.
+func benchOps(b *testing.B, names []string) {
+	p := params(b)
+	envs := buildEnvs(b, p)
+	ops := harness.Ops(p)
+	simMs := map[harness.System]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			for _, sys := range harness.AllSystems {
+				m, err := envs[sys].RunColdHot(ops[name], harness.SessionOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				simMs[sys] += m.ColdMs
+			}
+		}
+	}
+	b.StopTimer()
+	for sys, total := range simMs {
+		b.ReportMetric(total/float64(b.N), "sim-ms-"+sys.String())
+	}
+}
+
+// --- One benchmark per paper table/figure -----------------------------------
+
+// BenchmarkTable2DatabaseSizes regenerates the three databases and reports
+// their sizes (Table 2).
+func BenchmarkTable2DatabaseSizes(b *testing.B) {
+	p := params(b)
+	for i := 0; i < b.N; i++ {
+		envs := buildEnvs(b, p)
+		b.ReportMetric(envs[harness.SysQS].SizeMB(), "MB-QS")
+		b.ReportMetric(envs[harness.SysE].SizeMB(), "MB-E")
+		b.ReportMetric(envs[harness.SysQSB].SizeMB(), "MB-QS-B")
+	}
+}
+
+// BenchmarkFig8SmallColdTraversals reproduces Figure 8 / Table 3.
+func BenchmarkFig8SmallColdTraversals(b *testing.B) {
+	benchOps(b, []string{"T1", "T6", "T7", "T8", "T9"})
+}
+
+// BenchmarkFig9SmallColdQueries reproduces Figure 9 / Table 4.
+func BenchmarkFig9SmallColdQueries(b *testing.B) {
+	benchOps(b, []string{"Q1", "Q2", "Q3", "Q4", "Q5"})
+}
+
+// BenchmarkTable5FaultCost reproduces Table 5: average per-fault cost of
+// the cold T1 traversal, reported per system.
+func BenchmarkTable5FaultCost(b *testing.B) {
+	p := params(b)
+	envs := buildEnvs(b, p)
+	ops := harness.Ops(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sys := range harness.AllSystems {
+			m, err := envs[sys].RunColdHot(ops["T1"], harness.SessionOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			faults := m.ColdDelta.Count(sim.CtrPageFaultTrap)
+			if sys == harness.SysE {
+				faults = m.ColdDelta.Count(sim.CtrClientRead)
+			}
+			if faults > 0 {
+				b.ReportMetric((m.ColdMs-m.HotMs)/float64(faults), "sim-ms/fault-"+sys.String())
+			}
+		}
+	}
+}
+
+// BenchmarkTable6FaultBreakdown reproduces Table 6: the QS per-fault
+// component decomposition on T1.
+func BenchmarkTable6FaultBreakdown(b *testing.B) {
+	p := params(b)
+	env, err := harness.Build(harness.SysQS, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := harness.Ops(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := env.RunColdHot(ops["T1"], harness.SessionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults := float64(m.ColdDelta.Count(sim.CtrPageFaultTrap))
+		b.ReportMetric(m.ColdDelta.Micros(sim.CtrMinFault)/1000/faults, "sim-ms/fault-min")
+		b.ReportMetric(m.ColdDelta.Micros(sim.CtrPageFaultTrap)/1000/faults, "sim-ms/fault-trap")
+		b.ReportMetric(m.ColdDelta.Micros(sim.CtrMmapCall)/1000/faults, "sim-ms/fault-mmap")
+		b.ReportMetric((m.ColdDelta.Micros(sim.CtrMapEntry)+m.ColdDelta.Micros(sim.CtrSwizzledPtr))/1000/faults, "sim-ms/fault-swizzle")
+	}
+}
+
+// BenchmarkFig10SmallUpdates reproduces Figure 10 (T2/T3 response times).
+func BenchmarkFig10SmallUpdates(b *testing.B) {
+	benchOps(b, []string{"T2A", "T2B", "T2C", "T3A", "T3B", "T3C"})
+}
+
+// BenchmarkFig11CommitBreakdown reproduces Figure 11: T2A commit phases.
+func BenchmarkFig11CommitBreakdown(b *testing.B) {
+	p := params(b)
+	env, err := harness.Build(harness.SysQS, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := harness.Ops(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := env.RunColdHot(ops["T2A"], harness.SessionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m.ColdDelta.Micros(sim.CtrPageDiff)/1000+m.ColdDelta.Micros(sim.CtrDiffByte)/1000, "sim-ms-diff")
+		b.ReportMetric(m.ColdDelta.Micros(sim.CtrMapUpdate)/1000, "sim-ms-mapupd")
+		b.ReportMetric(m.ColdDelta.Micros(sim.CtrCommitFlushPage)/1000, "sim-ms-flush")
+	}
+}
+
+// benchHotOps reports hot (in-memory) simulated times per system.
+func benchHotOps(b *testing.B, names []string) {
+	p := params(b)
+	envs := buildEnvs(b, p)
+	ops := harness.Ops(p)
+	simMs := map[harness.System]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			for _, sys := range harness.AllSystems {
+				m, err := envs[sys].RunColdHot(ops[name], harness.SessionOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				simMs[sys] += m.HotMs
+			}
+		}
+	}
+	b.StopTimer()
+	for sys, total := range simMs {
+		b.ReportMetric(total/float64(b.N), "sim-hot-ms-"+sys.String())
+	}
+}
+
+// BenchmarkFig12SmallHotTraversals reproduces Figure 12.
+func BenchmarkFig12SmallHotTraversals(b *testing.B) {
+	benchHotOps(b, []string{"T1", "T6", "T7", "T8", "T9"})
+}
+
+// BenchmarkFig13SmallHotQueries reproduces Figure 13.
+func BenchmarkFig13SmallHotQueries(b *testing.B) {
+	benchHotOps(b, []string{"Q1", "Q2", "Q3", "Q4", "Q5"})
+}
+
+// BenchmarkTable7HotProfile reproduces Table 7: hot T1, reporting the EPVM
+// share of E's time and the malloc share of QS's.
+func BenchmarkTable7HotProfile(b *testing.B) {
+	p := params(b)
+	envs := buildEnvs(b, p)
+	ops := harness.Ops(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qs, err := envs[harness.SysQS].RunColdHot(ops["T1"], harness.SessionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := envs[harness.SysE].RunColdHot(ops["T1"], harness.SessionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		epvmShare := (e.HotDelta.Micros(sim.CtrInterpCall) + e.HotDelta.Micros(sim.CtrResidencyCheck) +
+			e.HotDelta.Micros(sim.CtrBigPtrDeref)) / e.HotDelta.ElapsedMicros()
+		mallocShare := qs.HotDelta.Micros(sim.CtrIterAlloc) / qs.HotDelta.ElapsedMicros()
+		b.ReportMetric(epvmShare*100, "pct-EPVM-of-E")
+		b.ReportMetric(mallocShare*100, "pct-malloc-of-QS")
+	}
+}
+
+// BenchmarkFig14MediumColdTraversals reproduces Figure 14 / Table 8 (run
+// without -short for the true medium database; with -short a reduced
+// configuration stands in).
+func BenchmarkFig14MediumColdTraversals(b *testing.B) {
+	benchMedium(b, []string{"T1", "T6", "T7", "T8"})
+}
+
+// BenchmarkFig15MediumColdQueries reproduces Figure 15 / Table 9.
+func BenchmarkFig15MediumColdQueries(b *testing.B) {
+	benchMedium(b, []string{"Q1", "Q2", "Q3", "Q4", "Q5"})
+}
+
+// BenchmarkFig16MediumUpdates reproduces Figure 16.
+func BenchmarkFig16MediumUpdates(b *testing.B) {
+	benchMedium(b, []string{"T2A", "T2B", "T3A"})
+}
+
+func mediumParams(b *testing.B) oo7.Params {
+	if testing.Short() {
+		p := oo7.SmallTest()
+		p.NumAtomicPerComp = 40
+		return p
+	}
+	// The full medium database (100k atomic parts) takes minutes to build
+	// three times over; the benchmark default scales it down while keeping
+	// the paging behaviour (database larger than the client pool).
+	p := oo7.Medium()
+	p.NumCompPerModule = 120
+	return p
+}
+
+func benchMedium(b *testing.B, names []string) {
+	p := mediumParams(b)
+	envs := buildEnvs(b, p)
+	ops := harness.Ops(p)
+	simMs := map[harness.System]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			for _, sys := range harness.AllSystems {
+				m, err := envs[sys].RunColdHot(ops[name], harness.SessionOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				simMs[sys] += m.ColdMs
+			}
+		}
+	}
+	b.StopTimer()
+	for sys, total := range simMs {
+		b.ReportMetric(total/float64(b.N), "sim-ms-"+sys.String())
+	}
+}
+
+// BenchmarkFig17Relocation reproduces Figure 17: T1 at 100% forced
+// relocation under both policies, reported as simulated ms.
+func BenchmarkFig17Relocation(b *testing.B) {
+	p := params(b)
+	ops := harness.Ops(p)
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []core.RelocationMode{core.RelocCR, core.RelocOR} {
+			env, err := harness.Build(harness.SysQS, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := env.RunColdHot(ops["T1"], harness.SessionOpts{
+				Relocation: mode, RelocateFraction: 1.0, RelocSeed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			name := "sim-ms-CR"
+			if mode == core.RelocOR {
+				name = "sim-ms-OR"
+			}
+			b.ReportMetric(m.ColdMs, name)
+		}
+	}
+}
+
+// --- Real micro-benchmarks of the implementation ----------------------------
+
+// BenchmarkVmemRead measures a hot protected load (the QS dereference).
+func BenchmarkVmemRead(b *testing.B) {
+	clock := sim.NewClock(sim.CostModel{})
+	sp := vmem.NewSpace(0x10000000, 16, clock)
+	data := make([]byte, vmem.FrameSize)
+	if err := sp.Map(0x10000000, data, vmem.ProtRead); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.ReadU64(0x10000000 + vmem.Addr(i%1000)*8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultPath measures a full QuickStore page fault (protection
+// trap, page fetch from a warm server, mapping processing, remap).
+func BenchmarkFaultPath(b *testing.B) {
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 4096, Clock: clock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 2048, Clock: clock})
+	st, err := core.New(client, core.Config{BulkLoad: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	cl := st.NewCluster()
+	refs := make([]core.Ref, 1024)
+	for i := range refs {
+		cl.Break()
+		refs[i], err = st.Alloc(cl, 64, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := refs[i%len(refs)]
+		// Force a fault by revoking access, then dereference.
+		d := st.FindDesc(ref)
+		if d.FrameIdx >= 0 {
+			_ = st.Space().Protect(d.Lo, vmem.ProtNone)
+		}
+		if _, err := st.Space().ReadU32(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTreeInsert measures warm B-tree insertion.
+func BenchmarkBTreeInsert(b *testing.B) {
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 4096})
+	if err := c.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := btree.Create(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(btree.IntKey(int64(i)), esm.OID{Page: disk.PageID(i + 2), File: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTreeLookup measures warm B-tree point lookups.
+func BenchmarkBTreeLookup(b *testing.B) {
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 4096})
+	if err := c.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := btree.Create(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(btree.IntKey(int64(i)), esm.OID{Page: disk.PageID(i + 2), File: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Lookup(btree.IntKey(int64(i % n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageDiff measures the page-diffing log generator on a sparsely
+// modified page (the T2A pattern).
+func BenchmarkPageDiff(b *testing.B) {
+	old := make([]byte, disk.PageSize)
+	cur := make([]byte, disk.PageSize)
+	for i := range old {
+		old[i] = byte(i)
+		cur[i] = byte(i)
+	}
+	cur[100] ^= 1
+	cur[104] ^= 1
+	cur[6000] ^= 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regs := core.DiffRegionsForTest(old, cur, wal.HeaderBytes)
+		if len(regs) != 2 {
+			b.Fatalf("regions = %d", len(regs))
+		}
+	}
+}
+
+// BenchmarkOO7Generate measures full database generation (QS, reduced
+// configuration) — the bulk-load path end to end.
+func BenchmarkOO7Generate(b *testing.B) {
+	p := oo7.SmallTest()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Build(harness.SysQS, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtrasFullOO7 measures the beyond-the-paper OO7 operations
+// (Q6-Q8 and the structural modifications) on QuickStore.
+func BenchmarkExtrasFullOO7(b *testing.B) {
+	p := params(b)
+	env, err := harness.Build(harness.SysQS, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := env.Session(harness.SessionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := oo7.Q6(db); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := oo7.Q7(db, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := oo7.Q8(db, p, 31); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := oo7.StructuralInsert(db, p, 5, 37); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := oo7.StructuralDelete(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

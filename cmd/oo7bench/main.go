@@ -1,0 +1,52 @@
+// Command oo7bench regenerates every table and figure of the QuickStore
+// paper's evaluation (SIGMOD 1994): it builds the OO7 databases for
+// QuickStore, E, and QS-B, runs the traversal and query workloads cold and
+// hot, and prints the paper-style tables.
+//
+// Usage:
+//
+//	oo7bench [-exp all|table2|fig8|fig9|table5|table6|fig10|fig11|fig12|
+//	          fig13|table7|fig14|fig15|fig16|fig17|ablations|extras|verify]
+//	          [-medium] [-list]
+//
+// "-exp verify" asserts the paper's headline shape claims programmatically
+// (one PASS/FAIL line each) and exits nonzero if any fails; it requires the
+// full small-database scale and is not part of "all".
+//
+// Times are deterministic simulated milliseconds from the calibrated 1994
+// cost model (see internal/sim); I/O counts, fault counts, and log volumes
+// are measured for real. Absolute values are not expected to match the
+// paper; shapes (who wins, by what factor, where the crossovers fall) are.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quickstore/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
+	medium := flag.Bool("medium", false, "also build and measure the medium OO7 database (slower)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range harness.ExperimentNames {
+			fmt.Println(n)
+		}
+		return
+	}
+	suite := harness.NewSuite(os.Stdout, *medium)
+	names := strings.Split(*exp, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if err := suite.Run(names); err != nil {
+		fmt.Fprintln(os.Stderr, "oo7bench:", err)
+		os.Exit(1)
+	}
+}

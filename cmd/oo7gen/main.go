@@ -1,0 +1,110 @@
+// Command oo7gen generates an OO7 benchmark database into a file-backed
+// volume, for one of the three systems under test.
+//
+// Usage:
+//
+//	oo7gen -out db.vol [-system QS|E|QS-B] [-size tiny|small|medium]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"quickstore/internal/core"
+	"quickstore/internal/disk"
+	"quickstore/internal/epvm"
+	"quickstore/internal/esm"
+	"quickstore/internal/oo7"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+func main() {
+	out := flag.String("out", "", "output volume path (log goes to <out>.log)")
+	system := flag.String("system", "QS", "system: QS, E, or QS-B")
+	size := flag.String("size", "small", "database size: tiny, small, or medium")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "oo7gen: -out is required")
+		os.Exit(2)
+	}
+	var params oo7.Params
+	switch *size {
+	case "tiny":
+		params = oo7.Tiny()
+	case "small":
+		params = oo7.Small()
+	case "medium":
+		params = oo7.Medium()
+	default:
+		fmt.Fprintf(os.Stderr, "oo7gen: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+	if err := generate(*out, *system, params); err != nil {
+		fmt.Fprintln(os.Stderr, "oo7gen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(out, system string, params oo7.Params) error {
+	vol, err := disk.CreateFileVolume(out)
+	if err != nil {
+		return err
+	}
+	logf, err := wal.CreateFileLog(out + ".log")
+	if err != nil {
+		return err
+	}
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := esm.NewServer(vol, logf, esm.ServerConfig{Clock: clock})
+	if err != nil {
+		return err
+	}
+	client := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{Clock: clock})
+	var db oo7.DB
+	switch system {
+	case "QS", "QS-B":
+		s, err := core.New(client, core.Config{BulkLoad: true})
+		if err != nil {
+			return err
+		}
+		db = oo7.NewQS(s, system == "QS-B")
+	case "E":
+		s, err := epvm.New(client, epvm.Config{BulkLoad: true})
+		if err != nil {
+			return err
+		}
+		db = oo7.NewE(s)
+	default:
+		return fmt.Errorf("unknown system %q (QS, E, QS-B)", system)
+	}
+	start := time.Now()
+	if err := oo7.Generate(db, params); err != nil {
+		return err
+	}
+	if err := srv.Checkpoint(); err != nil {
+		return err
+	}
+	mb := float64(vol.AllocatedPages()) * disk.PageSize / (1 << 20)
+	fmt.Printf("generated %s %s OO7 database: %.1f MB (%d pages, %d atomic parts) in %v\n",
+		system, flagSizeName(params), mb, vol.AllocatedPages(), params.NumAtomicParts(),
+		time.Since(start).Round(time.Millisecond))
+	if err := logf.Close(); err != nil {
+		return err
+	}
+	return vol.Close()
+}
+
+func flagSizeName(p oo7.Params) string {
+	switch p.NumAtomicPerComp {
+	case oo7.Small().NumAtomicPerComp:
+		if p.NumCompPerModule == oo7.Small().NumCompPerModule {
+			return "small"
+		}
+	case oo7.Medium().NumAtomicPerComp:
+		return "medium"
+	}
+	return "custom"
+}

@@ -1,0 +1,118 @@
+// Quickstart: create a persistent linked list of tasks through the public
+// QuickStore API, close the store, reopen it, and traverse the list by
+// dereferencing plain persistent pointers — the pages fault in on demand.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"quickstore/quickstore"
+)
+
+// A task node layout (24 bytes):
+//
+//	[0:8)   next  Ref
+//	[8:12)  priority
+//	[12:24) label (fixed 12 bytes)
+const (
+	offNext     = 0
+	offPriority = 8
+	offLabel    = 12
+	nodeSize    = 24
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "tasks.qs")
+
+	// Build the database.
+	st, err := quickstore.Create(path, quickstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks := []struct {
+		label    string
+		priority uint32
+	}{
+		{"write docs", 2},
+		{"fix bug", 1},
+		{"ship v1", 3},
+	}
+	err = st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		head := quickstore.NilRef
+		// Build back-to-front so the head ends up first.
+		for i := len(tasks) - 1; i >= 0; i-- {
+			node, err := tx.Alloc(cl, nodeSize, []int{offNext})
+			if err != nil {
+				return err
+			}
+			if err := tx.WriteRef(node+offNext, head); err != nil {
+				return err
+			}
+			if err := tx.WriteU32(node+offPriority, tasks[i].priority); err != nil {
+				return err
+			}
+			if err := tx.WriteBytes(node+offLabel, []byte(fmt.Sprintf("%-12s", tasks[i].label))); err != nil {
+				return err
+			}
+			head = node
+		}
+		return tx.SetRoot("tasks", head)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen and traverse: a brand-new process image, so every page access
+	// below goes through the fault handler the first time.
+	st, err = quickstore.Open(path, quickstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	err = st.View(func(tx *quickstore.Tx) error {
+		node, err := tx.Root("tasks")
+		if err != nil {
+			return err
+		}
+		fmt.Println("tasks:")
+		for node != quickstore.NilRef {
+			prio, err := tx.ReadU32(node + offPriority)
+			if err != nil {
+				return err
+			}
+			label := make([]byte, 12)
+			if err := tx.ReadBytes(node+offLabel, label); err != nil {
+				return err
+			}
+			fmt.Printf("  p%d %s (%s)\n", prio, label, quickstore.FrameOf(node))
+			next, err := tx.ReadRef(node + offNext)
+			if err != nil {
+				return err
+			}
+			node = next
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := st.Stats()
+	fmt.Printf("stats: %d faults, %d client reads, %d swizzled pointers, %d mapped pages\n",
+		s.Faults, s.ClientReads, s.SwizzledPtrs, s.MappedPages)
+}

@@ -1,0 +1,549 @@
+// Package btree implements the B+tree indices the storage manager provides
+// (the paper's ESM B-tree indices, used by OO7 for the atomic-part id index,
+// the buildDate index, and the document-title index).
+//
+// The tree lives on TypeBTree pages fetched through an ESM client session,
+// so index I/O shows up in the client I/O counts exactly as it does in the
+// paper ("the T3 traversals performed a few additional I/Os to read index
+// pages"). Keys are fixed-size 24-byte strings; integer keys are encoded
+// order-preservingly. Duplicate keys are allowed (the buildDate index needs
+// them); deletion is by (key, value) pair and leaves leaves unbalanced,
+// which is harmless for the workloads and documented here.
+//
+// Concurrency: a client session is single-threaded (one application
+// process, as in the paper), so index pages are accessed without latches;
+// this stands in for ESM's special non-two-phase index protocol.
+//
+// Recovery: index page changes are not WAL-logged (ESM's index protocol
+// used logical undo, out of scope here); index durability comes from dirty
+// pages shipping whole at commit and reaching the volume at checkpoint.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/page"
+	"quickstore/internal/sim"
+)
+
+// KeySize is the fixed encoded key length.
+const KeySize = 24
+
+// ValSize is the value payload length (one OID).
+const ValSize = esm.OIDSize
+
+// Node layout after the 24-byte page header:
+//
+//	[24:25) kind (0 = leaf, 1 = internal)
+//	[25:27) number of entries
+//	[27:31) leaf: right sibling page id; internal: leftmost child page id
+//	[31:32) reserved
+//	[32:)   entries
+//
+// Leaf entry: key[24] val[16] (40 bytes).
+// Internal entry: key[24] child[4] (28 bytes); keys are separators, child
+// holds entries >= key.
+const (
+	offKind    = 24
+	offNKeys   = 25
+	offSibling = 27
+	nodeData   = 32
+
+	leafEntry = KeySize + ValSize
+	intEntry  = KeySize + 4
+
+	maxLeaf = (disk.PageSize - nodeData) / leafEntry
+	maxInt  = (disk.PageSize - nodeData) / intEntry
+)
+
+// Key is a fixed-size index key.
+type Key [KeySize]byte
+
+// IntKey encodes an int64 order-preservingly.
+func IntKey(v int64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[:8], uint64(v)^(1<<63))
+	return k
+}
+
+// StringKey encodes up to 24 bytes of s (longer strings are truncated, which
+// preserves ordering of the prefix).
+func StringKey(s string) Key {
+	var k Key
+	copy(k[:], s)
+	return k
+}
+
+// Tree is a B+tree handle bound to a client session. The root page id is
+// stable for the life of the tree (root splits convert the root in place).
+type Tree struct {
+	c    *esm.Client
+	root disk.PageID
+}
+
+// Create allocates an empty tree and returns it; persist RootPage to reopen.
+func Create(c *esm.Client) (*Tree, error) {
+	pid, err := c.AllocPages(1)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := c.Pool().Put(pid, func([]byte) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	// Initialize unconditionally: a recycled page id may still be resident,
+	// in which case Put skips its loader.
+	initNode(c.PageData(idx), true)
+	c.Pool().MarkDirty(idx)
+	return &Tree{c: c, root: pid}, nil
+}
+
+// Open attaches to an existing tree rooted at pid.
+func Open(c *esm.Client, pid disk.PageID) *Tree { return &Tree{c: c, root: pid} }
+
+// RootPage returns the tree's stable root page id.
+func (t *Tree) RootPage() disk.PageID { return t.root }
+
+func initNode(buf []byte, leaf bool) {
+	p := page.Init(buf, page.TypeBTree)
+	_ = p
+	if leaf {
+		buf[offKind] = 0
+	} else {
+		buf[offKind] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[offNKeys:], 0)
+	binary.LittleEndian.PutUint32(buf[offSibling:], 0)
+}
+
+type node struct {
+	pid  disk.PageID
+	buf  []byte
+	idx  int // frame index
+	tree *Tree
+}
+
+func (t *Tree) fetch(pid disk.PageID) (node, error) {
+	idx, err := t.c.FetchPage(pid)
+	if err != nil {
+		return node{}, err
+	}
+	return node{pid: pid, buf: t.c.PageData(idx), idx: idx, tree: t}, nil
+}
+
+func (n node) leaf() bool  { return n.buf[offKind] == 0 }
+func (n node) nkeys() int  { return int(binary.LittleEndian.Uint16(n.buf[offNKeys:])) }
+func (n node) setN(k int)  { binary.LittleEndian.PutUint16(n.buf[offNKeys:], uint16(k)) }
+func (n node) aux() uint32 { return binary.LittleEndian.Uint32(n.buf[offSibling:]) }
+func (n node) setAux(v uint32) {
+	binary.LittleEndian.PutUint32(n.buf[offSibling:], v)
+}
+func (n node) dirty() { n.tree.c.Pool().MarkDirty(n.idx) }
+
+func (n node) leafKey(i int) []byte {
+	return n.buf[nodeData+i*leafEntry : nodeData+i*leafEntry+KeySize]
+}
+func (n node) leafVal(i int) []byte {
+	p := nodeData + i*leafEntry + KeySize
+	return n.buf[p : p+ValSize]
+}
+func (n node) intKey(i int) []byte { return n.buf[nodeData+i*intEntry : nodeData+i*intEntry+KeySize] }
+func (n node) intChild(i int) disk.PageID {
+	p := nodeData + i*intEntry + KeySize
+	return disk.PageID(binary.LittleEndian.Uint32(n.buf[p:]))
+}
+func (n node) setIntChild(i int, pid disk.PageID) {
+	p := nodeData + i*intEntry + KeySize
+	binary.LittleEndian.PutUint32(n.buf[p:], uint32(pid))
+}
+
+// lowerBound returns the first entry index whose key is >= k.
+func (n node) lowerBound(k Key, keyAt func(int) []byte) int {
+	lo, hi := 0, n.nkeys()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keyAt(mid), k[:]) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first entry index whose key is > k.
+func (n node) upperBound(k Key, keyAt func(int) []byte) int {
+	lo, hi := 0, n.nkeys()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keyAt(mid), k[:]) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor picks the internal-node child for inserting k: the rightmost
+// separator <= k, or the leftmost child when k precedes all separators.
+// Keys equal to a separator are routed right.
+func (n node) childFor(k Key) (slot int, pid disk.PageID) {
+	i := n.upperBound(k, n.intKey) - 1
+	if i < 0 {
+		return -1, disk.PageID(n.aux())
+	}
+	return i, n.intChild(i)
+}
+
+// childForScan picks the child for *finding* k: the rightmost separator
+// strictly below k. With duplicate keys, entries equal to a separator can
+// live in the child left of it (a split can leave equal keys on both
+// sides), so scans must start there and rely on the leaf sibling chain.
+func (n node) childForScan(k Key) disk.PageID {
+	i := n.lowerBound(k, n.intKey) - 1
+	if i < 0 {
+		return disk.PageID(n.aux())
+	}
+	return n.intChild(i)
+}
+
+// Insert adds (key, val). Duplicate keys are permitted.
+func (t *Tree) Insert(k Key, val esm.OID) error {
+	t.c.Clock().Charge(sim.CtrIndexOp, 1)
+	var vbuf [ValSize]byte
+	val.Marshal(vbuf[:])
+	promoted, newChild, err := t.insertAt(t.root, k, vbuf)
+	if err != nil {
+		return err
+	}
+	if newChild == disk.InvalidPage {
+		return nil
+	}
+	return t.growRoot(promoted, newChild)
+}
+
+// insertAt descends from pid; on child split it returns the separator key
+// and new right-sibling page to install in the parent.
+func (t *Tree) insertAt(pid disk.PageID, k Key, val [ValSize]byte) (Key, disk.PageID, error) {
+	n, err := t.fetch(pid)
+	if err != nil {
+		return Key{}, 0, err
+	}
+	if n.leaf() {
+		return t.leafInsert(n, k, val)
+	}
+	t.c.Pin(n.idx)
+	slot, child := n.childFor(k)
+	t.c.Unpin(n.idx)
+	promoted, newChild, err := t.insertAt(child, k, val)
+	if err != nil || newChild == disk.InvalidPage {
+		return Key{}, disk.InvalidPage, err
+	}
+	// Re-fetch: the recursion may have evicted our frame.
+	n, err = t.fetch(pid)
+	if err != nil {
+		return Key{}, 0, err
+	}
+	return t.internalInsert(n, slot, promoted, newChild)
+}
+
+func (t *Tree) leafInsert(n node, k Key, val [ValSize]byte) (Key, disk.PageID, error) {
+	pos := n.upperBound(k, n.leafKey)
+	cnt := n.nkeys()
+	if cnt < maxLeaf {
+		start := nodeData + pos*leafEntry
+		copy(n.buf[start+leafEntry:nodeData+(cnt+1)*leafEntry], n.buf[start:nodeData+cnt*leafEntry])
+		copy(n.buf[start:], k[:])
+		copy(n.buf[start+KeySize:], val[:])
+		n.setN(cnt + 1)
+		n.dirty()
+		return Key{}, disk.InvalidPage, nil
+	}
+	// Split: left keeps the lower half, new right page takes the rest.
+	t.c.Pin(n.idx)
+	rightPid, err := t.c.AllocPages(1)
+	if err != nil {
+		t.c.Unpin(n.idx)
+		return Key{}, 0, err
+	}
+	ridx, err := t.c.Pool().Put(rightPid, func([]byte) error { return nil })
+	t.c.Unpin(n.idx)
+	if err != nil {
+		return Key{}, 0, err
+	}
+	initNode(t.c.PageData(ridx), true)
+	r := node{pid: rightPid, buf: t.c.PageData(ridx), idx: ridx, tree: t}
+	mid := cnt / 2
+	moved := cnt - mid
+	copy(r.buf[nodeData:], n.buf[nodeData+mid*leafEntry:nodeData+cnt*leafEntry])
+	r.setN(moved)
+	r.setAux(n.aux()) // right sibling chain
+	n.setN(mid)
+	n.setAux(uint32(rightPid))
+	n.dirty()
+	r.dirty()
+	var sep Key
+	copy(sep[:], r.leafKey(0))
+	// Insert into the proper half.
+	if bytes.Compare(k[:], sep[:]) >= 0 {
+		_, _, err = t.leafInsert(r, k, val)
+	} else {
+		_, _, err = t.leafInsert(n, k, val)
+	}
+	if err != nil {
+		return Key{}, 0, err
+	}
+	return sep, rightPid, nil
+}
+
+func (t *Tree) internalInsert(n node, afterSlot int, sep Key, child disk.PageID) (Key, disk.PageID, error) {
+	pos := afterSlot + 1
+	cnt := n.nkeys()
+	if cnt < maxInt {
+		start := nodeData + pos*intEntry
+		copy(n.buf[start+intEntry:nodeData+(cnt+1)*intEntry], n.buf[start:nodeData+cnt*intEntry])
+		copy(n.buf[start:], sep[:])
+		binary.LittleEndian.PutUint32(n.buf[start+KeySize:], uint32(child))
+		n.setN(cnt + 1)
+		n.dirty()
+		return Key{}, disk.InvalidPage, nil
+	}
+	// Split the internal node. The middle separator is promoted; its child
+	// becomes the new node's leftmost child.
+	t.c.Pin(n.idx)
+	rightPid, err := t.c.AllocPages(1)
+	if err != nil {
+		t.c.Unpin(n.idx)
+		return Key{}, 0, err
+	}
+	ridx, err := t.c.Pool().Put(rightPid, func([]byte) error { return nil })
+	t.c.Unpin(n.idx)
+	if err != nil {
+		return Key{}, 0, err
+	}
+	initNode(t.c.PageData(ridx), false)
+	r := node{pid: rightPid, buf: t.c.PageData(ridx), idx: ridx, tree: t}
+	mid := cnt / 2
+	var promoted Key
+	copy(promoted[:], n.intKey(mid))
+	r.setAux(uint32(n.intChild(mid)))
+	moved := cnt - mid - 1
+	copy(r.buf[nodeData:], n.buf[nodeData+(mid+1)*intEntry:nodeData+cnt*intEntry])
+	r.setN(moved)
+	n.setN(mid)
+	n.dirty()
+	r.dirty()
+	if bytes.Compare(sep[:], promoted[:]) >= 0 {
+		slot := r.upperBound(sep, r.intKey) - 1
+		if _, _, err := t.internalInsert(r, slot, sep, child); err != nil {
+			return Key{}, 0, err
+		}
+	} else {
+		slot := n.upperBound(sep, n.intKey) - 1
+		if _, _, err := t.internalInsert(n, slot, sep, child); err != nil {
+			return Key{}, 0, err
+		}
+	}
+	return promoted, rightPid, nil
+}
+
+// growRoot converts the root page into an internal node over its former
+// contents (moved to a fresh left child) and the new right child.
+func (t *Tree) growRoot(sep Key, right disk.PageID) error {
+	leftPid, err := t.c.AllocPages(1)
+	if err != nil {
+		return err
+	}
+	rootN, err := t.fetch(t.root)
+	if err != nil {
+		return err
+	}
+	t.c.Pin(rootN.idx)
+	lidx, err := t.c.Pool().Put(leftPid, func(buf []byte) error {
+		return nil
+	})
+	if err != nil {
+		t.c.Unpin(rootN.idx)
+		return err
+	}
+	copy(t.c.PageData(lidx), rootN.buf)
+	t.c.Pool().MarkDirty(lidx)
+	initNode(rootN.buf, false)
+	rootN.setAux(uint32(leftPid))
+	rootN.setN(1)
+	copy(rootN.buf[nodeData:], sep[:])
+	binary.LittleEndian.PutUint32(rootN.buf[nodeData+KeySize:], uint32(right))
+	rootN.dirty()
+	t.c.Unpin(rootN.idx)
+	return nil
+}
+
+// Lookup returns the values stored under exactly key k.
+func (t *Tree) Lookup(k Key) ([]esm.OID, error) {
+	t.c.Clock().Charge(sim.CtrIndexOp, 1)
+	var out []esm.OID
+	err := t.scanFrom(k, func(key Key, val esm.OID) bool {
+		if key != k {
+			return false
+		}
+		out = append(out, val)
+		return true
+	})
+	return out, err
+}
+
+// ScanRange calls fn for every (key, value) with lo <= key <= hi, in key
+// order. fn returning false stops the scan.
+func (t *Tree) ScanRange(lo, hi Key, fn func(Key, esm.OID) bool) error {
+	t.c.Clock().Charge(sim.CtrIndexOp, 1)
+	return t.scanFrom(lo, func(k Key, v esm.OID) bool {
+		if bytes.Compare(k[:], hi[:]) > 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// scanFrom walks leaves starting at the first key >= k.
+func (t *Tree) scanFrom(k Key, fn func(Key, esm.OID) bool) error {
+	pid := t.root
+	for {
+		n, err := t.fetch(pid)
+		if err != nil {
+			return err
+		}
+		if n.leaf() {
+			break
+		}
+		pid = n.childForScan(k)
+	}
+	// pid is the leftmost leaf that may contain k; walk the sibling chain.
+	// The leaf is pinned while fn runs: callbacks routinely fetch other
+	// pages (dereferencing the returned OIDs), which could otherwise evict
+	// the leaf out from under the scan.
+	first := true
+	for pid != disk.InvalidPage {
+		n, err := t.fetch(pid)
+		if err != nil {
+			return err
+		}
+		t.c.Pin(n.idx)
+		start := 0
+		if first {
+			start = n.lowerBound(k, n.leafKey)
+			first = false
+		}
+		for i := start; i < n.nkeys(); i++ {
+			var key Key
+			copy(key[:], n.leafKey(i))
+			if !fn(key, esm.UnmarshalOID(n.leafVal(i))) {
+				t.c.Unpin(n.idx)
+				return nil
+			}
+		}
+		t.c.Unpin(n.idx)
+		pid = disk.PageID(n.aux())
+	}
+	return nil
+}
+
+// Delete removes one entry matching (k, val); it reports whether an entry
+// was found. Leaves are left unbalanced (lazy deletion).
+func (t *Tree) Delete(k Key, val esm.OID) (bool, error) {
+	t.c.Clock().Charge(sim.CtrIndexOp, 1)
+	var vbuf [ValSize]byte
+	val.Marshal(vbuf[:])
+	pid := t.root
+	for {
+		n, err := t.fetch(pid)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf() {
+			break
+		}
+		pid = n.childForScan(k)
+	}
+	for pid != disk.InvalidPage {
+		n, err := t.fetch(pid)
+		if err != nil {
+			return false, err
+		}
+		for i := n.lowerBound(k, n.leafKey); i < n.nkeys(); i++ {
+			if !bytes.Equal(n.leafKey(i), k[:]) {
+				return false, nil
+			}
+			if bytes.Equal(n.leafVal(i), vbuf[:]) {
+				cnt := n.nkeys()
+				start := nodeData + i*leafEntry
+				copy(n.buf[start:], n.buf[start+leafEntry:nodeData+cnt*leafEntry])
+				n.setN(cnt - 1)
+				n.dirty()
+				return true, nil
+			}
+		}
+		pid = disk.PageID(n.aux())
+	}
+	return false, nil
+}
+
+// Count returns the number of entries in the tree (full scan; test helper).
+func (t *Tree) Count() (int, error) {
+	total := 0
+	// Descend to the leftmost leaf, then follow the chain.
+	pid := t.root
+	for {
+		n, err := t.fetch(pid)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf() {
+			break
+		}
+		pid = disk.PageID(n.aux())
+	}
+	for pid != disk.InvalidPage {
+		n, err := t.fetch(pid)
+		if err != nil {
+			return 0, err
+		}
+		total += n.nkeys()
+		pid = disk.PageID(n.aux())
+	}
+	return total, nil
+}
+
+// Check walks the tree verifying structural invariants: key order within
+// nodes, separator bounds, and leaf-chain ordering. Test helper.
+func (t *Tree) Check() error {
+	var last []byte
+	seen := 0
+	err := t.scanFrom(Key{}, func(k Key, _ esm.OID) bool {
+		if last != nil && bytes.Compare(last, k[:]) > 0 {
+			seen = -1
+			return false
+		}
+		last = append(last[:0], k[:]...)
+		seen++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if seen < 0 {
+		return fmt.Errorf("btree: keys out of order")
+	}
+	n, err := t.Count()
+	if err != nil {
+		return err
+	}
+	if n != seen {
+		return fmt.Errorf("btree: scan saw %d entries, count says %d", seen, n)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+func newClient(t *testing.T, frames int) *esm.Client {
+	t.Helper()
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(),
+		esm.ServerConfig{BufferPages: 256, Clock: sim.NewClock(sim.DefaultCostModel())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: frames})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func oidFor(i int) esm.OID {
+	return esm.OID{Page: disk.PageID(i + 2), Slot: uint16(i % 100), File: 1}
+}
+
+func TestInsertLookupSmall(t *testing.T) {
+	c := newClient(t, 64)
+	tr, err := Create(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(IntKey(int64(i)), oidFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		vals, err := tr.Lookup(IntKey(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 1 || vals[0] != oidFor(i) {
+			t.Fatalf("Lookup(%d) = %v", i, vals)
+		}
+	}
+	if vals, _ := tr.Lookup(IntKey(1000)); len(vals) != 0 {
+		t.Fatalf("missing key returned %v", vals)
+	}
+}
+
+func TestSplitsAndOrder(t *testing.T) {
+	c := newClient(t, 128)
+	tr, _ := Create(c)
+	const n = 5000 // forces multiple levels (maxLeaf ~204)
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(IntKey(int64(i)), oidFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := tr.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != n {
+		t.Fatalf("Count = %d, want %d", cnt, n)
+	}
+	// Spot-check lookups after heavy splitting.
+	for _, i := range []int{0, 1, n / 2, n - 2, n - 1} {
+		vals, err := tr.Lookup(IntKey(int64(i)))
+		if err != nil || len(vals) != 1 || vals[0] != oidFor(i) {
+			t.Fatalf("Lookup(%d) = %v, %v", i, vals, err)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	c := newClient(t, 64)
+	tr, _ := Create(c)
+	// Many entries under few distinct keys, like the buildDate index.
+	for i := 0; i < 600; i++ {
+		if err := tr.Insert(IntKey(int64(i%3)), oidFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		vals, err := tr.Lookup(IntKey(int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 200 {
+			t.Fatalf("key %d has %d values, want 200", k, len(vals))
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	c := newClient(t, 64)
+	tr, _ := Create(c)
+	for i := 0; i < 1000; i += 2 { // even keys only
+		tr.Insert(IntKey(int64(i)), oidFor(i))
+	}
+	var got []int64
+	err := tr.ScanRange(IntKey(100), IntKey(200), func(k Key, v esm.OID) bool {
+		var x int64
+		for i := 0; i < 8; i++ {
+			x = x<<8 | int64(k[i])
+		}
+		got = append(got, x^(-1<<63))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 51 {
+		t.Fatalf("range [100,200] returned %d keys", len(got))
+	}
+	if got[0] != 100 || got[50] != 200 {
+		t.Fatalf("range endpoints: %d..%d", got[0], got[50])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+2 {
+			t.Fatalf("scan out of order at %d: %v", i, got[i-3:i+1])
+		}
+	}
+	// Early termination.
+	n := 0
+	tr.ScanRange(IntKey(0), IntKey(1000), func(Key, esm.OID) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newClient(t, 64)
+	tr, _ := Create(c)
+	for i := 0; i < 500; i++ {
+		tr.Insert(IntKey(int64(i)), oidFor(i))
+	}
+	// Delete by (key, value): only the matching pair goes.
+	ok, err := tr.Delete(IntKey(250), oidFor(250))
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if vals, _ := tr.Lookup(IntKey(250)); len(vals) != 0 {
+		t.Fatal("entry survived delete")
+	}
+	ok, err = tr.Delete(IntKey(250), oidFor(250))
+	if err != nil || ok {
+		t.Fatalf("double delete reported found: %v %v", ok, err)
+	}
+	// Wrong value under an existing key is not deleted.
+	ok, _ = tr.Delete(IntKey(100), oidFor(999))
+	if ok {
+		t.Fatal("delete matched the wrong value")
+	}
+	// Reinsertion works (T3's delete + reinsert pattern).
+	if err := tr.Insert(IntKey(250), oidFor(251)); err != nil {
+		t.Fatal(err)
+	}
+	if vals, _ := tr.Lookup(IntKey(250)); len(vals) != 1 || vals[0] != oidFor(251) {
+		t.Fatal("reinsert failed")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	c := newClient(t, 64)
+	tr, _ := Create(c)
+	titles := []string{"Composite Part 00042", "Composite Part 00001", "Composite Part 00499"}
+	for i, s := range titles {
+		tr.Insert(StringKey(s), oidFor(i))
+	}
+	vals, err := tr.Lookup(StringKey("Composite Part 00001"))
+	if err != nil || len(vals) != 1 || vals[0] != oidFor(1) {
+		t.Fatalf("string lookup: %v %v", vals, err)
+	}
+	// Lexicographic scan order.
+	var order []int
+	tr.ScanRange(StringKey(""), StringKey("zzzz"), func(k Key, v esm.OID) bool {
+		order = append(order, int(v.Page-2))
+		return true
+	})
+	want := []int{1, 0, 2}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("scan order %v, want %v", order, want)
+	}
+}
+
+func TestPersistenceAcrossColdCaches(t *testing.T) {
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 32})
+	c.Begin()
+	tr, _ := Create(c)
+	for i := 0; i < 2000; i++ {
+		tr.Insert(IntKey(int64(i)), oidFor(i))
+	}
+	root := tr.RootPage()
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c.DropCaches()
+	srv.DropCaches()
+
+	c.Begin()
+	tr2 := Open(c, root)
+	vals, err := tr2.Lookup(IntKey(1234))
+	if err != nil || len(vals) != 1 || vals[0] != oidFor(1234) {
+		t.Fatalf("cold lookup: %v %v", vals, err)
+	}
+	if err := tr2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	c.Commit()
+}
+
+func TestIndexIOCharged(t *testing.T) {
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 256, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 64, Clock: clock})
+	c.Begin()
+	tr, _ := Create(c)
+	for i := 0; i < 3000; i++ {
+		tr.Insert(IntKey(int64(i)), oidFor(i))
+	}
+	c.Commit()
+	c.DropCaches()
+	base := clock.Snapshot()
+	c.Begin()
+	tr.Lookup(IntKey(77))
+	c.Commit()
+	d := clock.Snapshot().Sub(base)
+	if d.Count(sim.CtrClientRead) == 0 {
+		t.Fatal("cold index lookup produced no client I/O")
+	}
+	if d.Count(sim.CtrIndexOp) != 1 {
+		t.Fatalf("index ops = %d", d.Count(sim.CtrIndexOp))
+	}
+}
+
+// Property: insert a random multiset of keys in random order, then the
+// tree's scan yields exactly that multiset sorted; Check passes; every key
+// can be looked up.
+func TestTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 512})
+		if err != nil {
+			return false
+		}
+		c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 128})
+		c.Begin()
+		tr, err := Create(c)
+		if err != nil {
+			return false
+		}
+		n := 200 + rng.Intn(1200)
+		counts := map[int64]int{}
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(300)) // force duplicates
+			counts[k]++
+			if err := tr.Insert(IntKey(k), oidFor(i)); err != nil {
+				return false
+			}
+		}
+		if err := tr.Check(); err != nil {
+			return false
+		}
+		got, err := tr.Count()
+		if err != nil || got != n {
+			return false
+		}
+		for k, want := range counts {
+			vals, err := tr.Lookup(IntKey(k))
+			if err != nil || len(vals) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package buffer implements the fixed-size page buffer pools used at both
+// the client and the server. Replacement policy is pluggable: the server
+// and the E system use the traditional clock algorithm (reference bit per
+// frame), while QuickStore installs its simplified clock from Section 3.5,
+// which consults virtual-memory protections instead of reference bits.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+
+	"quickstore/internal/disk"
+)
+
+// Errors returned by the pool.
+var (
+	ErrNoVictim  = errors.New("buffer: all frames pinned, no victim available")
+	ErrNotCached = errors.New("buffer: page not resident")
+)
+
+// Frame is one buffer-pool slot. Data aliases the pool's backing storage
+// and remains valid while the page stays resident.
+type Frame struct {
+	Page  disk.PageID // InvalidPage when the frame is empty
+	Data  []byte
+	Pin   int
+	Dirty bool
+	Ref   bool // reference bit for the traditional clock policy
+}
+
+// Policy selects a victim frame for replacement. It may assume the pool's
+// lock is held by the caller.
+type Policy interface {
+	// Victim returns the index of a replaceable (unpinned) frame.
+	Victim(p *Pool) (int, error)
+}
+
+// Pool is a page buffer pool. It is not internally synchronized: each pool
+// belongs to exactly one client or server session, whose own lock (or the
+// single-threaded transaction model) serializes access.
+type Pool struct {
+	frames  []Frame
+	index   map[disk.PageID]int
+	policy  Policy
+	Hand    int // clock hand, exported for policies
+	hits    int64
+	misses  int64
+	evicted int64
+
+	// FlushFn, if set, is called to write back a dirty page before its
+	// frame is reused.
+	FlushFn func(pid disk.PageID, data []byte) error
+	// OnEvict, if set, is called after a page leaves the pool (clean or
+	// flushed). QuickStore uses it to revoke virtual-memory mappings.
+	OnEvict func(pid disk.PageID, frame int)
+}
+
+// New creates a pool of nframes 8K frames with the given policy
+// (nil selects the traditional clock).
+func New(nframes int, policy Policy) *Pool {
+	if policy == nil {
+		policy = Clock{}
+	}
+	p := &Pool{
+		frames: make([]Frame, nframes),
+		index:  make(map[disk.PageID]int, nframes),
+		policy: policy,
+	}
+	backing := make([]byte, nframes*disk.PageSize)
+	for i := range p.frames {
+		p.frames[i].Data = backing[i*disk.PageSize : (i+1)*disk.PageSize : (i+1)*disk.PageSize]
+	}
+	return p
+}
+
+// Len returns the number of frames in the pool.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// SetPolicy replaces the replacement policy (QuickStore installs its
+// simplified clock after the session is built).
+func (p *Pool) SetPolicy(policy Policy) { p.policy = policy }
+
+// Frame returns the frame at index i.
+func (p *Pool) Frame(i int) *Frame { return &p.frames[i] }
+
+// Lookup returns the frame index of pid if resident. It does not touch the
+// reference bit.
+func (p *Pool) Lookup(pid disk.PageID) (int, bool) {
+	i, ok := p.index[pid]
+	return i, ok
+}
+
+// Get returns the frame index of pid if resident, setting the reference bit
+// (a logical access for the clock policy).
+func (p *Pool) Get(pid disk.PageID) (int, bool) {
+	i, ok := p.index[pid]
+	if ok {
+		p.frames[i].Ref = true
+		p.hits++
+	}
+	return i, ok
+}
+
+// Put installs page pid in the pool, evicting a victim if needed, and fills
+// the frame via load. It returns the frame index. If the page is already
+// resident, load is not called.
+func (p *Pool) Put(pid disk.PageID, load func(buf []byte) error) (int, error) {
+	if i, ok := p.Get(pid); ok {
+		return i, nil
+	}
+	p.misses++
+	i, err := p.freeFrame()
+	if err != nil {
+		return 0, err
+	}
+	f := &p.frames[i]
+	if err := load(f.Data); err != nil {
+		return 0, err
+	}
+	f.Page = pid
+	f.Dirty = false
+	f.Ref = true
+	f.Pin = 0
+	p.index[pid] = i
+	return i, nil
+}
+
+// freeFrame returns an empty frame, evicting one if necessary.
+func (p *Pool) freeFrame() (int, error) {
+	for i := range p.frames {
+		if p.frames[i].Page == disk.InvalidPage {
+			return i, nil
+		}
+	}
+	i, err := p.policy.Victim(p)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Evict(i); err != nil {
+		return 0, err
+	}
+	return i, nil
+}
+
+// Evict removes the page in frame i from the pool, flushing it first if
+// dirty. The frame must be unpinned.
+func (p *Pool) Evict(i int) error {
+	f := &p.frames[i]
+	if f.Page == disk.InvalidPage {
+		return nil
+	}
+	if f.Pin != 0 {
+		return fmt.Errorf("buffer: evicting pinned page %d", f.Page)
+	}
+	if f.Dirty && p.FlushFn != nil {
+		if err := p.FlushFn(f.Page, f.Data); err != nil {
+			return err
+		}
+	}
+	pid := f.Page
+	delete(p.index, pid)
+	f.Page = disk.InvalidPage
+	f.Dirty = false
+	f.Ref = false
+	p.evicted++
+	if p.OnEvict != nil {
+		p.OnEvict(pid, i)
+	}
+	return nil
+}
+
+// Pin increments the pin count of frame i.
+func (p *Pool) Pin(i int) { p.frames[i].Pin++ }
+
+// Unpin decrements the pin count of frame i.
+func (p *Pool) Unpin(i int) {
+	if p.frames[i].Pin <= 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	p.frames[i].Pin--
+}
+
+// MarkDirty flags frame i as modified.
+func (p *Pool) MarkDirty(i int) { p.frames[i].Dirty = true }
+
+// FlushAll writes back every dirty page (without evicting). Used at commit
+// and checkpoint.
+func (p *Pool) FlushAll() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.Page != disk.InvalidPage && f.Dirty {
+			if p.FlushFn != nil {
+				if err := p.FlushFn(f.Page, f.Data); err != nil {
+					return err
+				}
+			}
+			f.Dirty = false
+		}
+	}
+	return nil
+}
+
+// DropAll empties the pool without flushing (used to make caches cold).
+func (p *Pool) DropAll() {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.Page != disk.InvalidPage {
+			pid := f.Page
+			delete(p.index, pid)
+			f.Page = disk.InvalidPage
+			f.Dirty = false
+			f.Ref = false
+			f.Pin = 0
+			if p.OnEvict != nil {
+				p.OnEvict(pid, i)
+			}
+		}
+	}
+}
+
+// Resident returns the number of pages currently cached.
+func (p *Pool) Resident() int { return len(p.index) }
+
+// Stats reports hit/miss/eviction counts.
+func (p *Pool) Stats() (hits, misses, evicted int64) { return p.hits, p.misses, p.evicted }
+
+// Clock is the traditional clock replacement policy: sweep frames, skip
+// pinned ones, clear set reference bits, and take the first frame whose
+// reference bit is already clear.
+type Clock struct{}
+
+// Victim implements Policy.
+func (Clock) Victim(p *Pool) (int, error) {
+	n := p.Len()
+	for scanned := 0; scanned < 2*n; scanned++ {
+		i := p.Hand
+		p.Hand = (p.Hand + 1) % n
+		f := p.Frame(i)
+		if f.Pin != 0 {
+			continue
+		}
+		if f.Ref {
+			f.Ref = false
+			continue
+		}
+		return i, nil
+	}
+	return 0, ErrNoVictim
+}

@@ -1,0 +1,222 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"quickstore/internal/disk"
+)
+
+func loadTag(tag byte) func([]byte) error {
+	return func(buf []byte) error {
+		for i := range buf {
+			buf[i] = tag
+		}
+		return nil
+	}
+}
+
+func TestPutGetHit(t *testing.T) {
+	p := New(4, nil)
+	i, err := p.Put(10, loadTag(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frame(i).Data[0] != 1 {
+		t.Fatal("loader did not run")
+	}
+	j, ok := p.Get(10)
+	if !ok || j != i {
+		t.Fatal("Get missed a resident page")
+	}
+	// Second Put is a hit: loader must not run again.
+	k, err := p.Put(10, func([]byte) error { t.Fatal("loader reran"); return nil })
+	if err != nil || k != i {
+		t.Fatal("Put on resident page misbehaved")
+	}
+	hits, misses, _ := p.Stats()
+	if hits < 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestClockEviction(t *testing.T) {
+	p := New(3, nil)
+	for pid := disk.PageID(1); pid <= 3; pid++ {
+		if _, err := p.Put(pid, loadTag(byte(pid))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All ref bits set; inserting page 4 sweeps (clearing bits) and evicts
+	// the first frame on the second pass.
+	if _, err := p.Put(4, loadTag(4)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 3 {
+		t.Fatalf("resident = %d", p.Resident())
+	}
+	if _, ok := p.Lookup(4); !ok {
+		t.Fatal("page 4 not resident")
+	}
+	_, _, evicted := p.Stats()
+	if evicted != 1 {
+		t.Fatalf("evicted = %d", evicted)
+	}
+}
+
+func TestClockPrefersUnreferenced(t *testing.T) {
+	p := New(3, nil)
+	p.Put(1, loadTag(1))
+	p.Put(2, loadTag(2))
+	p.Put(3, loadTag(3))
+	// Sweep once to clear all ref bits (simulate by filling and evicting).
+	// Touch pages 1 and 3 so page 2 is the cold one after a sweep.
+	for i := range [3]int{} {
+		p.Frame(i).Ref = false
+	}
+	p.Get(1)
+	p.Get(3)
+	if _, err := p.Put(4, loadTag(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lookup(2); ok {
+		t.Fatal("clock evicted a referenced page instead of page 2")
+	}
+	for _, pid := range []disk.PageID{1, 3, 4} {
+		if _, ok := p.Lookup(pid); !ok {
+			t.Fatalf("page %d missing", pid)
+		}
+	}
+}
+
+func TestPinPreventsEviction(t *testing.T) {
+	p := New(2, nil)
+	i, _ := p.Put(1, loadTag(1))
+	p.Pin(i)
+	p.Put(2, loadTag(2))
+	// Only page 2 is evictable.
+	if _, err := p.Put(3, loadTag(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lookup(1); !ok {
+		t.Fatal("pinned page evicted")
+	}
+	p.Unpin(i)
+	// Everything pinned -> no victim.
+	j, _ := p.Lookup(3)
+	p.Pin(i)
+	p.Pin(j)
+	if _, err := p.Put(4, loadTag(4)); !errors.Is(err, ErrNoVictim) {
+		t.Fatalf("expected ErrNoVictim, got %v", err)
+	}
+}
+
+func TestDirtyFlushOnEvict(t *testing.T) {
+	flushed := map[disk.PageID][]byte{}
+	p := New(1, nil)
+	p.FlushFn = func(pid disk.PageID, data []byte) error {
+		flushed[pid] = append([]byte(nil), data...)
+		return nil
+	}
+	var evicts []disk.PageID
+	p.OnEvict = func(pid disk.PageID, frame int) { evicts = append(evicts, pid) }
+
+	i, _ := p.Put(1, loadTag(1))
+	p.Frame(i).Data[0] = 0xEE
+	p.MarkDirty(i)
+	p.Frame(i).Ref = false
+	if _, err := p.Put(2, loadTag(2)); err != nil {
+		t.Fatal(err)
+	}
+	if flushed[1] == nil || flushed[1][0] != 0xEE {
+		t.Fatal("dirty page not flushed with its final contents")
+	}
+	if len(evicts) != 1 || evicts[0] != 1 {
+		t.Fatalf("OnEvict calls: %v", evicts)
+	}
+	// Clean evictions skip the flush but still notify.
+	p.Frame(0).Ref = false
+	if _, err := p.Put(3, loadTag(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := flushed[2]; ok {
+		t.Fatal("clean page was flushed")
+	}
+	if len(evicts) != 2 || evicts[1] != 2 {
+		t.Fatalf("OnEvict calls: %v", evicts)
+	}
+}
+
+func TestFlushAllAndDropAll(t *testing.T) {
+	var flushed []disk.PageID
+	p := New(4, nil)
+	p.FlushFn = func(pid disk.PageID, data []byte) error {
+		flushed = append(flushed, pid)
+		return nil
+	}
+	i1, _ := p.Put(1, loadTag(1))
+	p.Put(2, loadTag(2))
+	p.MarkDirty(i1)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != 1 || flushed[0] != 1 {
+		t.Fatalf("FlushAll flushed %v", flushed)
+	}
+	if p.Frame(i1).Dirty {
+		t.Fatal("dirty bit survived FlushAll")
+	}
+	p.DropAll()
+	if p.Resident() != 0 {
+		t.Fatal("DropAll left pages resident")
+	}
+}
+
+func TestUnpinPanicsWhenNotPinned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p := New(1, nil)
+	i, _ := p.Put(1, loadTag(1))
+	p.Unpin(i)
+}
+
+// countingPolicy wraps Clock and counts victim selections.
+type countingPolicy struct {
+	calls int
+}
+
+func (p *countingPolicy) Victim(pool *Pool) (int, error) {
+	p.calls++
+	return Clock{}.Victim(pool)
+}
+
+func TestSetPolicySwapsAtRuntime(t *testing.T) {
+	p := New(1, nil)
+	cp := &countingPolicy{}
+	p.SetPolicy(cp)
+	p.Put(1, loadTag(1))
+	p.Frame(0).Ref = false
+	p.Put(2, loadTag(2)) // needs a victim -> custom policy consulted
+	if cp.calls != 1 {
+		t.Fatalf("custom policy called %d times", cp.calls)
+	}
+}
+
+func TestEvictEmptyFrameIsNoop(t *testing.T) {
+	p := New(2, nil)
+	if err := p.Evict(0); err != nil {
+		t.Fatalf("evicting an empty frame: %v", err)
+	}
+}
+
+func TestEvictPinnedFails(t *testing.T) {
+	p := New(1, nil)
+	i, _ := p.Put(1, loadTag(1))
+	p.Pin(i)
+	if err := p.Evict(i); err == nil {
+		t.Fatal("evicted a pinned frame")
+	}
+}

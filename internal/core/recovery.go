@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/page"
+	"quickstore/internal/sim"
+	"quickstore/internal/vmem"
+	"quickstore/internal/wal"
+)
+
+// recoveryBuffer is the in-memory area holding the original values of
+// updated pages (Section 3.6). When it fills mid-transaction, its contents
+// are diffed and logged early — the behaviour that sinks QS-B in the
+// paper's update experiments when 4MB is not enough.
+type recoveryBuffer struct {
+	entries []recEntry
+	bytes   int
+	cap     int
+}
+
+type recEntry struct {
+	pid  disk.PageID
+	d    *PageDesc
+	orig []byte
+}
+
+func (r *recoveryBuffer) full() bool { return r.bytes+disk.PageSize > r.cap }
+
+func (r *recoveryBuffer) add(d *PageDesc, data []byte) int {
+	e := recEntry{pid: d.Pid, d: d, orig: append([]byte(nil), data...)}
+	r.entries = append(r.entries, e)
+	r.bytes += disk.PageSize
+	return len(r.entries) - 1
+}
+
+func (r *recoveryBuffer) reset() {
+	r.entries = r.entries[:0]
+	r.bytes = 0
+}
+
+// ensureRecoveryCopy snapshots the page's current contents before its first
+// modification of the transaction. If the buffer is full, earlier entries
+// are diffed and logged to make room.
+func (s *Store) ensureRecoveryCopy(d *PageDesc, data []byte) error {
+	if d.RecIdx >= 0 {
+		return nil
+	}
+	if s.rec.full() {
+		if err := s.flushRecovery(); err != nil {
+			return err
+		}
+	}
+	d.RecIdx = s.rec.add(d, data)
+	s.clock.Charge(sim.CtrRecoveryCopy, 1)
+	return nil
+}
+
+// flushRecovery diffs every buffered page against its current contents,
+// emits the resulting log records, and empties the buffer. Pages flushed
+// mid-transaction are downgraded to read access so a later update takes a
+// fresh copy (keeping the log complete).
+func (s *Store) flushRecovery() error {
+	for i := range s.rec.entries {
+		e := &s.rec.entries[i]
+		if e.d.RecIdx < 0 {
+			continue // already handled (stolen)
+		}
+		idx, ok := s.c.Pool().Lookup(e.pid)
+		if !ok {
+			// The page was evicted: beforeSteal diffed it then.
+			e.d.RecIdx = -1
+			continue
+		}
+		s.diffAndLog(e.d, s.c.PageData(idx))
+		if s.inTx && e.d.FrameIdx >= 0 {
+			_ = s.space.Protect(e.d.Lo, vmem.ProtRead)
+		}
+	}
+	s.rec.reset()
+	return nil
+}
+
+// diffAndLog compares the page's recovery copy with cur and emits minimal
+// log records (Section 3.6's interleaved diff/logging). The entry is
+// consumed: d must take a new recovery copy before further logging. Under
+// the whole-object-logging ablation the page is logged in full instead.
+func (s *Store) diffAndLog(d *PageDesc, cur []byte) {
+	if d.RecIdx < 0 || d.RecIdx >= len(s.rec.entries) {
+		return
+	}
+	orig := s.rec.entries[d.RecIdx].orig
+	if s.cfg.WholeObjectLogging {
+		half := len(cur) / 2
+		s.c.LogUpdate(d.Pid, 0, orig[:half], cur[:half])
+		s.c.LogUpdate(d.Pid, half, orig[half:], cur[half:])
+		d.RecIdx = -1
+		return
+	}
+	s.clock.Charge(sim.CtrPageDiff, 1)
+	s.clock.Charge(sim.CtrDiffByte, int64(len(cur)))
+	for _, r := range diffRegions(orig, cur, wal.HeaderBytes) {
+		s.c.LogUpdate(d.Pid, r.off, orig[r.off:r.off+r.n], cur[r.off:r.off+r.n])
+	}
+	d.RecIdx = -1
+}
+
+// region is one modified byte range.
+type region struct{ off, n int }
+
+// diffRegions finds the modified regions of a page and merges neighbouring
+// regions when logging them separately would cost more than logging the
+// clean gap between them: a separate record pays hdr header bytes, a merged
+// record pays 2*gap payload bytes (old and new images of the gap). This is
+// the paper's example: bytes 1 and 1024 of an object become two records,
+// bytes 1, 3 and 5 become one.
+func diffRegions(old, cur []byte, hdr int) []region {
+	n := len(cur)
+	if len(old) < n {
+		n = len(old)
+	}
+	var regs []region
+	i := 0
+	for i < n {
+		if old[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && old[j] != cur[j] {
+			j++
+		}
+		if len(regs) > 0 {
+			last := &regs[len(regs)-1]
+			gap := i - (last.off + last.n)
+			if 2*gap <= hdr {
+				last.n = j - last.off
+				i = j
+				continue
+			}
+		}
+		regs = append(regs, region{off: i, n: j - i})
+		i = j
+	}
+	// Bytes past the shorter buffer (page growth) form one final region.
+	if len(cur) > len(old) {
+		regs = append(regs, region{off: len(old), n: len(cur) - len(old)})
+	}
+	return regs
+}
+
+// logWholePage emits a redo-only record carrying a fresh page's entire
+// image (there is no before-image to diff against).
+func (s *Store) logWholePage(pid disk.PageID, data []byte) {
+	// Split in two records because a record length field is 16 bits and a
+	// page is exactly 8K.
+	half := len(data) / 2
+	s.c.LogUpdate(pid, 0, nil, data[:half])
+	s.c.LogUpdate(pid, half, nil, data[half:])
+}
+
+// logFreshPages logs the full images of pages created this transaction.
+func (s *Store) logFreshPages() error {
+	if s.cfg.BulkLoad {
+		return nil
+	}
+	pids := make([]disk.PageID, 0, len(s.freshPages))
+	for pid := range s.freshPages {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		idx, ok := s.c.Pool().Lookup(pid)
+		if !ok {
+			continue // stolen earlier; logged by beforeSteal
+		}
+		s.logWholePage(pid, s.c.PageData(idx))
+	}
+	return nil
+}
+
+// updateMappings recomputes the mapping object of every page modified this
+// transaction (Section 3.6: updates can change the set of pages referenced
+// by pointers on a page). Fresh pages get their first mapping object here.
+func (s *Store) updateMappings() error {
+	seen := map[disk.PageID]bool{}
+	// Iterate over a snapshot: creating mapping objects can dirty more
+	// (metadata) pages, but those are not QuickStore data pages.
+	work := make([]*PageDesc, 0, len(s.dirtied))
+	for _, d := range s.dirtied {
+		if d.IsLarge || seen[d.Pid] {
+			continue
+		}
+		seen[d.Pid] = true
+		work = append(work, d)
+	}
+	for _, d := range work {
+		if err := s.updateMapping(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updateMapping rebuilds one page's referenced-page set from its pointers
+// (located by the bitmap object), compares it with the stored mapping
+// object, and rewrites the mapping object if the set changed.
+func (s *Store) updateMapping(d *PageDesc) error {
+	data, idx, err := s.residentData(d)
+	if err != nil {
+		return err
+	}
+	s.clock.Charge(sim.CtrMapUpdate, 1)
+	p := page.MustWrap(data)
+	meta, err := readMeta(p)
+	if err != nil {
+		return err
+	}
+	bm, _, err := s.c.ReadObject(meta.BmOID)
+	if err != nil {
+		return err
+	}
+	// residentData/ReadObject may have shuffled frames; re-resolve.
+	data, idx, err = s.residentData(d)
+	if err != nil {
+		return err
+	}
+	p = page.MustWrap(data)
+
+	entries, err := s.referencedSet(data, bm)
+	if err != nil {
+		return err
+	}
+	blob := marshalMapping(entries)
+
+	if !meta.MapOID.IsNil() {
+		oldBlob, _, err := s.c.ReadObject(meta.MapOID)
+		if err != nil {
+			return err
+		}
+		if bytesEqual(oldBlob, blob) {
+			return nil
+		}
+		if len(oldBlob) == len(blob) {
+			// Overwrite in place.
+			cur, pageOff, frame, err := s.c.ReadObjectAt(meta.MapOID)
+			if err != nil {
+				return err
+			}
+			var old []byte
+			if !s.cfg.BulkLoad {
+				old = append([]byte(nil), cur...)
+			}
+			copy(cur, blob)
+			s.c.Pool().MarkDirty(frame)
+			if !s.cfg.BulkLoad {
+				s.c.LogUpdate(meta.MapOID.Page, pageOff, old, blob)
+			}
+			return nil
+		}
+		// Size changed: replace the object (the reason mapping objects
+		// are stored separately from their pages, Section 3.4).
+		if err := s.c.DeleteObject(meta.MapOID); err != nil {
+			return err
+		}
+	}
+	mapOID, obj, err := s.c.CreateObject(s.mapCluster, len(blob))
+	if err != nil {
+		return err
+	}
+	copy(obj, blob)
+	if !s.cfg.BulkLoad {
+		_, pageOff, _, err := s.c.ReadObjectAt(mapOID)
+		if err != nil {
+			return err
+		}
+		s.c.LogUpdate(mapOID.Page, pageOff, nil, blob)
+	}
+	// Point the page's meta-object at its new mapping object. The data
+	// page is already dirty (it was modified this transaction) and its
+	// recovery diff covers this change when logging is on.
+	data, idx, err = s.residentData(d)
+	if err != nil {
+		return err
+	}
+	p = page.MustWrap(data)
+	meta.MapOID = mapOID
+	if err := writeMeta(p, meta); err != nil {
+		return err
+	}
+	s.c.Pool().MarkDirty(idx)
+	if !s.cfg.BulkLoad && d.RecIdx < 0 && s.freshPages[d.Pid] == nil {
+		// The page's diff already ran (flushRecovery happens first), so
+		// log the meta change explicitly.
+		mdata, merr := p.Object(metaSlot)
+		if merr == nil {
+			off, _, oerr := p.SlotBounds(metaSlot)
+			if oerr == nil {
+				s.c.LogUpdate(d.Pid, off, nil, append([]byte(nil), mdata...))
+			}
+		}
+	}
+	return nil
+}
+
+// referencedSet builds the mapping entries for a page from its live
+// pointers, deduplicated by target object.
+func (s *Store) referencedSet(data, bm []byte) ([]mapEntry, error) {
+	byLo := map[vmem.Addr]mapEntry{}
+	var scanErr error
+	forEachPointer(bm, func(off int) bool {
+		ptr := vmem.Addr(leU64(data[off:]))
+		if ptr == 0 {
+			return true
+		}
+		td := s.tree.Find(ptr)
+		if td == nil {
+			scanErr = fmt.Errorf("core: page pointer %#x at offset %d targets no descriptor", ptr, off)
+			return false
+		}
+		if _, ok := byLo[td.ObjLo]; !ok {
+			byLo[td.ObjLo] = mapEntry{
+				ObjLo:    td.ObjLo,
+				ObjPages: td.ObjPages,
+				IsLarge:  td.IsLarge,
+				OID:      td.Phys,
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	entries := make([]mapEntry, 0, len(byLo))
+	for _, e := range byLo {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ObjLo < entries[j].ObjLo })
+	return entries, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffRegionsForTest exposes the diffing algorithm for benchmarks and
+// external tests; it returns the (offset, length) pairs of the regions that
+// would be logged.
+func DiffRegionsForTest(old, cur []byte, hdr int) [][2]int {
+	regs := diffRegions(old, cur, hdr)
+	out := make([][2]int, len(regs))
+	for i, r := range regs {
+		out[i] = [2]int{r.off, r.n}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package disk
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func testVolume(t *testing.T, v Volume) {
+	t.Helper()
+	// Fresh volume: header page only.
+	if got := v.NumPages(); got != 1 {
+		t.Fatalf("NumPages = %d, want 1", got)
+	}
+	if got := v.AllocatedPages(); got != 0 {
+		t.Fatalf("AllocatedPages = %d, want 0", got)
+	}
+	// Allocation hands out pages past the header.
+	p1, err := v.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == InvalidPage {
+		t.Fatal("allocated the header page")
+	}
+	run, err := v.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run == p1 {
+		t.Fatal("run overlaps single page")
+	}
+	// Write/read round trip on every page of the run.
+	buf := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		for j := range buf {
+			buf[j] = byte(i + 1)
+		}
+		if err := v.WritePage(run+PageID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, PageSize)
+	for i := 0; i < 3; i++ {
+		if err := v.ReadPage(run+PageID(i), got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) || got[PageSize-1] != byte(i+1) {
+			t.Fatalf("page %d content mismatch: %d", i, got[0])
+		}
+	}
+	// Contiguity is what multi-page objects rely on.
+	if v.AllocatedPages() != 4 {
+		t.Fatalf("AllocatedPages = %d, want 4", v.AllocatedPages())
+	}
+	// Free then reallocate a single page reuses the free list.
+	if err := v.Free(p1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v.AllocatedPages() != 3 {
+		t.Fatalf("AllocatedPages after free = %d, want 3", v.AllocatedPages())
+	}
+	p2, err := v.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Errorf("free list not reused: got %d, want %d", p2, p1)
+	}
+	// Out-of-range and misuse errors.
+	if err := v.ReadPage(PageID(v.NumPages()+10), got); err == nil {
+		t.Error("ReadPage past end succeeded")
+	}
+	if err := v.WritePage(p2, make([]byte, 17)); err == nil {
+		t.Error("WritePage with short buffer succeeded")
+	}
+	if _, err := v.Allocate(0); err == nil {
+		t.Error("Allocate(0) succeeded")
+	}
+	if err := v.Free(InvalidPage, 1); err == nil {
+		t.Error("Free(header) succeeded")
+	}
+}
+
+func TestMemVolume(t *testing.T) {
+	v := NewMemVolume()
+	defer v.Close()
+	testVolume(t, v)
+}
+
+func TestFileVolume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.db")
+	v, err := CreateFileVolume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testVolume(t, v)
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileVolumePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.db")
+	v, err := CreateFileVolume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := v.Allocate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, PageSize)
+	if err := v.WritePage(pid+1, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := OpenFileVolume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v2.AllocatedPages() != 2 {
+		t.Fatalf("AllocatedPages after reopen = %d, want 2", v2.AllocatedPages())
+	}
+	got := make([]byte, PageSize)
+	if err := v2.ReadPage(pid+1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("page content lost across reopen")
+	}
+	// Allocation continues past the persisted pages.
+	p, err := v2.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= pid+1 {
+		t.Fatalf("reopened volume reallocated live page %d", p)
+	}
+}
+
+func TestVolumeClosedOps(t *testing.T) {
+	v := NewMemVolume()
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	if err := v.ReadPage(0, buf); err != ErrClosed {
+		t.Errorf("ReadPage on closed volume: %v, want ErrClosed", err)
+	}
+	if _, err := v.Allocate(1); err != ErrClosed {
+		t.Errorf("Allocate on closed volume: %v, want ErrClosed", err)
+	}
+}
+
+// Property: any interleaving of single-page alloc/free never hands out the
+// same live page twice and never loses data written to a live page.
+func TestAllocFreeProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		v := NewMemVolume()
+		defer v.Close()
+		live := map[PageID]byte{}
+		var order []PageID
+		seq := byte(1)
+		for _, alloc := range ops {
+			if alloc || len(order) == 0 {
+				pid, err := v.Allocate(1)
+				if err != nil {
+					return false
+				}
+				if _, dup := live[pid]; dup {
+					return false // double allocation
+				}
+				buf := bytes.Repeat([]byte{seq}, PageSize)
+				if err := v.WritePage(pid, buf); err != nil {
+					return false
+				}
+				live[pid] = seq
+				order = append(order, pid)
+				seq++
+			} else {
+				pid := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(live, pid)
+				if err := v.Free(pid, 1); err != nil {
+					return false
+				}
+			}
+		}
+		buf := make([]byte, PageSize)
+		for pid, want := range live {
+			if err := v.ReadPage(pid, buf); err != nil {
+				return false
+			}
+			if buf[0] != want || buf[PageSize-1] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,521 @@
+package epvm
+
+import (
+	"bytes"
+	"testing"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+type env struct {
+	t     *testing.T
+	srv   *esm.Server
+	clock *sim.Clock
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(),
+		esm.ServerConfig{BufferPages: 512, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{t: t, srv: srv, clock: clock}
+}
+
+func (e *env) session(bufPages int, cfg Config, create bool) *Store {
+	e.t.Helper()
+	c := esm.NewClient(esm.NewInProcTransport(e.srv), esm.ClientConfig{BufferPages: bufPages, Clock: e.clock})
+	var s *Store
+	var err error
+	if create {
+		s, err = New(c, cfg)
+	} else {
+		s, err = Open(c, cfg)
+	}
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return s
+}
+
+func (e *env) cold() {
+	if err := e.srv.DropCaches(); err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+// E object layout used in these tests: next Ref at 0 (16 bytes), val i32
+// at 16; size 24.
+const (
+	offNext = 0
+	offVal  = 16
+	nodeLen = 24
+)
+
+func buildList(t *testing.T, s *Store, n int, spread bool) {
+	t.Helper()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	cl := s.NewCluster()
+	refs := make([]Ref, n)
+	for i := 0; i < n; i++ {
+		if spread {
+			cl.Break()
+		}
+		r, err := s.Alloc(cl, nodeLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = r
+	}
+	for i := 0; i < n; i++ {
+		next := NilRef
+		if i+1 < n {
+			next = refs[i+1]
+		}
+		if err := s.SetRef(refs[i], offNext, next); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetI32(refs[i], offVal, int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetRoot("list", refs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func walkList(t *testing.T, s *Store) []int32 {
+	t.Helper()
+	r, err := s.Root("list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []int32
+	for r != NilRef {
+		v, err := s.GetI32(r, offVal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+		r, err = s.GetRef(r, offNext)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vals
+}
+
+func TestBuildAndTraverse(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{BulkLoad: true}, true)
+	buildList(t, s, 40, false)
+	s.Begin()
+	vals := walkList(t, s)
+	s.Commit()
+	if len(vals) != 40 {
+		t.Fatalf("walked %d", len(vals))
+	}
+	for i, v := range vals {
+		if v != int32(i) {
+			t.Fatalf("node %d = %d", i, v)
+		}
+	}
+}
+
+func TestColdTraversalInterpCosts(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{BulkLoad: true}, true)
+	buildList(t, s, 30, true)
+	e.cold()
+
+	s2 := e.session(64, Config{}, false)
+	base := e.clock.Snapshot()
+	s2.Begin()
+	vals := walkList(t, s2)
+	s2.Commit()
+	if len(vals) != 30 {
+		t.Fatalf("walked %d", len(vals))
+	}
+	d := e.clock.Snapshot().Sub(base)
+	// One GetRef interpreter call per edge, plus fetch-driven calls.
+	if n := d.Count(sim.CtrInterpCall); n < 30 {
+		t.Errorf("interpreter calls = %d", n)
+	}
+	if n := d.Count(sim.CtrBigPtrDeref); n != 30 {
+		t.Errorf("big-pointer derefs = %d, want 30", n)
+	}
+	if n := d.Count(sim.CtrClientRead); n != 30 {
+		t.Errorf("client reads = %d, want 30 (one per page)", n)
+	}
+	// E never traps or swizzles persistent pointers.
+	if d.Count(sim.CtrPageFaultTrap) != 0 || d.Count(sim.CtrSwizzledPtr) != 0 {
+		t.Error("E charged virtual-memory costs")
+	}
+
+	// Hot rerun: residency checks instead of fetches.
+	base = e.clock.Snapshot()
+	s2.Begin()
+	walkList(t, s2)
+	s2.Commit()
+	d = e.clock.Snapshot().Sub(base)
+	if n := d.Count(sim.CtrClientRead); n != 0 {
+		t.Errorf("hot reads = %d", n)
+	}
+	if n := d.Count(sim.CtrResidencyCheck); n == 0 {
+		t.Error("no residency checks on hot traversal")
+	}
+}
+
+func TestUpdateLogsWholeSmallObject(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{BulkLoad: true}, true)
+	buildList(t, s, 5, false)
+	e.cold()
+
+	s2 := e.session(64, Config{}, false)
+	s2.Begin()
+	r, _ := s2.Root("list")
+	base := e.clock.Snapshot()
+	if err := s2.SetI32(r, offVal, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SetI32(r, offVal, 778); err != nil { // second update: no new copy
+		t.Fatal(err)
+	}
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d := e.clock.Snapshot().Sub(base)
+	if n := d.Count(sim.CtrSideBufferCopy); n != 1 {
+		t.Errorf("side copies = %d, want 1", n)
+	}
+	if n := d.Count(sim.CtrLockUpgrade); n != 1 {
+		t.Errorf("lock upgrades = %d", n)
+	}
+	// Whole object logged: 24 bytes old + 24 new, no diffing.
+	if n := d.Count(sim.CtrLogByte); n != 2*nodeLen {
+		t.Errorf("log bytes = %d, want %d", n, 2*nodeLen)
+	}
+	if n := d.Count(sim.CtrPageDiff); n != 0 {
+		t.Error("E diffed a page")
+	}
+	e.cold()
+	s3 := e.session(64, Config{}, false)
+	s3.Begin()
+	vals := walkList(t, s3)
+	s3.Commit()
+	if vals[0] != 778 {
+		t.Fatalf("update lost: %d", vals[0])
+	}
+}
+
+func TestChunkedLoggingForBigObjects(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{}, true)
+	s.Begin()
+	cl := s.NewCluster()
+	r, err := s.Alloc(cl, 4000) // nearly 4 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRoot("big", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Begin()
+	base := e.clock.Snapshot()
+	// Touch one byte in chunk 0 and one in chunk 3.
+	s.SetBytes(r, 10, []byte{1})
+	s.SetBytes(r, 3500, []byte{2})
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d := e.clock.Snapshot().Sub(base)
+	// Two 1K chunks logged (old+new): ~2*(1024+1024) bytes, not 8000.
+	got := d.Count(sim.CtrLogByte)
+	if got < 2*2*900 || got > 2*2*1100 {
+		t.Errorf("log bytes = %d, want about %d", got, 2*2*1024)
+	}
+}
+
+func TestSideBufferOverflowStillCommits(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(128, Config{BulkLoad: true}, true)
+	buildList(t, s, 40, true)
+	e.cold()
+
+	s2 := e.session(128, Config{SideBufferBytes: 4 * nodeLen}, false)
+	s2.Begin()
+	r, _ := s2.Root("list")
+	i := int32(0)
+	for r != NilRef {
+		if err := s2.SetI32(r, offVal, i+500); err != nil {
+			t.Fatal(err)
+		}
+		i++
+		var err error
+		r, err = s2.GetRef(r, offNext)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.cold()
+	s3 := e.session(128, Config{}, false)
+	s3.Begin()
+	vals := walkList(t, s3)
+	s3.Commit()
+	for i, v := range vals {
+		if v != int32(i+500) {
+			t.Fatalf("node %d = %d", i, v)
+		}
+	}
+}
+
+func TestLargeObjectPerByteInterp(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{BulkLoad: true}, true)
+	s.Begin()
+	cl := s.NewCluster()
+	const size = 2*disk.PageSize + 100
+	r, err := s.AllocLarge(cl, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), size)
+	payload[0], payload[size-1] = 'A', 'Z'
+	if err := s.WriteLarge(r, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.SetRoot("manual", r)
+	s.Commit()
+
+	s.Begin()
+	base := e.clock.Snapshot()
+	first, err := s.ReadLargeByte(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := s.ReadLargeByte(r, size-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+	if first != 'A' || last != 'Z' {
+		t.Fatalf("bytes %c %c", first, last)
+	}
+	d := e.clock.Snapshot().Sub(base)
+	if n := d.Count(sim.CtrInterpCall); n != 2 {
+		t.Errorf("interp calls = %d, want 2 (one per character)", n)
+	}
+	if sz, _ := s.LargeSize(r); sz != size {
+		t.Errorf("LargeSize = %d", sz)
+	}
+	if _, err := s.ReadLargeByte(r, size); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestAbortDiscardsUpdates(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{BulkLoad: true}, true)
+	buildList(t, s, 5, false)
+	e.cold()
+
+	s2 := e.session(64, Config{}, false)
+	s2.Begin()
+	r, _ := s2.Root("list")
+	s2.SetI32(r, offVal, 9999)
+	if err := s2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Begin()
+	vals := walkList(t, s2)
+	s2.Commit()
+	if vals[0] != 0 {
+		t.Fatalf("aborted update visible: %d", vals[0])
+	}
+}
+
+func TestEvictionInvalidatesSwizzledPointers(t *testing.T) {
+	// With a tiny pool, swizzled handles go stale; the residency check
+	// must catch it and refetch transparently.
+	e := newEnv(t)
+	s := e.session(128, Config{BulkLoad: true}, true)
+	buildList(t, s, 50, true)
+	e.cold()
+
+	s2 := e.session(4, Config{}, false)
+	s2.Begin()
+	vals := walkList(t, s2)
+	// Second walk in the same tx: everything was evicted behind us.
+	vals = walkList(t, s2)
+	s2.Commit()
+	if len(vals) != 50 {
+		t.Fatalf("walked %d", len(vals))
+	}
+	for i, v := range vals {
+		if v != int32(i) {
+			t.Fatalf("node %d = %d after evictions", i, v)
+		}
+	}
+}
+
+func TestNilRefHandling(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{}, true)
+	s.Begin()
+	cl := s.NewCluster()
+	r, _ := s.Alloc(cl, 32)
+	// A zero OID field reads back as NilRef.
+	next, err := s.GetRef(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != NilRef {
+		t.Fatalf("zero field gave ref %d", next)
+	}
+	if _, err := s.GetI32(NilRef, 0); err == nil {
+		t.Fatal("nil deref succeeded")
+	}
+	// SetRef(nil) round-trips.
+	if err := s.SetRef(r, 0, NilRef); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit()
+}
+
+func TestOIDRefInterning(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{}, true)
+	s.Begin()
+	cl := s.NewCluster()
+	r, _ := s.Alloc(cl, 32)
+	oid, err := s.OIDOf(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RefFor(oid); got != r {
+		t.Fatalf("RefFor returned %d, want %d", got, r)
+	}
+	if s.RefFor(esm.NilOID) != NilRef {
+		t.Fatal("RefFor(nil) != NilRef")
+	}
+	s.Commit()
+}
+
+func TestI64AndBytesFields(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{}, true)
+	s.Begin()
+	cl := s.NewCluster()
+	r, err := s.Alloc(cl, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetI64(r, 0, -1234567890123); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.GetI64(r, 0)
+	if err != nil || v != -1234567890123 {
+		t.Fatalf("GetI64 = %d, %v", v, err)
+	}
+	if err := s.SetBytes(r, 8, []byte("byte field")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if err := s.GetBytes(r, 8, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "byte field" {
+		t.Fatalf("GetBytes = %q", buf)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootErrors(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{}, true)
+	s.Begin()
+	if _, err := s.Root("missing"); err == nil {
+		t.Fatal("missing root resolved")
+	}
+	// Setting a nil root clears it; resolving it yields NilRef.
+	if err := s.SetRoot("cleared", NilRef); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Root("cleared")
+	if err != nil || r != NilRef {
+		t.Fatalf("cleared root = %d, %v", r, err)
+	}
+	s.Commit()
+}
+
+func TestWriteLargeOffsets(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{BulkLoad: true}, true)
+	s.Begin()
+	cl := s.NewCluster()
+	const size = disk.PageSize + 500
+	r, err := s.AllocLarge(cl, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write across the page boundary at an offset.
+	if err := s.WriteLarge(r, []byte("boundary"), disk.PageSize-4); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []byte("boundary") {
+		got, err := s.ReadLargeByte(r, uint64(disk.PageSize-4+i))
+		if err != nil || got != want {
+			t.Fatalf("byte %d = %q (%v)", i, got, err)
+		}
+	}
+	// Out-of-bounds write rejected.
+	if err := s.WriteLarge(r, []byte("xx"), size-1); err == nil {
+		t.Fatal("write past end succeeded")
+	}
+	s.Commit()
+}
+
+func TestBeginCommitStates(t *testing.T) {
+	e := newEnv(t)
+	s := e.session(64, Config{}, true)
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit without begin")
+	}
+	if err := s.Abort(); err == nil {
+		t.Fatal("abort without begin")
+	}
+	s.Begin()
+	if err := s.Begin(); err == nil {
+		t.Fatal("nested begin")
+	}
+	cl := s.NewCluster()
+	if _, err := s.Alloc(cl, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Alloc outside a transaction fails.
+	if _, err := s.Alloc(cl, 16); err == nil {
+		t.Fatal("alloc outside tx")
+	}
+}

@@ -1,0 +1,378 @@
+package esm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"quickstore/internal/buffer"
+	"quickstore/internal/disk"
+	"quickstore/internal/lock"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+// DefaultClientBufferPages matches the paper's 12MB client pool.
+const DefaultClientBufferPages = 1536
+
+// ErrNoTx is returned for page operations outside a transaction.
+var ErrNoTx = errors.New("esm: no transaction in progress")
+
+// remoteError wraps a server-reported error string.
+type remoteError string
+
+// Error implements the error interface.
+func (e remoteError) Error() string { return "esm server: " + string(e) }
+
+// ClientConfig tunes a client session.
+type ClientConfig struct {
+	BufferPages int           // client pool size; 0 = DefaultClientBufferPages
+	Policy      buffer.Policy // replacement policy; nil = traditional clock
+	Clock       *sim.Clock    // cost-model clock; nil = free clock
+}
+
+// Client is one application session against the page server. It owns the
+// client buffer pool; pages are accessed in place in pool frames, exactly
+// as ESM clients do in the paper. A Client is not safe for concurrent use:
+// it models one application process.
+type Client struct {
+	tr    Transport
+	clock *sim.Clock
+	pool  *buffer.Pool
+
+	tx      uint64
+	pending []byte // serialized log batch (count in first 4 bytes)
+	nrecs   uint32
+
+	uniqueNext uint64
+	uniqueEnd  uint64
+
+	lastLSN  uint64
+	rawPages map[disk.PageID]bool // large-object data pages: never LSN-stamped
+
+	// BeforeSteal, if set, runs before a dirty page is shipped to the
+	// server mid-transaction (buffer-pool steal). QuickStore hooks this to
+	// diff the page and emit its log records first, preserving WAL order.
+	BeforeSteal func(pid disk.PageID, data []byte) error
+}
+
+// NewClient opens a session over tr.
+func NewClient(tr Transport, cfg ClientConfig) *Client {
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = DefaultClientBufferPages
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewClock(sim.CostModel{})
+	}
+	c := &Client{tr: tr, clock: cfg.Clock, rawPages: map[disk.PageID]bool{}}
+	c.pool = buffer.New(cfg.BufferPages, cfg.Policy)
+	c.pool.FlushFn = c.stealPage
+	c.pending = make([]byte, 4)
+	return c
+}
+
+// Pool exposes the client buffer pool so QuickStore can install its
+// simplified-clock policy hooks (OnEvict) and inspect residency.
+func (c *Client) Pool() *buffer.Pool { return c.pool }
+
+// Clock returns the session's cost-model clock.
+func (c *Client) Clock() *sim.Clock { return c.clock }
+
+// call sends a request and surfaces server errors as Go errors.
+func (c *Client) call(req *Request) (*Response, error) {
+	resp, err := c.tr.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, remoteError(resp.Err)
+	}
+	return resp, nil
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() error {
+	if c.tx != 0 {
+		return fmt.Errorf("esm: transaction %d already active", c.tx)
+	}
+	resp, err := c.call(&Request{Op: OpBegin})
+	if err != nil {
+		return err
+	}
+	c.tx = resp.N
+	return nil
+}
+
+// Tx returns the current transaction id (0 when none).
+func (c *Client) Tx() uint64 { return c.tx }
+
+// FetchPage brings pid into the client pool (a page-shipping request to the
+// server on a miss) and returns its frame index. The frame data may be
+// mutated in place; call MarkDirty afterwards.
+func (c *Client) FetchPage(pid disk.PageID) (int, error) {
+	if c.tx == 0 {
+		return 0, ErrNoTx
+	}
+	if i, ok := c.pool.Get(pid); ok {
+		return i, nil
+	}
+	return c.pool.Put(pid, func(buf []byte) error {
+		c.clock.Charge(sim.CtrClientRead, 1)
+		resp, err := c.call(&Request{Op: OpReadPage, Tx: c.tx, Page: uint32(pid)})
+		if err != nil {
+			return err
+		}
+		copy(buf, resp.Data)
+		return nil
+	})
+}
+
+// PageData returns the in-place bytes of frame i.
+func (c *Client) PageData(i int) []byte { return c.pool.Frame(i).Data }
+
+// Pin guards frame i against replacement.
+func (c *Client) Pin(i int) { c.pool.Pin(i) }
+
+// Unpin releases a pin taken with Pin.
+func (c *Client) Unpin(i int) { c.pool.Unpin(i) }
+
+// MarkDirty flags the resident page pid as modified.
+func (c *Client) MarkDirty(pid disk.PageID) error {
+	i, ok := c.pool.Lookup(pid)
+	if !ok {
+		return fmt.Errorf("esm: MarkDirty(%d): %w", pid, buffer.ErrNotCached)
+	}
+	c.pool.MarkDirty(i)
+	return nil
+}
+
+// stealPage ships a dirty page to the server mid-transaction, after letting
+// the owner emit the log records that cover it (WAL). Header-bearing pages
+// are stamped with the last log sequence number so restart recovery can
+// decide redo/undo correctly; raw large-object data pages carry no header
+// and are never stamped.
+func (c *Client) stealPage(pid disk.PageID, data []byte) error {
+	if c.BeforeSteal != nil {
+		if err := c.BeforeSteal(pid, data); err != nil {
+			return err
+		}
+	}
+	if err := c.FlushLog(); err != nil {
+		return err
+	}
+	c.stampLSN(pid, data)
+	c.clock.Charge(sim.CtrClientWrite, 1)
+	_, err := c.call(&Request{Op: OpWritePage, Tx: c.tx, Page: uint32(pid), Data: data})
+	return err
+}
+
+// MarkRawPages records a run of raw (headerless, large-object) data pages
+// so LSN stamping skips them.
+func (c *Client) MarkRawPages(first disk.PageID, n uint32) {
+	for i := uint32(0); i < n; i++ {
+		c.rawPages[first+disk.PageID(i)] = true
+	}
+}
+
+func (c *Client) stampLSN(pid disk.PageID, data []byte) {
+	if c.lastLSN == 0 || c.rawPages[pid] {
+		return
+	}
+	binary.LittleEndian.PutUint64(data[:8], c.lastLSN)
+}
+
+// LogUpdate buffers a physical update record (before/after images for the
+// byte range at off on page pid) for the current transaction.
+func (c *Client) LogUpdate(pid disk.PageID, off int, old, new []byte) {
+	c.appendLogRec(wal.RecUpdate, pid, off, old, new)
+}
+
+func (c *Client) appendLogRec(typ wal.RecType, pid disk.PageID, off int, old, new []byte) {
+	var tmp [11]byte
+	tmp[0] = byte(typ)
+	binary.LittleEndian.PutUint32(tmp[1:], uint32(pid))
+	binary.LittleEndian.PutUint16(tmp[5:], uint16(off))
+	binary.LittleEndian.PutUint16(tmp[7:], uint16(len(old)))
+	binary.LittleEndian.PutUint16(tmp[9:], uint16(len(new)))
+	c.pending = append(c.pending, tmp[:]...)
+	c.pending = append(c.pending, old...)
+	c.pending = append(c.pending, new...)
+	c.nrecs++
+	c.clock.Charge(sim.CtrLogRecord, 1)
+	c.clock.Charge(sim.CtrLogByte, int64(len(old)+len(new)))
+}
+
+// PendingLogRecords reports the number of buffered, unshipped log records.
+func (c *Client) PendingLogRecords() int { return int(c.nrecs) }
+
+// FlushLog ships buffered log records to the server and records the last
+// assigned log sequence number (used to stamp shipped pages).
+func (c *Client) FlushLog() error {
+	if c.nrecs == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(c.pending[:4], c.nrecs)
+	resp, err := c.call(&Request{Op: OpLog, Tx: c.tx, Data: c.pending})
+	c.pending = make([]byte, 4)
+	c.nrecs = 0
+	if err != nil {
+		return err
+	}
+	c.lastLSN = resp.N
+	return nil
+}
+
+// Commit ships the remaining log records and all dirty resident pages to
+// the server, which forces the log; the client cache stays warm (pages
+// remain resident and clean), matching the paper's hot re-runs.
+func (c *Client) Commit() error {
+	if c.tx == 0 {
+		return ErrNoTx
+	}
+	if err := c.FlushLog(); err != nil {
+		return err
+	}
+	var payload []byte
+	for i := 0; i < c.pool.Len(); i++ {
+		f := c.pool.Frame(i)
+		if f.Page == disk.InvalidPage || !f.Dirty {
+			continue
+		}
+		c.stampLSN(f.Page, f.Data)
+		var pidb [4]byte
+		binary.LittleEndian.PutUint32(pidb[:], uint32(f.Page))
+		payload = append(payload, pidb[:]...)
+		payload = append(payload, f.Data...)
+		f.Dirty = false
+		c.clock.Charge(sim.CtrClientWrite, 1)
+		c.clock.Charge(sim.CtrCommitFlushPage, 1)
+	}
+	_, err := c.call(&Request{Op: OpCommit, Tx: c.tx, Data: payload})
+	c.tx = 0
+	return err
+}
+
+// Abort discards the transaction: buffered log records and dirty resident
+// pages are dropped (their disk versions are intact), and the server undoes
+// any pages that were stolen mid-transaction.
+func (c *Client) Abort() error {
+	if c.tx == 0 {
+		return ErrNoTx
+	}
+	c.pending = make([]byte, 4)
+	c.nrecs = 0
+	for i := 0; i < c.pool.Len(); i++ {
+		f := c.pool.Frame(i)
+		if f.Page != disk.InvalidPage && f.Dirty {
+			// Drop the stale image without shipping it; a reread fetches
+			// the committed version from the server.
+			f.Dirty = false
+			f.Pin = 0
+			if err := c.pool.Evict(i); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := c.call(&Request{Op: OpAbort, Tx: c.tx})
+	c.tx = 0
+	return err
+}
+
+// Lock acquires a lock from the server's lock manager.
+func (c *Client) Lock(kind lock.Kind, id uint32, mode lock.Mode) error {
+	if c.tx == 0 {
+		return ErrNoTx
+	}
+	_, err := c.call(&Request{Op: OpLock, Tx: c.tx, Page: id, Mode: uint8(kind)<<4 | uint8(mode)})
+	return err
+}
+
+// AllocPages reserves n contiguous pages on the volume.
+func (c *Client) AllocPages(n int) (disk.PageID, error) {
+	resp, err := c.call(&Request{Op: OpAllocPages, Tx: c.tx, N: uint64(n)})
+	if err != nil {
+		return disk.InvalidPage, err
+	}
+	return disk.PageID(resp.Page), nil
+}
+
+// FreePages returns a page run to the volume.
+func (c *Client) FreePages(pid disk.PageID, n int) error {
+	_, err := c.call(&Request{Op: OpFreePages, Tx: c.tx, Page: uint32(pid), N: uint64(n)})
+	return err
+}
+
+// CreateFile registers a new file and returns its id.
+func (c *Client) CreateFile(name string) (uint32, error) {
+	resp, err := c.call(&Request{Op: OpCreateFile, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return uint32(resp.N), nil
+}
+
+// OpenFile resolves a file name to its id.
+func (c *Client) OpenFile(name string) (uint32, error) {
+	resp, err := c.call(&Request{Op: OpOpenFile, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return uint32(resp.N), nil
+}
+
+// GetRoot fetches a persistent named root: an OID plus an auxiliary word.
+func (c *Client) GetRoot(name string) (OID, uint64, error) {
+	resp, err := c.call(&Request{Op: OpGetRoot, Name: name})
+	if err != nil {
+		return NilOID, 0, err
+	}
+	return UnmarshalOID(resp.Data), resp.N, nil
+}
+
+// SetRoot stores a persistent named root.
+func (c *Client) SetRoot(name string, oid OID, aux uint64) error {
+	var buf [OIDSize]byte
+	oid.Marshal(buf[:])
+	_, err := c.call(&Request{Op: OpSetRoot, Name: name, N: aux, Data: buf[:]})
+	return err
+}
+
+// Counter atomically adds delta to the named persistent counter and returns
+// its previous value (fetch-and-add).
+func (c *Client) Counter(name string, delta uint64) (uint64, error) {
+	resp, err := c.call(&Request{Op: OpCounter, Name: name, N: delta})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Checkpoint asks the server to flush everything to stable storage.
+func (c *Client) Checkpoint() error {
+	_, err := c.call(&Request{Op: OpCheckpoint})
+	return err
+}
+
+// nextUnique returns an OID uniquifier, fetched from the server in batches.
+func (c *Client) nextUnique() (uint16, error) {
+	if c.uniqueNext == c.uniqueEnd {
+		const batch = 1024
+		start, err := c.Counter("esm.oid.unique", batch)
+		if err != nil {
+			return 0, err
+		}
+		c.uniqueNext, c.uniqueEnd = start, start+batch
+	}
+	u := uint16(c.uniqueNext)
+	c.uniqueNext++
+	return u, nil
+}
+
+// DropCaches empties the client pool (dirty pages must have been committed),
+// making the next access cold at the client.
+func (c *Client) DropCaches() {
+	c.pool.DropAll()
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.tr.Close() }

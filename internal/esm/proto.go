@@ -1,0 +1,279 @@
+package esm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Op enumerates protocol operations between the client and the page server.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpBegin Op = iota + 1
+	OpCommit
+	OpAbort
+	OpReadPage
+	OpWritePage
+	OpAllocPages
+	OpFreePages
+	OpLock
+	OpLog
+	OpCreateFile
+	OpOpenFile
+	OpGetRoot
+	OpSetRoot
+	OpCounter
+	OpCheckpoint
+	OpStats
+)
+
+// String names the operation for diagnostics.
+func (o Op) String() string {
+	names := [...]string{"", "BEGIN", "COMMIT", "ABORT", "READ", "WRITE", "ALLOC",
+		"FREE", "LOCK", "LOG", "CREATEFILE", "OPENFILE", "GETROOT", "SETROOT",
+		"COUNTER", "CHECKPOINT", "STATS"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Request is one client-to-server message.
+type Request struct {
+	Op   Op
+	Tx   uint64
+	Page uint32 // page id / file id, per op
+	N    uint64 // count / counter delta, per op
+	Mode uint8  // lock mode / resource kind / flags
+	Name string // root, counter, or file name
+	Data []byte // page image, log batch, or OID payload
+}
+
+// Response is one server-to-client message.
+type Response struct {
+	Err  string
+	Page uint32
+	N    uint64
+	Data []byte
+}
+
+// Transport delivers requests to a server and returns responses. Both the
+// in-process and TCP transports satisfy it.
+type Transport interface {
+	Call(req *Request) (*Response, error)
+	Close() error
+}
+
+// writeFrame emits a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	const maxFrame = 1 << 30
+	if n > maxFrame {
+		return nil, fmt.Errorf("esm: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (r *Request) marshal() []byte {
+	buf := make([]byte, 0, 32+len(r.Name)+len(r.Data))
+	var tmp [8]byte
+	buf = append(buf, byte(r.Op), r.Mode)
+	binary.LittleEndian.PutUint64(tmp[:], r.Tx)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], r.Page)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], r.N)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Name)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, r.Name...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, r.Data...)
+	return buf
+}
+
+var errShortMessage = errors.New("esm: short protocol message")
+
+func unmarshalRequest(buf []byte) (*Request, error) {
+	if len(buf) < 24 {
+		return nil, errShortMessage
+	}
+	r := &Request{Op: Op(buf[0]), Mode: buf[1]}
+	r.Tx = binary.LittleEndian.Uint64(buf[2:])
+	r.Page = binary.LittleEndian.Uint32(buf[10:])
+	r.N = binary.LittleEndian.Uint64(buf[14:])
+	nameLen := int(binary.LittleEndian.Uint16(buf[22:]))
+	p := 24
+	if len(buf) < p+nameLen+4 {
+		return nil, errShortMessage
+	}
+	r.Name = string(buf[p : p+nameLen])
+	p += nameLen
+	dataLen := int(binary.LittleEndian.Uint32(buf[p:]))
+	p += 4
+	if len(buf) < p+dataLen {
+		return nil, errShortMessage
+	}
+	if dataLen > 0 {
+		r.Data = append([]byte(nil), buf[p:p+dataLen]...)
+	}
+	return r, nil
+}
+
+func (r *Response) marshal() []byte {
+	buf := make([]byte, 0, 20+len(r.Err)+len(r.Data))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Err)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, r.Err...)
+	binary.LittleEndian.PutUint32(tmp[:4], r.Page)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], r.N)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, r.Data...)
+	return buf
+}
+
+func unmarshalResponse(buf []byte) (*Response, error) {
+	if len(buf) < 2 {
+		return nil, errShortMessage
+	}
+	errLen := int(binary.LittleEndian.Uint16(buf[0:]))
+	p := 2
+	if len(buf) < p+errLen+16 {
+		return nil, errShortMessage
+	}
+	r := &Response{Err: string(buf[p : p+errLen])}
+	p += errLen
+	r.Page = binary.LittleEndian.Uint32(buf[p:])
+	r.N = binary.LittleEndian.Uint64(buf[p+4:])
+	dataLen := int(binary.LittleEndian.Uint32(buf[p+12:]))
+	p += 16
+	if len(buf) < p+dataLen {
+		return nil, errShortMessage
+	}
+	if dataLen > 0 {
+		r.Data = append([]byte(nil), buf[p:p+dataLen]...)
+	}
+	return r, nil
+}
+
+// InProcTransport calls straight into a server living in the same process.
+// This is the default for benchmarks: the network cost is charged by the
+// cost model, so a real socket would only add nondeterminism.
+type InProcTransport struct {
+	srv *Server
+}
+
+// NewInProcTransport returns a transport bound to srv.
+func NewInProcTransport(srv *Server) *InProcTransport { return &InProcTransport{srv: srv} }
+
+// Call implements Transport.
+func (t *InProcTransport) Call(req *Request) (*Response, error) {
+	return t.srv.Handle(req), nil
+}
+
+// Close implements Transport.
+func (t *InProcTransport) Close() error { return nil }
+
+// TCPTransport speaks the framed binary protocol over a socket. One
+// connection carries one client session's requests sequentially, mirroring
+// the paper's one-client-process model.
+type TCPTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Reader
+	wr   *bufio.Writer
+}
+
+// DialTCP connects to a Listener-served ESM server.
+func DialTCP(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn, rd: bufio.NewReaderSize(conn, 64<<10), wr: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(req *Request) (*Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := writeFrame(t.wr, req.marshal()); err != nil {
+		return nil, err
+	}
+	if err := t.wr.Flush(); err != nil {
+		return nil, err
+	}
+	frame, err := readFrame(t.rd)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalResponse(frame)
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+// Serve accepts connections on l and dispatches their requests to srv until
+// l is closed. It is intended to run in its own goroutine.
+func Serve(l net.Listener, srv *Server) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			rd := bufio.NewReaderSize(conn, 64<<10)
+			wr := bufio.NewWriterSize(conn, 64<<10)
+			for {
+				frame, err := readFrame(rd)
+				if err != nil {
+					return
+				}
+				req, err := unmarshalRequest(frame)
+				var resp *Response
+				if err != nil {
+					resp = &Response{Err: err.Error()}
+				} else {
+					resp = srv.Handle(req)
+				}
+				if err := writeFrame(wr, resp.marshal()); err != nil {
+					return
+				}
+				if err := wr.Flush(); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}

@@ -1,0 +1,476 @@
+package esm
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"quickstore/internal/buffer"
+	"quickstore/internal/disk"
+	"quickstore/internal/lock"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+// DefaultServerBufferPages matches the paper's 36MB server pool.
+const DefaultServerBufferPages = 4608
+
+// catalogPage is the fixed page holding the serialized catalog.
+const catalogPage disk.PageID = 1
+
+// catalog is the server's persistent name service: named roots (OID plus an
+// auxiliary word, which QuickStore uses for the root's virtual address),
+// persistent counters (QuickStore's global frame counter lives here), and
+// the file table.
+type catalog struct {
+	Roots    map[string]rootEntry `json:"roots"`
+	Counters map[string]uint64    `json:"counters"`
+	Files    map[string]uint32    `json:"files"`
+	NextFile uint32               `json:"next_file"`
+	NextTx   uint64               `json:"next_tx"`
+}
+
+type rootEntry struct {
+	OID [OIDSize]byte `json:"oid"`
+	Aux uint64        `json:"aux"`
+}
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	BufferPages int           // server pool size; 0 = DefaultServerBufferPages
+	LockTimeout time.Duration // lock wait timeout; 0 = 1s
+	Clock       *sim.Clock    // cost-model clock; nil = free clock
+}
+
+// Server is the page server: it owns the volume, the server buffer pool,
+// the write-ahead log, and the lock manager, and answers the protocol ops.
+type Server struct {
+	mu    sync.Mutex
+	vol   disk.Volume
+	pool  *buffer.Pool
+	log   *wal.Log
+	locks *lock.Manager
+	clock *sim.Clock
+	cat   catalog
+
+	lastTxLSN map[uint64]wal.LSN
+	active    map[uint64]bool
+}
+
+// NewServer creates a server over a fresh volume: the catalog page is
+// allocated and initialized.
+func NewServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error) {
+	s, err := newServerCommon(vol, log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pid, err := vol.Allocate(1)
+	if err != nil {
+		return nil, err
+	}
+	if pid != catalogPage {
+		return nil, fmt.Errorf("esm: catalog page allocated at %d, want %d", pid, catalogPage)
+	}
+	s.cat = catalog{
+		Roots:    map[string]rootEntry{},
+		Counters: map[string]uint64{},
+		Files:    map[string]uint32{},
+		NextFile: 1,
+		NextTx:   1,
+	}
+	return s, s.writeCatalog()
+}
+
+// OpenServer attaches a server to an existing volume, loading the catalog
+// and running restart recovery from the log.
+func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error) {
+	s, err := newServerCommon(vol, log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, disk.PageSize)
+	if err := vol.ReadPage(catalogPage, buf); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(buf[:4])
+	if int(n) > disk.PageSize-4 {
+		return nil, fmt.Errorf("esm: corrupt catalog (length %d)", n)
+	}
+	if err := json.Unmarshal(buf[4:4+n], &s.cat); err != nil {
+		return nil, fmt.Errorf("esm: corrupt catalog: %w", err)
+	}
+	if _, _, err := wal.Recover(log, volStore{vol}, pageLSNOf, setPageLSN); err != nil {
+		return nil, fmt.Errorf("esm: restart recovery: %w", err)
+	}
+	// Never reuse transaction ids seen in the log.
+	maxTx := s.cat.NextTx
+	_ = log.Iterate(func(r wal.Record) bool {
+		if r.Tx >= maxTx {
+			maxTx = r.Tx + 1
+		}
+		return true
+	})
+	s.cat.NextTx = maxTx
+	return s, nil
+}
+
+func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error) {
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = DefaultServerBufferPages
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewClock(sim.CostModel{})
+	}
+	s := &Server{
+		vol:       vol,
+		pool:      buffer.New(cfg.BufferPages, buffer.Clock{}),
+		log:       log,
+		locks:     lock.New(cfg.LockTimeout),
+		clock:     cfg.Clock,
+		lastTxLSN: map[uint64]wal.LSN{},
+		active:    map[uint64]bool{},
+	}
+	s.pool.FlushFn = func(pid disk.PageID, data []byte) error {
+		s.clock.Charge(sim.CtrServerDiskWrite, 1)
+		return s.vol.WritePage(pid, data)
+	}
+	return s, nil
+}
+
+// volStore adapts a Volume to wal.PageStore.
+type volStore struct{ v disk.Volume }
+
+// ReadPage implements wal.PageStore.
+func (vs volStore) ReadPage(id uint32, buf []byte) error {
+	return vs.v.ReadPage(disk.PageID(id), buf)
+}
+
+// WritePage implements wal.PageStore.
+func (vs volStore) WritePage(id uint32, buf []byte) error {
+	return vs.v.WritePage(disk.PageID(id), buf)
+}
+
+// pageLSNOf reads the LSN of a header-bearing (slotted/btree/catalog) page.
+// Raw large-object data pages never appear in byte-range log records: their
+// durability comes from whole-page shipping at commit, so recovery only ever
+// consults the LSN of slotted pages.
+func pageLSNOf(buf []byte) uint64 {
+	return binary.LittleEndian.Uint64(buf[:8])
+}
+
+func setPageLSN(buf []byte, lsn uint64) { binary.LittleEndian.PutUint64(buf[:8], lsn) }
+
+func (s *Server) writeCatalog() error {
+	blob, err := json.Marshal(&s.cat)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, disk.PageSize)
+	if len(blob)+4 > disk.PageSize {
+		return fmt.Errorf("esm: catalog too large (%d bytes)", len(blob))
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(blob)))
+	copy(buf[4:], blob)
+	return s.vol.WritePage(catalogPage, buf)
+}
+
+// Handle executes one protocol request. It never returns a nil response;
+// errors travel in Response.Err.
+func (s *Server) Handle(req *Request) *Response {
+	resp, err := s.handle(req)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	if resp == nil {
+		resp = &Response{}
+	}
+	return resp
+}
+
+func (s *Server) handle(req *Request) (*Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case OpBegin:
+		tx := s.cat.NextTx
+		s.cat.NextTx++
+		s.active[tx] = true
+		s.lastTxLSN[tx] = s.log.Append(wal.Record{Tx: tx, Type: wal.RecBegin})
+		return &Response{N: tx}, nil
+
+	case OpReadPage:
+		return s.readPage(disk.PageID(req.Page))
+
+	case OpWritePage:
+		if len(req.Data) != disk.PageSize {
+			return nil, fmt.Errorf("esm: write of %d bytes", len(req.Data))
+		}
+		return nil, s.installPage(disk.PageID(req.Page), req.Data)
+
+	case OpLog:
+		lsn, err := s.appendLogBatch(req.Tx, req.Data)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{N: uint64(lsn)}, nil
+
+	case OpCommit:
+		return nil, s.commit(req.Tx, req.Data)
+
+	case OpAbort:
+		return nil, s.abort(req.Tx)
+
+	case OpAllocPages:
+		pid, err := s.vol.Allocate(int(req.N))
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Page: uint32(pid)}, nil
+
+	case OpFreePages:
+		return nil, s.vol.Free(disk.PageID(req.Page), int(req.N))
+
+	case OpLock:
+		kind := lock.Kind(req.Mode >> 4)
+		mode := lock.Mode(req.Mode & 0xF)
+		err := s.locks.Acquire(req.Tx, lock.Resource{Kind: kind, ID: uint64(req.Page)}, mode)
+		return nil, err
+
+	case OpCreateFile:
+		if _, ok := s.cat.Files[req.Name]; ok {
+			return nil, fmt.Errorf("esm: file %q exists", req.Name)
+		}
+		id := s.cat.NextFile
+		s.cat.NextFile++
+		s.cat.Files[req.Name] = id
+		return &Response{N: uint64(id)}, nil
+
+	case OpOpenFile:
+		id, ok := s.cat.Files[req.Name]
+		if !ok {
+			return nil, fmt.Errorf("esm: no file %q", req.Name)
+		}
+		return &Response{N: uint64(id)}, nil
+
+	case OpGetRoot:
+		e, ok := s.cat.Roots[req.Name]
+		if !ok {
+			return nil, fmt.Errorf("esm: no root %q", req.Name)
+		}
+		return &Response{N: e.Aux, Data: append([]byte(nil), e.OID[:]...)}, nil
+
+	case OpSetRoot:
+		var e rootEntry
+		if len(req.Data) >= OIDSize {
+			copy(e.OID[:], req.Data)
+		}
+		e.Aux = req.N
+		s.cat.Roots[req.Name] = e
+		return nil, nil
+
+	case OpCounter:
+		old := s.cat.Counters[req.Name]
+		s.cat.Counters[req.Name] = old + req.N
+		return &Response{N: old}, nil
+
+	case OpCheckpoint:
+		if err := s.pool.FlushAll(); err != nil {
+			return nil, err
+		}
+		if err := s.writeCatalog(); err != nil {
+			return nil, err
+		}
+		if err := s.log.Flush(); err != nil {
+			return nil, err
+		}
+		if err := s.vol.Sync(); err != nil {
+			return nil, err
+		}
+		// With every page durable and no transaction in flight, no log
+		// record can be needed again: truncate the log.
+		if len(s.active) == 0 {
+			if err := s.log.Truncate(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+
+	case OpStats:
+		return &Response{N: uint64(s.pool.Resident())}, nil
+	}
+	return nil, fmt.Errorf("esm: unknown op %v", req.Op)
+}
+
+func (s *Server) readPage(pid disk.PageID) (*Response, error) {
+	if i, ok := s.pool.Get(pid); ok {
+		s.clock.Charge(sim.CtrServerBufferHit, 1)
+		return &Response{Page: uint32(pid), Data: append([]byte(nil), s.pool.Frame(i).Data...)}, nil
+	}
+	i, err := s.pool.Put(pid, func(buf []byte) error {
+		s.clock.Charge(sim.CtrServerDiskRead, 1)
+		s.clock.Charge(sim.CtrServerBufferHit, 1) // network leg of the transfer
+		return s.vol.ReadPage(pid, buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Page: uint32(pid), Data: append([]byte(nil), s.pool.Frame(i).Data...)}, nil
+}
+
+// installPage places a shipped page image in the server pool, dirty.
+func (s *Server) installPage(pid disk.PageID, data []byte) error {
+	i, err := s.pool.Put(pid, func(buf []byte) error {
+		copy(buf, data)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	copy(s.pool.Frame(i).Data, data) // Put skips load when already resident
+	s.pool.MarkDirty(i)
+	return nil
+}
+
+// log batch format: count u32, then per record:
+// Type u8, Page u32, Off u16, oldLen u16, newLen u16, old..., new...
+func (s *Server) appendLogBatch(tx uint64, data []byte) (wal.LSN, error) {
+	if len(data) < 4 {
+		return 0, errShortMessage
+	}
+	count := int(binary.LittleEndian.Uint32(data))
+	p := 4
+	last := s.lastTxLSN[tx]
+	for i := 0; i < count; i++ {
+		if len(data) < p+11 {
+			return 0, errShortMessage
+		}
+		typ := wal.RecType(data[p])
+		pid := binary.LittleEndian.Uint32(data[p+1:])
+		off := binary.LittleEndian.Uint16(data[p+5:])
+		oldLen := int(binary.LittleEndian.Uint16(data[p+7:]))
+		newLen := int(binary.LittleEndian.Uint16(data[p+9:]))
+		p += 11
+		if len(data) < p+oldLen+newLen {
+			return 0, errShortMessage
+		}
+		rec := wal.Record{
+			PrevLSN: last,
+			Tx:      tx,
+			Type:    typ,
+			Page:    pid,
+			Off:     off,
+		}
+		if oldLen > 0 {
+			rec.Old = append([]byte(nil), data[p:p+oldLen]...)
+		}
+		p += oldLen
+		if newLen > 0 {
+			rec.New = append([]byte(nil), data[p:p+newLen]...)
+		}
+		p += newLen
+		last = s.log.Append(rec)
+	}
+	s.lastTxLSN[tx] = last
+	return last, nil
+}
+
+// commit installs the shipped dirty pages (Data = repeated u32 pid + 8K
+// image), appends the commit record, and forces the log.
+func (s *Server) commit(tx uint64, data []byte) error {
+	const rec = 4 + disk.PageSize
+	if len(data)%rec != 0 {
+		return fmt.Errorf("esm: malformed commit payload (%d bytes)", len(data))
+	}
+	for p := 0; p < len(data); p += rec {
+		pid := disk.PageID(binary.LittleEndian.Uint32(data[p:]))
+		if err := s.installPage(pid, data[p+4:p+rec]); err != nil {
+			return err
+		}
+	}
+	s.lastTxLSN[tx] = s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecCommit})
+	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	// Catalog changes (files, roots, counters) become durable with the
+	// transaction, not just at checkpoints.
+	if err := s.writeCatalog(); err != nil {
+		return err
+	}
+	delete(s.active, tx)
+	delete(s.lastTxLSN, tx)
+	s.locks.ReleaseAll(tx)
+	return nil
+}
+
+// abort undoes any of the transaction's updates that reached the server
+// (pages shipped mid-transaction under the steal policy), then releases its
+// locks. Updates that never left the client die with the client's cache.
+func (s *Server) abort(tx uint64) error {
+	var mine []wal.Record
+	_ = s.log.Iterate(func(r wal.Record) bool {
+		if r.Tx == tx && r.Type == wal.RecUpdate {
+			mine = append(mine, r)
+		}
+		return true
+	})
+	for i := len(mine) - 1; i >= 0; i-- {
+		r := mine[i]
+		if len(r.Old) == 0 {
+			continue
+		}
+		pid := disk.PageID(r.Page)
+		idx, ok := s.pool.Get(pid)
+		if !ok {
+			var err error
+			idx, err = s.pool.Put(pid, func(buf []byte) error {
+				s.clock.Charge(sim.CtrServerDiskRead, 1)
+				return s.vol.ReadPage(pid, buf)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		f := s.pool.Frame(idx)
+		if wal.LSN(pageLSNOf(f.Data)) < r.LSN {
+			continue // never applied here
+		}
+		copy(f.Data[int(r.Off):int(r.Off)+len(r.Old)], r.Old)
+		clr := s.log.Append(wal.Record{Tx: tx, Type: wal.RecCLR, Page: r.Page, Off: r.Off, New: append([]byte(nil), r.Old...)})
+		setPageLSN(f.Data, uint64(clr))
+		s.pool.MarkDirty(idx)
+	}
+	s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecAbort})
+	delete(s.active, tx)
+	delete(s.lastTxLSN, tx)
+	s.locks.ReleaseAll(tx)
+	return nil
+}
+
+// Checkpoint flushes all server state to the volume (test/CLI convenience).
+func (s *Server) Checkpoint() error {
+	r := s.Handle(&Request{Op: OpCheckpoint})
+	if r.Err != "" {
+		return fmt.Errorf("%s", r.Err)
+	}
+	return nil
+}
+
+// DropCaches empties the server buffer pool after flushing, making the next
+// reads hit the disk (the harness's "cold" switch).
+func (s *Server) DropCaches() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	s.pool.DropAll()
+	return nil
+}
+
+// Volume exposes the underlying volume (read-only use: sizing, verification).
+func (s *Server) Volume() disk.Volume { return s.vol }
+
+// Log exposes the write-ahead log for tests and crash-recovery drills.
+func (s *Server) Log() *wal.Log { return s.log }

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"quickstore/internal/core"
+	"quickstore/internal/oo7"
+	"quickstore/internal/sim"
+)
+
+// tinySuite builds a suite over the reduced test configurations.
+func tinySuite(w *bytes.Buffer) *Suite {
+	s := NewSuite(w, true)
+	s.Small = oo7.SmallTest()
+	s.Medium = oo7.SmallTest()
+	s.Medium.NumAtomicPerComp = 40 // a "medium" that differs from small
+	return s
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	if err := s.Run([]string{"all"}); err != nil {
+		t.Fatalf("suite failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Table 2", "Figure 8", "Figure 9", "Table 5", "Table 6",
+		"Figure 10", "Figure 11", "Figure 12", "Figure 13", "Table 7",
+		"Figure 14", "Figure 15", "Figure 16", "Figure 17",
+		"Ablation", "Extras",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	if err := s.Run([]string{"fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestMediumGateSkips(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	s.RunMedium = false
+	if err := s.Run([]string{"fig14"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Error("medium experiment did not print a skip notice")
+	}
+}
+
+// TestPaperShapes verifies the headline qualitative results on the reduced
+// small configuration — the pass criteria from DESIGN.md §5.
+func TestPaperShapes(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	ro, err := s.readOnly(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clustered dense traversal: QS beats E cold, with fewer I/Os.
+	t1 := ro["T1"]
+	if !(t1[SysQS].ColdMs < t1[SysE].ColdMs) {
+		t.Errorf("cold T1: QS=%.0fms E=%.0fms, want QS faster", t1[SysQS].ColdMs, t1[SysE].ColdMs)
+	}
+	if !(t1[SysQS].ColdIOs() < t1[SysE].ColdIOs()) {
+		t.Errorf("cold T1 I/Os: QS=%d E=%d", t1[SysQS].ColdIOs(), t1[SysE].ColdIOs())
+	}
+	// QS-B loses its size advantage and pays higher fault costs: slower
+	// than E on the dense cold traversal.
+	if !(t1[SysQSB].ColdMs > t1[SysE].ColdMs) {
+		t.Errorf("cold T1: QS-B=%.0fms E=%.0fms, want QS-B slower", t1[SysQSB].ColdMs, t1[SysE].ColdMs)
+	}
+
+	// Hot traversals: QS at least as fast everywhere, much faster on the
+	// manual scan.
+	for _, op := range []string{"T1", "T6", "Q5"} {
+		if ro[op][SysQS].HotMs > ro[op][SysE].HotMs {
+			t.Errorf("hot %s: QS=%.1fms E=%.1fms, want QS <= E", op, ro[op][SysQS].HotMs, ro[op][SysE].HotMs)
+		}
+	}
+	t8 := ro["T8"]
+	if r := t8[SysE].HotMs / t8[SysQS].HotMs; r < 5 {
+		t.Errorf("hot T8 E/QS ratio = %.1f, want the interpreter to dominate (>5x)", r)
+	}
+
+	// Per-fault cost: QS above E (Table 5's 20-26%).
+	qsT1 := t1[SysQS]
+	eT1 := t1[SysE]
+	qsFault := (qsT1.ColdMs - qsT1.HotMs) / float64(qsT1.ColdDelta.Count(sim.CtrPageFaultTrap))
+	eFault := (eT1.ColdMs - eT1.HotMs) / float64(eT1.ColdDelta.Count(sim.CtrClientRead))
+	if !(qsFault > eFault) {
+		t.Errorf("per-fault cost: QS=%.1fms E=%.1fms, want QS > E", qsFault, eFault)
+	}
+	if r := qsFault / eFault; r > 1.6 {
+		t.Errorf("per-fault cost ratio %.2f too large (paper: ~1.2)", r)
+	}
+}
+
+// TestUpdateShapes verifies the update-experiment claims.
+func TestUpdateShapes(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	upd, err := s.updateMeasurements(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updates generate recovery work for both systems; QS diffs pages, E
+	// copies objects.
+	for _, name := range []string{"T2A", "T2B"} {
+		qs := upd[name][SysQS].ColdDelta
+		e := upd[name][SysE].ColdDelta
+		if qs.Count(sim.CtrPageDiff) == 0 {
+			t.Errorf("%s: QS diffed no pages", name)
+		}
+		if qs.Count(sim.CtrRecoveryCopy) == 0 {
+			t.Errorf("%s: QS made no recovery copies", name)
+		}
+		if e.Count(sim.CtrSideBufferCopy) == 0 {
+			t.Errorf("%s: E made no side-buffer copies", name)
+		}
+		if e.Count(sim.CtrPageDiff) != 0 {
+			t.Errorf("%s: E diffed pages", name)
+		}
+	}
+	// Dense updates favour QS relative to sparse ones: the QS/E time
+	// ratio for T2B must be at most the ratio for T2A.
+	ra := upd["T2A"][SysQS].ColdMs / upd["T2A"][SysE].ColdMs
+	rb := upd["T2B"][SysQS].ColdMs / upd["T2B"][SysE].ColdMs
+	if rb > ra*1.15 {
+		t.Errorf("QS/E ratio: T2A=%.2f T2B=%.2f; dense updates should favour QS", ra, rb)
+	}
+	// T2B updates 4x fewer fields than T2C but QS response should be
+	// close (repeated updates are nearly free for QS).
+	qsB, qsC := upd["T2B"][SysQS].ColdMs, upd["T2C"][SysQS].ColdMs
+	if qsC > qsB*1.5 {
+		t.Errorf("QS T2C=%.0fms vs T2B=%.0fms; repeat updates should be cheap", qsC, qsB)
+	}
+}
+
+// TestFig17Shape verifies that relocation degrades QS-OR more than QS-CR
+// and that both degrade relative to no relocation.
+func TestFig17Shape(t *testing.T) {
+	p := oo7.SmallTest()
+	ops := Ops(p)
+	runT1 := func(mode core.RelocationMode, frac float64) Measurement {
+		t.Helper()
+		env, err := Build(SysQS, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := env.RunColdHot(ops["T1"], SessionOpts{
+			Relocation:       mode,
+			RelocateFraction: frac,
+			RelocSeed:        5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	baseline := runT1(core.RelocCR, 0)
+	cr := runT1(core.RelocCR, 1.0)
+	or := runT1(core.RelocOR, 1.0)
+	if cr.ColdDelta.Count(sim.CtrSwizzledPtr) == 0 {
+		t.Fatal("full relocation swizzled nothing")
+	}
+	if !(cr.ColdMs > baseline.ColdMs) {
+		t.Errorf("CR@100%% (%.0fms) not slower than baseline (%.0fms)", cr.ColdMs, baseline.ColdMs)
+	}
+	if !(or.ColdMs > cr.ColdMs) {
+		t.Errorf("OR@100%% (%.0fms) not slower than CR@100%% (%.0fms)", or.ColdMs, cr.ColdMs)
+	}
+	// OR ships pages; CR's read-only transaction ships nothing.
+	if cr.ColdDelta.Count(sim.CtrCommitFlushPage) != 0 {
+		t.Error("CR committed pages on a read-only traversal")
+	}
+	if or.ColdDelta.Count(sim.CtrCommitFlushPage) == 0 {
+		t.Error("OR committed no pages")
+	}
+	// Results still correct under both policies.
+	if cr.Result != baseline.Result || or.Result != baseline.Result {
+		t.Errorf("relocation changed results: base=%d cr=%d or=%d", baseline.Result, cr.Result, or.Result)
+	}
+}

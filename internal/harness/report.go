@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"quickstore/internal/sim"
+)
+
+// Table is a rendered experiment result: the rows the paper reports, in the
+// paper's orientation.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func ms(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func sec(v float64) string { return fmt.Sprintf("%.2f", v/1000) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func d(v int64) string     { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func mb(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ioTimeSplit attributes a run's server I/O time between data pages,
+// mapping objects, and bitmap objects, proportionally to the page-read
+// counts (Table 6's data I/O vs map I/O decomposition).
+func ioTimeSplit(dl sim.Snapshot) (dataUs, mapUs, bmUs float64) {
+	ioUs := dl.Micros(sim.CtrServerDiskRead) + dl.Micros(sim.CtrServerBufferHit)
+	reads := float64(dl.Count(sim.CtrClientRead))
+	if reads == 0 {
+		return 0, 0, 0
+	}
+	mapShare := float64(dl.Count(sim.CtrMapObjectRead)) / reads
+	bmShare := float64(dl.Count(sim.CtrBitmapRead)) / reads
+	return ioUs * (1 - mapShare - bmShare), ioUs * mapShare, ioUs * bmShare
+}
+
+// commitPhaseMs extracts the commit-time breakdown of Figure 11 from a
+// run's counter delta: diffing, log generation, mapping-object updates, and
+// the ESM flush (log force plus dirty-page shipping).
+func commitPhaseMs(dl sim.Snapshot) (diff, logGen, mapUpd, flush float64) {
+	diff = (dl.Micros(sim.CtrPageDiff) + dl.Micros(sim.CtrDiffByte)) / 1000
+	logGen = (dl.Micros(sim.CtrLogRecord) + dl.Micros(sim.CtrLogByte) +
+		dl.Micros(sim.CtrSideBufferCopy)) / 1000
+	mapUpd = dl.Micros(sim.CtrMapUpdate) / 1000
+	flush = (dl.Micros(sim.CtrCommitFlushPage) + dl.Micros(sim.CtrServerDiskWrite)) / 1000
+	return
+}

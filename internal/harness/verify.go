@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+
+	"quickstore/internal/core"
+	"quickstore/internal/sim"
+)
+
+// Verify runs the paper's headline claims as programmatic assertions at
+// full benchmark scale and prints one PASS/FAIL line per claim — the
+// self-checking counterpart of EXPERIMENTS.md. It returns an error when any
+// claim fails.
+func (s *Suite) Verify() error {
+	envs, err := s.envs(false)
+	if err != nil {
+		return err
+	}
+	ro, err := s.readOnly(false)
+	if err != nil {
+		return err
+	}
+	upd, err := s.updateMeasurements(false)
+	if err != nil {
+		return err
+	}
+
+	failures := 0
+	check := func(name string, ok bool, detail string) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+			failures++
+		}
+		s.logf("%s  %-58s %s", status, name, detail)
+	}
+
+	// Table 2: QS database 55-70% of E's; QS-B at least E's size.
+	sizeRatio := envs[SysQS].SizeMB() / envs[SysE].SizeMB()
+	check("Table2: QS/E size ratio in [0.55,0.70] (paper 0.63)",
+		sizeRatio > 0.55 && sizeRatio < 0.70, fmt.Sprintf("ratio=%.2f", sizeRatio))
+	check("Table2: QS-B at least as big as E",
+		envs[SysQSB].SizeMB() >= envs[SysE].SizeMB()*0.98,
+		fmt.Sprintf("QS-B=%.1fMB E=%.1fMB", envs[SysQSB].SizeMB(), envs[SysE].SizeMB()))
+
+	// Figure 8: clustered dense traversal.
+	t1 := ro["T1"]
+	check("Fig8: cold T1 QS 25-55% faster than E (paper 37%)",
+		t1[SysQS].ColdMs < t1[SysE].ColdMs*0.75 && t1[SysQS].ColdMs > t1[SysE].ColdMs*0.45,
+		fmt.Sprintf("QS=%.1fs E=%.1fs", t1[SysQS].ColdMs/1000, t1[SysE].ColdMs/1000))
+	ioRatio := float64(t1[SysE].ColdIOs()) / float64(t1[SysQS].ColdIOs())
+	check("Fig8/Table3: T1 I/O ratio E/QS near 2 (paper 2.1)",
+		ioRatio > 1.6 && ioRatio < 2.6, fmt.Sprintf("E=%d QS=%d", t1[SysE].ColdIOs(), t1[SysQS].ColdIOs()))
+	check("Fig8: cold T1 QS-B slower than E",
+		t1[SysQSB].ColdMs > t1[SysE].ColdMs,
+		fmt.Sprintf("QS-B=%.1fs E=%.1fs", t1[SysQSB].ColdMs/1000, t1[SysE].ColdMs/1000))
+
+	// Unclustered operations: E comparable or better.
+	for _, op := range []string{"T7", "T9", "Q1", "Q2"} {
+		m := ro[op]
+		check(fmt.Sprintf("Fig8/9: cold %s E at least as fast as QS", op),
+			m[SysE].ColdMs <= m[SysQS].ColdMs*1.05,
+			fmt.Sprintf("QS=%.0fms E=%.0fms", m[SysQS].ColdMs, m[SysE].ColdMs))
+	}
+
+	// Table 5: per-fault cost ratio.
+	qsFault := (t1[SysQS].ColdMs - t1[SysQS].HotMs) / float64(t1[SysQS].ColdDelta.Count(sim.CtrPageFaultTrap))
+	eFault := (t1[SysE].ColdMs - t1[SysE].HotMs) / float64(t1[SysE].ColdDelta.Count(sim.CtrClientRead))
+	check("Table5: QS per-fault cost 8-35% above E (paper 24%)",
+		qsFault > eFault*1.08 && qsFault < eFault*1.35,
+		fmt.Sprintf("QS=%.1fms E=%.1fms", qsFault, eFault))
+
+	// Table 6: data I/O dominates the QS fault.
+	dataUs, mapUs, _ := ioTimeSplit(t1[SysQS].ColdDelta)
+	total := t1[SysQS].ColdDelta.ElapsedMicros()
+	check("Table6: data I/O 70-90% of cold T1 (paper 82-85% of fault time)",
+		dataUs/total > 0.70 && dataUs/total < 0.90, fmt.Sprintf("share=%.2f", dataUs/total))
+	check("Table6: map I/O a few percent (paper ~3.5%)",
+		mapUs/total > 0.001 && mapUs/total < 0.08, fmt.Sprintf("share=%.3f", mapUs/total))
+
+	// Hot results.
+	check("Fig12: hot T1 E slower than QS (paper 23%)",
+		ro["T1"][SysE].HotMs > ro["T1"][SysQS].HotMs,
+		fmt.Sprintf("QS=%.0fms E=%.0fms", ro["T1"][SysQS].HotMs, ro["T1"][SysE].HotMs))
+	t8r := ro["T8"][SysE].HotMs / ro["T8"][SysQS].HotMs
+	check("Fig12: hot T8 E many times slower (paper 32x)",
+		t8r > 10, fmt.Sprintf("ratio=%.0fx", t8r))
+
+	// Table 7: EPVM share of E's hot T1.
+	e1 := ro["T1"][SysE].HotDelta
+	epvmShare := (e1.Micros(sim.CtrInterpCall) + e1.Micros(sim.CtrResidencyCheck) +
+		e1.Micros(sim.CtrBigPtrDeref)) / e1.ElapsedMicros()
+	check("Table7: EPVM 20-45% of E's hot T1 (paper 33%)",
+		epvmShare > 0.20 && epvmShare < 0.45, fmt.Sprintf("share=%.2f", epvmShare))
+
+	// Figure 10: updates.
+	check("Fig10: T2A roughly erases QS's T1 advantage (paper: 4% apart)",
+		upd["T2A"][SysQS].ColdMs > upd["T2A"][SysE].ColdMs*0.90 &&
+			upd["T2A"][SysQS].ColdMs < upd["T2A"][SysE].ColdMs*1.15,
+		fmt.Sprintf("QS=%.1fs E=%.1fs", upd["T2A"][SysQS].ColdMs/1000, upd["T2A"][SysE].ColdMs/1000))
+	check("Fig10: T2B QS 10-30% faster than E (paper 17%)",
+		upd["T2B"][SysQS].ColdMs < upd["T2B"][SysE].ColdMs*0.90 &&
+			upd["T2B"][SysQS].ColdMs > upd["T2B"][SysE].ColdMs*0.65,
+		fmt.Sprintf("QS=%.1fs E=%.1fs", upd["T2B"][SysQS].ColdMs/1000, upd["T2B"][SysE].ColdMs/1000))
+	check("Fig10: repeated updates nearly free for QS (T2C vs T2B, paper: same)",
+		upd["T2C"][SysQS].ColdMs < upd["T2B"][SysQS].ColdMs*1.10,
+		fmt.Sprintf("T2B=%.1fs T2C=%.1fs", upd["T2B"][SysQS].ColdMs/1000, upd["T2C"][SysQS].ColdMs/1000))
+	check("Fig10: QS-B collapses on dense updates (recovery-buffer overflow)",
+		upd["T2B"][SysQSB].ColdMs > upd["T2B"][SysQS].ColdMs*2,
+		fmt.Sprintf("QS-B=%.1fs QS=%.1fs", upd["T2B"][SysQSB].ColdMs/1000, upd["T2B"][SysQS].ColdMs/1000))
+	check("Fig10: T3 times rise steadily A->B->C",
+		upd["T3A"][SysQS].ColdMs < upd["T3B"][SysQS].ColdMs &&
+			upd["T3B"][SysQS].ColdMs < upd["T3C"][SysQS].ColdMs,
+		fmt.Sprintf("%.1f/%.1f/%.1fs", upd["T3A"][SysQS].ColdMs/1000,
+			upd["T3B"][SysQS].ColdMs/1000, upd["T3C"][SysQS].ColdMs/1000))
+
+	// Figure 17: relocation.
+	ops := Ops(s.Small)
+	baseEnv, err := Build(SysQS, s.Small)
+	if err != nil {
+		return err
+	}
+	baseM, err := baseEnv.RunColdHot(ops["T1"], SessionOpts{})
+	if err != nil {
+		return err
+	}
+	crEnv, err := Build(SysQS, s.Small)
+	if err != nil {
+		return err
+	}
+	crM, err := crEnv.RunColdHot(ops["T1"], SessionOpts{Relocation: core.RelocCR, RelocateFraction: 1, RelocSeed: 3})
+	if err != nil {
+		return err
+	}
+	orEnv, err := Build(SysQS, s.Small)
+	if err != nil {
+		return err
+	}
+	orM, err := orEnv.RunColdHot(ops["T1"], SessionOpts{Relocation: core.RelocOR, RelocateFraction: 1, RelocSeed: 3})
+	if err != nil {
+		return err
+	}
+	check("Fig17: CR@100% degrades mildly (paper +38%)",
+		crM.ColdMs > baseM.ColdMs*1.05 && crM.ColdMs < baseM.ColdMs*1.6,
+		fmt.Sprintf("base=%.1fs cr=%.1fs", baseM.ColdMs/1000, crM.ColdMs/1000))
+	check("Fig17: OR@100% degrades steeply, worse than CR (paper +116%)",
+		orM.ColdMs > crM.ColdMs*1.3,
+		fmt.Sprintf("cr=%.1fs or=%.1fs", crM.ColdMs/1000, orM.ColdMs/1000))
+
+	if failures > 0 {
+		return fmt.Errorf("harness: %d of the paper's shape claims failed", failures)
+	}
+	s.logf("all shape claims hold")
+	return nil
+}

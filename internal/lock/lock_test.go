@@ -1,0 +1,135 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedCompatibility(t *testing.T) {
+	m := New(time.Second)
+	if err := m.Acquire(1, PageRes(10), Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, PageRes(10), Shared); err != nil {
+		t.Fatalf("second shared lock blocked: %v", err)
+	}
+	if m.Holds(1, PageRes(10)) != Shared || m.Holds(2, PageRes(10)) != Shared {
+		t.Fatal("holders not recorded")
+	}
+}
+
+func TestExclusiveConflict(t *testing.T) {
+	m := New(50 * time.Millisecond)
+	if err := m.Acquire(1, PageRes(5), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Acquire(2, PageRes(5), Shared)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("conflicting acquire: %v, want timeout", err)
+	}
+	if m.TryAcquire(2, PageRes(5), Exclusive) {
+		t.Fatal("TryAcquire succeeded against X lock")
+	}
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	m := New(time.Second)
+	if err := m.Acquire(1, PageRes(7), Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquire same mode is a no-op.
+	if err := m.Acquire(1, PageRes(7), Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade S -> X with no other holders.
+	if err := m.Acquire(1, PageRes(7), Exclusive); err != nil {
+		t.Fatalf("upgrade failed: %v", err)
+	}
+	if m.Holds(1, PageRes(7)) != Exclusive {
+		t.Fatal("upgrade not recorded")
+	}
+	// X implies S.
+	if err := m.Acquire(1, PageRes(7), Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := New(2 * time.Second)
+	if err := m.Acquire(1, FileRes(1), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done <- m.Acquire(2, FileRes(1), Exclusive)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("waiter not granted after release: %v", err)
+	}
+}
+
+func TestReleaseAllDropsEverything(t *testing.T) {
+	m := New(time.Second)
+	m.Acquire(1, PageRes(1), Shared)
+	m.Acquire(1, PageRes(2), Exclusive)
+	m.Acquire(1, FileRes(3), Shared)
+	m.ReleaseAll(1)
+	for _, res := range []Resource{PageRes(1), PageRes(2), FileRes(3)} {
+		if m.Holds(1, res) != 0 {
+			t.Fatalf("still holds %v", res)
+		}
+	}
+	// Another tx can now take everything exclusively.
+	for _, res := range []Resource{PageRes(1), PageRes(2), FileRes(3)} {
+		if !m.TryAcquire(2, res, Exclusive) {
+			t.Fatalf("resource %v not free", res)
+		}
+	}
+}
+
+func TestPageAndFileGranularitiesIndependent(t *testing.T) {
+	m := New(time.Second)
+	// The same numeric id at different granularities must not conflict.
+	if err := m.Acquire(1, PageRes(9), Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if !m.TryAcquire(2, FileRes(9), Exclusive) {
+		t.Fatal("page and file locks share a namespace")
+	}
+}
+
+func TestConcurrentSharedStress(t *testing.T) {
+	m := New(5 * time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(tx uint64) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := m.Acquire(tx, PageRes(uint32(j%5)), Shared); err != nil {
+					errs <- err
+					return
+				}
+			}
+			m.ReleaseAll(tx)
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	grants, _ := m.Stats()
+	if grants == 0 {
+		t.Fatal("no grants recorded")
+	}
+}

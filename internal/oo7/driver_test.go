@@ -1,0 +1,143 @@
+package oo7
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestErrorLatching verifies the bufio.Scanner-style error discipline both
+// drivers implement: the first error sticks, later accessors are inert, and
+// Commit surfaces it (after aborting) rather than persisting garbage.
+func TestErrorLatching(t *testing.T) {
+	p := Tiny()
+	for _, name := range []string{"QS", "E"} {
+		sys := buildSystem(t, name, p)
+		db := sys.open(64)
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		// A missing root latches an error.
+		r := db.Root("no-such-root")
+		if r != NilRef {
+			t.Errorf("%s: missing root returned %d", name, r)
+		}
+		if db.Err() == nil {
+			t.Fatalf("%s: error not latched", name)
+		}
+		// Commit must refuse and roll back.
+		err := db.Commit()
+		if err == nil || !strings.Contains(err.Error(), "latched") {
+			t.Fatalf("%s: commit with latched error: %v", name, err)
+		}
+		// The session recovers after ClearErr + a fresh transaction.
+		db.ClearErr()
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if db.Root("module") == NilRef {
+			t.Fatalf("%s: module root lost", name)
+		}
+		if err := db.Err(); err != nil {
+			t.Fatalf("%s: unexpected latched error: %v", name, err)
+		}
+		if err := db.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMissingIndexLatches ensures unknown index names degrade to inert
+// handles with a latched error rather than panicking.
+func TestMissingIndexLatches(t *testing.T) {
+	p := Tiny()
+	for _, name := range []string{"QS", "E"} {
+		sys := buildSystem(t, name, p)
+		db := sys.open(64)
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		ix := db.Index("no-such-index")
+		if got := ix.LookupInt(1); got != nil {
+			t.Errorf("%s: lookup on missing index returned %v", name, got)
+		}
+		ix.InsertInt(1, 42)    // must not panic
+		ix.DeleteInt(1, 42)    // must not panic
+		ix.ScanInt(0, 10, nil) // must not panic (nil fn unreachable: no tree)
+		if db.Err() == nil {
+			t.Errorf("%s: missing index did not latch", name)
+		}
+		db.ClearErr()
+		_ = db.Abort()
+	}
+}
+
+// TestRefsSurviveLayoutDifferences reads the same logical field through all
+// three layouts and checks the values agree — the schema indirection that
+// makes one benchmark code path serve three physical formats.
+func TestRefsSurviveLayoutDifferences(t *testing.T) {
+	p := Tiny()
+	systems := buildAll(t, p)
+	for _, sys := range systems {
+		db := sys.open(64)
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		module := db.Root("module")
+		man := db.GetRef(module, TModule, ModManual)
+		if man == NilRef {
+			t.Fatalf("%s: module has no manual", sys.name)
+		}
+		if got := db.LargeSize(man); got != uint64(p.ManualSize) {
+			t.Errorf("%s: manual size %d, want %d", sys.name, got, p.ManualSize)
+		}
+		if got := db.GetI32(module, TModule, ModID); got != 1 {
+			t.Errorf("%s: module id %d", sys.name, got)
+		}
+		// Round-trip a bytes field.
+		refs := db.Index(IdxPartID).LookupInt(1)
+		if len(refs) != 1 {
+			t.Fatalf("%s: part 1 missing", sys.name)
+		}
+		var typ [10]byte
+		db.GetBytes(refs[0], TAtomicPart, APartType, typ[:])
+		if !strings.HasPrefix(string(typ[:]), "type") {
+			t.Errorf("%s: part type field %q", sys.name, typ)
+		}
+		if err := db.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTinyParamsShape sanity-checks the derived parameter helpers.
+func TestTinyParamsShape(t *testing.T) {
+	p := Tiny()
+	if p.NumAtomicParts() != p.NumCompPerModule*p.NumAtomicPerComp {
+		t.Fatal("NumAtomicParts inconsistent")
+	}
+	// levels L with fanout f: assemblies = (f^L - 1) / (f - 1).
+	want := 1
+	pow := 1
+	for l := 1; l < p.NumAssmLevels; l++ {
+		pow *= p.NumAssmPerAssm
+		want += pow
+	}
+	if p.NumAssemblies() != want {
+		t.Fatalf("NumAssemblies = %d, want %d", p.NumAssemblies(), want)
+	}
+	if p.NumBaseAssemblies() != pow {
+		t.Fatalf("NumBaseAssemblies = %d, want %d", p.NumBaseAssemblies(), pow)
+	}
+	if oo7SeedsDiffer := Small().Seed == Medium().Seed; !oo7SeedsDiffer {
+		t.Log("small and medium share a seed (by design)")
+	}
+	if ExpectedManualCount(0) != 0 {
+		t.Fatal("empty manual has occurrences")
+	}
+	if ExpectedManualCount(1000) <= 0 {
+		t.Fatal("probe character never occurs")
+	}
+}

@@ -1,0 +1,147 @@
+package oo7
+
+import (
+	"testing"
+)
+
+// TestExtraQueriesAgree runs the beyond-the-paper queries on all three
+// systems and requires identical answers.
+func TestExtraQueriesAgree(t *testing.T) {
+	p := Tiny()
+	systems := buildAll(t, p)
+	type opFn struct {
+		name string
+		fn   func(DB) (int, error)
+	}
+	ops := []opFn{
+		{"Q6", Q6},
+		{"Q7", func(db DB) (int, error) { return Q7(db, p) }},
+		{"Q8", func(db DB) (int, error) { return Q8(db, p, 17) }},
+	}
+	for _, op := range ops {
+		var want int
+		for i, sys := range systems {
+			sys.cold(t)
+			db := sys.open(128)
+			n, err := op.fn(db)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", op.name, sys.name, err)
+			}
+			if i == 0 {
+				want = n
+				if n == 0 {
+					t.Errorf("%s returned 0; workload is vacuous", op.name)
+				}
+			} else if n != want {
+				t.Errorf("%s: %s=%d, want %d", op.name, sys.name, n, want)
+			}
+		}
+	}
+}
+
+// TestQ7CountsEverything pins Q7's semantics.
+func TestQ7CountsEverything(t *testing.T) {
+	p := Tiny()
+	sys := buildSystem(t, "QS", p)
+	db := sys.open(128)
+	n, err := Q7(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != p.NumAtomicParts() {
+		t.Fatalf("Q7 = %d, want %d", n, p.NumAtomicParts())
+	}
+}
+
+// TestStructuralInsertDelete exercises the full object-deletion path on
+// every system: insert composite parts, observe them through the indexes,
+// delete them, and verify the database is back to its original answers.
+func TestStructuralInsertDelete(t *testing.T) {
+	p := Tiny()
+	for _, name := range []string{"QS", "E", "QS-B"} {
+		sys := buildSystem(t, name, p)
+		db := sys.open(256)
+
+		baseQ7, err := Q7(db, p)
+		if err != nil {
+			t.Fatalf("%s: Q7: %v", name, err)
+		}
+		baseT1, err := T1(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		created, err := StructuralInsert(db, p, 5, 23)
+		if err != nil {
+			t.Fatalf("%s: insert: %v", name, err)
+		}
+		if created == 0 {
+			t.Fatalf("%s: nothing created", name)
+		}
+		// The inserted parts are visible through the id index.
+		if err := db.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		refs := db.Index(IdxPartID).LookupInt(int64(p.NumAtomicParts() + 1000000))
+		if len(refs) != 1 {
+			t.Fatalf("%s: inserted part not indexed (%d hits)", name, len(refs))
+		}
+		// And through the title index.
+		docs := db.Index(IdxDocTitle).LookupString(TitleOf(p.NumCompPerModule + 1000))
+		if len(docs) != 1 {
+			t.Fatalf("%s: inserted document not indexed (%d hits)", name, len(docs))
+		}
+		if err := db.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		// A second insert extends the chain.
+		if _, err := StructuralInsert(db, p, 2, 29); err != nil {
+			t.Fatalf("%s: second insert: %v", name, err)
+		}
+
+		deleted, err := StructuralDelete(db)
+		if err != nil {
+			t.Fatalf("%s: delete: %v", name, err)
+		}
+		if deleted == 0 {
+			t.Fatalf("%s: nothing deleted", name)
+		}
+
+		// Cold session: the database answers as before the inserts.
+		sys.cold(t)
+		db2 := sys.open(256)
+		q7, err := Q7(db2, p)
+		if err != nil {
+			t.Fatalf("%s: post-delete Q7: %v", name, err)
+		}
+		if q7 != baseQ7 {
+			t.Errorf("%s: post-delete Q7 = %d, want %d", name, q7, baseQ7)
+		}
+		t1, err := T1(db2)
+		if err != nil {
+			t.Fatalf("%s: post-delete T1: %v", name, err)
+		}
+		if t1 != baseT1 {
+			t.Errorf("%s: post-delete T1 = %d, want %d", name, t1, baseT1)
+		}
+		// Index entries are gone.
+		if err := db2.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if refs := db2.Index(IdxPartID).LookupInt(int64(p.NumAtomicParts() + 1000000)); len(refs) != 0 {
+			t.Errorf("%s: deleted part still indexed", name)
+		}
+		if docs := db2.Index(IdxDocTitle).LookupString(TitleOf(p.NumCompPerModule + 1000)); len(docs) != 0 {
+			t.Errorf("%s: deleted document still indexed", name)
+		}
+		// Deleting again is a no-op.
+		if err := db2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		n, err := StructuralDelete(db2)
+		if err != nil || n != 0 {
+			t.Errorf("%s: second delete = %d, %v", name, n, err)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package oo7
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Params are the OO7 database parameters (Table 1 of the paper).
+type Params struct {
+	NumAtomicPerComp int
+	NumConnPerAtomic int
+	DocumentSize     int
+	ManualSize       int
+	NumCompPerModule int
+	NumAssmPerAssm   int
+	NumAssmLevels    int
+	NumCompPerAssm   int
+	MinAtomicDate    int
+	MaxAtomicDate    int
+	Seed             int64
+
+	// InlineDocLimit is the largest document stored inline in its
+	// document object; bigger texts become multi-page objects. The medium
+	// configuration's 20000-byte documents exceed one 8K page, as in the
+	// paper's ESM.
+	InlineDocLimit int
+}
+
+// Small returns the paper's small-database parameters.
+func Small() Params {
+	return Params{
+		NumAtomicPerComp: 20,
+		NumConnPerAtomic: 3,
+		DocumentSize:     2000,
+		ManualSize:       100_000,
+		NumCompPerModule: 500,
+		NumAssmPerAssm:   3,
+		NumAssmLevels:    7,
+		NumCompPerAssm:   3,
+		MinAtomicDate:    1000,
+		MaxAtomicDate:    1999,
+		Seed:             OO7Seed,
+		InlineDocLimit:   4000,
+	}
+}
+
+// Medium returns the paper's medium-database parameters.
+func Medium() Params {
+	p := Small()
+	p.NumAtomicPerComp = 200
+	p.DocumentSize = 20_000
+	p.ManualSize = 1_000_000
+	return p
+}
+
+// Tiny returns a reduced configuration for tests: the full structure at a
+// fraction of the size.
+func Tiny() Params {
+	return Params{
+		NumAtomicPerComp: 8,
+		NumConnPerAtomic: 3,
+		DocumentSize:     256,
+		ManualSize:       3*8192 + 500,
+		NumCompPerModule: 20,
+		NumAssmPerAssm:   3,
+		NumAssmLevels:    4,
+		NumCompPerAssm:   3,
+		MinAtomicDate:    1000,
+		MaxAtomicDate:    1999,
+		Seed:             OO7Seed,
+		InlineDocLimit:   4000,
+	}
+}
+
+// SmallTest is a mid-size configuration for tests that need the paper's
+// cluster geometry (a QuickStore composite-part cluster just under one 8K
+// page, the E cluster spilling onto a second page) without paying for the
+// full small database.
+func SmallTest() Params {
+	p := Small()
+	p.NumCompPerModule = 40
+	p.NumAssmLevels = 5
+	p.ManualSize = 50_000
+	return p
+}
+
+// OO7Seed is the default generator seed; the same seed produces structurally
+// identical databases across all three systems.
+const OO7Seed = 1994
+
+// NumAtomicParts returns the total atomic-part count of the configuration.
+func (p Params) NumAtomicParts() int { return p.NumCompPerModule * p.NumAtomicPerComp }
+
+// NumAssemblies returns the total assembly count ((f^L - 1)/(f - 1)).
+func (p Params) NumAssemblies() int {
+	total, pow := 0, 1
+	for l := 0; l < p.NumAssmLevels; l++ {
+		total += pow
+		pow *= p.NumAssmPerAssm
+	}
+	return total
+}
+
+// NumBaseAssemblies returns the leaf assembly count (f^(L-1)).
+func (p Params) NumBaseAssemblies() int {
+	pow := 1
+	for l := 1; l < p.NumAssmLevels; l++ {
+		pow *= p.NumAssmPerAssm
+	}
+	return pow
+}
+
+// Index names.
+const (
+	IdxPartID   = "part.id"
+	IdxPartDate = "part.date"
+	IdxDocTitle = "doc.title"
+)
+
+// TitleOf is the deterministic title of composite part id's document,
+// used by the generator and by Q4's random lookups.
+func TitleOf(compID int) string { return fmt.Sprintf("Composite Part %05d", compID) }
+
+// manualByte generates the manual's content deterministically; T8 counts
+// occurrences of ManualProbe in it.
+func manualByte(i int) byte {
+	const alphabet = "the quick brown fox jumps over the lazy module "
+	return alphabet[i%len(alphabet)]
+}
+
+// ManualProbe is the character T8 counts.
+const ManualProbe = byte('q')
+
+// ExpectedManualCount returns how many times ManualProbe occurs in a manual
+// of n bytes (for validating T8 across systems).
+func ExpectedManualCount(n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if manualByte(i) == ManualProbe {
+			count++
+		}
+	}
+	return count
+}
+
+// Generate builds the OO7 database through db in one bulk transaction:
+// composite-part clusters (each composite part, its document, and its
+// atomic-part graph with connections share a cluster, as in the paper's
+// implementation), then the assembly hierarchy, the module, its manual, and
+// the three indices.
+func Generate(db DB, p Params) error {
+	if err := db.Begin(); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	date := func() int32 {
+		return int32(p.MinAtomicDate + rng.Intn(p.MaxAtomicDate-p.MinAtomicDate+1))
+	}
+
+	idxID := db.CreateIndex(IdxPartID)
+	idxDate := db.CreateIndex(IdxPartDate)
+	idxTitle := db.CreateIndex(IdxDocTitle)
+
+	comps := make([]Ref, p.NumCompPerModule)
+	cl := db.NewCluster()
+	docText := make([]byte, p.DocumentSize)
+	for i := range docText {
+		docText[i] = byte('a' + i%26)
+	}
+	partID := int32(1)
+	parts := make([]Ref, p.NumAtomicPerComp)
+	for ci := range comps {
+		cl.Break() // each composite part starts a fresh cluster
+		comp := db.Alloc(cl, TCompositePart, 0)
+		comps[ci] = comp
+		db.SetI32(comp, TCompositePart, CompID, int32(ci+1))
+		db.SetI32(comp, TCompositePart, CompBuildDate, date())
+
+		// The document, clustered with its composite part.
+		var doc Ref
+		if p.DocumentSize <= p.InlineDocLimit {
+			doc = db.Alloc(cl, TDocument, p.DocumentSize)
+			db.SetTail(doc, TDocument, docText)
+			db.SetI32(doc, TDocument, DocTextLen, int32(p.DocumentSize))
+		} else {
+			doc = db.Alloc(cl, TDocument, 0)
+			text := db.AllocLarge(cl, uint64(p.DocumentSize))
+			db.WriteLarge(text, docText, 0)
+			db.SetRef(doc, TDocument, DocTextRef, text)
+			db.SetI32(doc, TDocument, DocTextLen, int32(p.DocumentSize))
+		}
+		db.SetI32(doc, TDocument, DocID, int32(ci+1))
+		db.SetRef(doc, TDocument, DocPart, comp)
+		title := TitleOf(ci + 1)
+		var tbuf [40]byte
+		copy(tbuf[:], title)
+		db.SetBytes(doc, TDocument, DocTitle, tbuf[:])
+		idxTitle.InsertString(title, doc)
+		db.SetRef(comp, TCompositePart, CompDoc, doc)
+
+		// The atomic parts, clustered with their composite part. Each part
+		// is allocated together with its outgoing connection objects, so
+		// parts interleave with connections on the cluster's pages (the
+		// C++ benchmark's allocation order); wiring happens in a second
+		// pass because connection targets may not exist yet.
+		nconn := p.NumConnPerAtomic
+		if nconn > 3 {
+			nconn = 3
+		}
+		conns := make([][3]Ref, p.NumAtomicPerComp)
+		for pi := 0; pi < p.NumAtomicPerComp; pi++ {
+			parts[pi] = db.Alloc(cl, TAtomicPart, 0)
+			for c := 0; c < nconn; c++ {
+				conns[pi][c] = db.Alloc(cl, TConnection, 0)
+			}
+		}
+		connField := [3]int{APartConn0, APartConn1, APartConn2}
+		for pi := 0; pi < p.NumAtomicPerComp; pi++ {
+			part := parts[pi]
+			bd := date()
+			db.SetI32(part, TAtomicPart, APartID, partID)
+			db.SetI32(part, TAtomicPart, APartBuildDate, bd)
+			db.SetI32(part, TAtomicPart, APartX, int32(rng.Intn(100000)))
+			db.SetI32(part, TAtomicPart, APartY, int32(rng.Intn(100000)))
+			db.SetI32(part, TAtomicPart, APartDocID, int32(ci+1))
+			db.SetBytes(part, TAtomicPart, APartType, []byte("type00000\x00"))
+			db.SetRef(part, TAtomicPart, APartPartOf, comp)
+			idxID.InsertInt(int64(partID), part)
+			idxDate.InsertInt(int64(bd), part)
+			partID++
+			// Connections: the first edge goes to the next part
+			// (guaranteeing the graph is connected and reachable from the
+			// root part); the rest go to random parts, per the OO7
+			// specification.
+			for c := 0; c < nconn; c++ {
+				var to int
+				if c == 0 {
+					to = (pi + 1) % p.NumAtomicPerComp
+				} else {
+					to = rng.Intn(p.NumAtomicPerComp)
+				}
+				conn := conns[pi][c]
+				db.SetI32(conn, TConnection, ConnLength, int32(rng.Intn(1000)))
+				db.SetBytes(conn, TConnection, ConnType, []byte("type00000\x00"))
+				db.SetRef(conn, TConnection, ConnFrom, part)
+				db.SetRef(conn, TConnection, ConnTo, parts[to])
+				db.SetRef(part, TAtomicPart, connField[c], conn)
+				// Bidirectional association: chain this connection into
+				// the target part's incoming list.
+				db.SetRef(conn, TConnection, ConnFromNext, db.GetRef(parts[to], TAtomicPart, APartInConn))
+				db.SetRef(parts[to], TAtomicPart, APartInConn, conn)
+			}
+		}
+		db.SetRef(comp, TCompositePart, CompRootPart, parts[0])
+		if err := db.Err(); err != nil {
+			return fmt.Errorf("oo7: generating composite part %d: %w", ci+1, err)
+		}
+	}
+
+	// The module, its manual, and the assembly hierarchy.
+	acl := db.NewCluster()
+	module := db.Alloc(acl, TModule, 0)
+	db.SetI32(module, TModule, ModID, 1)
+	manual := db.AllocLarge(acl, uint64(p.ManualSize))
+	const chunk = 32 << 10
+	buf := make([]byte, chunk)
+	for off := 0; off < p.ManualSize; off += chunk {
+		n := chunk
+		if off+n > p.ManualSize {
+			n = p.ManualSize - off
+		}
+		for i := 0; i < n; i++ {
+			buf[i] = manualByte(off + i)
+		}
+		db.WriteLarge(manual, buf[:n], uint64(off))
+	}
+	db.SetRef(module, TModule, ModManual, manual)
+	db.SetI32(module, TModule, ModManSize, int32(p.ManualSize))
+
+	asmID := int32(1)
+	var build func(level int, super Ref) Ref
+	build = func(level int, super Ref) Ref {
+		if level == p.NumAssmLevels {
+			base := db.Alloc(acl, TBaseAssembly, 0)
+			db.SetI32(base, TBaseAssembly, BAsmID, asmID)
+			asmID++
+			db.SetI32(base, TBaseAssembly, BAsmBuildDate, date())
+			// A negative level marks base assemblies; the traversal code
+			// reads this field through either assembly type (it sits at
+			// the same offset in both layouts).
+			db.SetI32(base, TBaseAssembly, BAsmLevel, int32(-level))
+			db.SetRef(base, TBaseAssembly, BAsmSuper, super)
+			compField := [3]int{BAsmComp0, BAsmComp1, BAsmComp2}
+			for c := 0; c < p.NumCompPerAssm && c < 3; c++ {
+				comp := comps[rng.Intn(len(comps))]
+				db.SetRef(base, TBaseAssembly, compField[c], comp)
+				// Back-reference: a use link on the composite part's
+				// "used in" chain (traversed by T7 and Q4).
+				link := db.Alloc(acl, TUseLink, 0)
+				db.SetRef(link, TUseLink, UseAssembly, base)
+				db.SetRef(link, TUseLink, UseNext, db.GetRef(comp, TCompositePart, CompUsedIn))
+				db.SetRef(comp, TCompositePart, CompUsedIn, link)
+			}
+			// The module's collection of base assemblies (Q5).
+			db.SetRef(base, TBaseAssembly, BAsmNext, db.GetRef(module, TModule, ModBAsmHead))
+			db.SetRef(module, TModule, ModBAsmHead, base)
+			return base
+		}
+		cx := db.Alloc(acl, TComplexAssembly, 0)
+		db.SetI32(cx, TComplexAssembly, CAsmID, asmID)
+		asmID++
+		db.SetI32(cx, TComplexAssembly, CAsmBuildDate, date())
+		db.SetI32(cx, TComplexAssembly, CAsmLevel, int32(level))
+		db.SetRef(cx, TComplexAssembly, CAsmSuper, super)
+		subField := [3]int{CAsmSub0, CAsmSub1, CAsmSub2}
+		for i := 0; i < p.NumAssmPerAssm && i < 3; i++ {
+			db.SetRef(cx, TComplexAssembly, subField[i], build(level+1, cx))
+		}
+		return cx
+	}
+	root := build(1, NilRef)
+	db.SetRef(module, TModule, ModRoot, root)
+	db.SetRoot("module", module)
+	if err := db.Err(); err != nil {
+		return fmt.Errorf("oo7: generating hierarchy: %w", err)
+	}
+	return db.Commit()
+}

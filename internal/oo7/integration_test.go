@@ -1,0 +1,242 @@
+package oo7
+
+import (
+	"net"
+	"testing"
+
+	"quickstore/internal/core"
+	"quickstore/internal/disk"
+	"quickstore/internal/epvm"
+	"quickstore/internal/esm"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+// TestOpsCorrectUnderForcedRelocation reruns the whole read-only suite on a
+// QuickStore session that relocates every page claim: answers must not
+// change even though every pointer gets swizzled.
+func TestOpsCorrectUnderForcedRelocation(t *testing.T) {
+	p := Tiny()
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(),
+		esm.ServerConfig{BufferPages: 1024, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newClient := func() *esm.Client {
+		return esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 256, Clock: clock})
+	}
+	gen, err := core.New(newClient(), core.Config{BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(NewQS(gen, false), p); err != nil {
+		t.Fatal(err)
+	}
+	srv.DropCaches()
+
+	open := func(cfg core.Config) DB {
+		s, err := core.Open(newClient(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewQS(s, false)
+	}
+	baseline := open(core.Config{})
+	for _, mode := range []core.RelocationMode{core.RelocCR, core.RelocOR} {
+		srv.DropCaches()
+		relocated := open(core.Config{Relocation: mode, RelocateFraction: 1.0, RelocSeed: 9})
+		type opFn struct {
+			name string
+			fn   func(DB) (int, error)
+		}
+		ops := []opFn{
+			{"T1", T1},
+			{"T6", T6},
+			{"T8", T8},
+			{"Q1", func(db DB) (int, error) { return Q1(db, p, 5) }},
+			{"Q3", func(db DB) (int, error) { return Q3(db, p) }},
+			{"Q4", func(db DB) (int, error) { return Q4(db, p, 5) }},
+			{"Q5", Q5},
+		}
+		for _, op := range ops {
+			want, err := op.fn(baseline)
+			if err != nil {
+				t.Fatalf("baseline %s: %v", op.name, err)
+			}
+			got, err := op.fn(relocated)
+			if err != nil {
+				t.Fatalf("relocated(%v) %s: %v", mode, op.name, err)
+			}
+			if got != want {
+				t.Errorf("relocated(%v) %s = %d, want %d", mode, op.name, got, want)
+			}
+		}
+		if sw := clock.Count(sim.CtrSwizzledPtr); sw == 0 {
+			t.Fatal("forced relocation swizzled nothing")
+		}
+	}
+}
+
+// TestOO7OverTCP runs generation plus a traversal and a query through the
+// real network transport, end to end, for both QS and E.
+func TestOO7OverTCP(t *testing.T) {
+	p := Tiny()
+	for _, sysName := range []string{"QS", "E"} {
+		clock := sim.NewClock(sim.DefaultCostModel())
+		srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(),
+			esm.ServerConfig{BufferPages: 1024, Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go esm.Serve(l, srv)
+		dial := func() *esm.Client {
+			tr, err := esm.DialTCP(l.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return esm.NewClient(tr, esm.ClientConfig{BufferPages: 256, Clock: clock})
+		}
+
+		var gen, run DB
+		switch sysName {
+		case "QS":
+			s, err := core.New(dial(), core.Config{BulkLoad: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen = NewQS(s, false)
+		case "E":
+			s, err := epvm.New(dial(), epvm.Config{BulkLoad: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen = NewE(s)
+		}
+		if err := Generate(gen, p); err != nil {
+			t.Fatalf("%s over TCP: generate: %v", sysName, err)
+		}
+		srv.DropCaches()
+
+		switch sysName {
+		case "QS":
+			s, err := core.Open(dial(), core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run = NewQS(s, false)
+		case "E":
+			s, err := epvm.Open(dial(), epvm.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run = NewE(s)
+		}
+		wantT1 := p.NumBaseAssemblies() * p.NumCompPerAssm * p.NumAtomicPerComp
+		n, err := T1(run)
+		if err != nil {
+			t.Fatalf("%s over TCP: T1: %v", sysName, err)
+		}
+		if n != wantT1 {
+			t.Errorf("%s over TCP: T1 = %d, want %d", sysName, n, wantT1)
+		}
+		if _, err := Q5(run); err != nil {
+			t.Fatalf("%s over TCP: Q5: %v", sysName, err)
+		}
+		if _, err := T2(run, VariantA); err != nil {
+			t.Fatalf("%s over TCP: T2A: %v", sysName, err)
+		}
+		l.Close()
+	}
+}
+
+// TestGeneratedStructure inspects the generated database's invariants
+// through the driver: connection symmetry, part-of links, and the module's
+// base-assembly collection size.
+func TestGeneratedStructure(t *testing.T) {
+	p := Tiny()
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(),
+		esm.ServerConfig{BufferPages: 1024, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 512, Clock: clock})
+	s, err := core.New(c, core.Config{BulkLoad: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewQS(s, false)
+	if err := Generate(db, p); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	defer db.Commit()
+
+	// Module's base-assembly chain length.
+	module := db.Root("module")
+	count := 0
+	for base := db.GetRef(module, TModule, ModBAsmHead); base != NilRef; base = db.GetRef(base, TBaseAssembly, BAsmNext) {
+		count++
+		if lvl := db.GetI32(base, TBaseAssembly, BAsmLevel); lvl >= 0 {
+			t.Fatalf("base assembly has non-negative level %d", lvl)
+		}
+	}
+	if count != p.NumBaseAssemblies() {
+		t.Errorf("base-assembly chain has %d entries, want %d", count, p.NumBaseAssemblies())
+	}
+
+	// Every atomic part: connections reference back via From; partOf's
+	// root graph contains the part (checked for composite part 1).
+	refs := db.Index(IdxPartID).LookupInt(1)
+	if len(refs) != 1 {
+		t.Fatalf("part 1: %d index hits", len(refs))
+	}
+	part := refs[0]
+	comp := db.GetRef(part, TAtomicPart, APartPartOf)
+	if db.GetI32(comp, TCompositePart, CompID) != 1 {
+		t.Error("part 1 not in composite 1")
+	}
+	for _, f := range [3]int{APartConn0, APartConn1, APartConn2} {
+		conn := db.GetRef(part, TAtomicPart, f)
+		if conn == NilRef {
+			t.Fatalf("part 1 missing connection %d", f)
+		}
+		if db.GetRef(conn, TConnection, ConnFrom) != part {
+			t.Error("connection From does not point back")
+		}
+		to := db.GetRef(conn, TConnection, ConnTo)
+		if to == NilRef {
+			t.Fatal("connection has nil To")
+		}
+		// The incoming chain of the target must contain this connection.
+		found := false
+		for in := db.GetRef(to, TAtomicPart, APartInConn); in != NilRef; in = db.GetRef(in, TConnection, ConnFromNext) {
+			if in == conn {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("connection missing from target's incoming chain")
+		}
+	}
+	// The document round-trips through the title index.
+	docRefs := db.Index(IdxDocTitle).LookupString(TitleOf(1))
+	if len(docRefs) != 1 {
+		t.Fatalf("document title lookup: %d hits", len(docRefs))
+	}
+	if db.GetRef(docRefs[0], TDocument, DocPart) != comp {
+		t.Error("document does not reference its composite part")
+	}
+	if err := db.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

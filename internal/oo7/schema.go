@@ -1,0 +1,199 @@
+package oo7
+
+import "quickstore/internal/schema"
+
+// The OO7 schema (Section 4.1 of the paper, Figure 6/7). Connections are
+// information-bearing objects interposed between connected atomic parts;
+// composite parts carry a linked collection of "used in" links back to the
+// base assemblies that use them (traversed by T7 and Q4); the module keeps
+// a linked collection of its base assemblies (iterated by Q5).
+
+// Schema type ids.
+const (
+	TAtomicPart TypeID = iota
+	TConnection
+	TCompositePart
+	TDocument
+	TBaseAssembly
+	TComplexAssembly
+	TModule
+	TUseLink
+	TExtraLink
+	numTypes
+)
+
+// Field indices per type (declaration order).
+const (
+	APartID        = 0 // i32
+	APartBuildDate = 1 // i32
+	APartX         = 2 // i32
+	APartY         = 3 // i32
+	APartDocID     = 4 // i32
+	APartType      = 5 // bytes(10)
+	APartPartOf    = 6 // ref -> CompositePart
+	APartConn0     = 7 // ref -> Connection (outgoing)
+	APartConn1     = 8
+	APartConn2     = 9
+	APartInConn    = 10 // ref -> Connection (incoming chain head)
+)
+
+const (
+	ConnLength   = 0 // i32
+	ConnType     = 1 // bytes(10)
+	ConnFrom     = 2 // ref -> AtomicPart
+	ConnTo       = 3 // ref -> AtomicPart
+	ConnFromNext = 4 // ref -> Connection (next incoming edge of To)
+)
+
+const (
+	CompID        = 0 // i32
+	CompBuildDate = 1 // i32
+	CompRootPart  = 2 // ref -> AtomicPart
+	CompDoc       = 3 // ref -> Document
+	CompUsedIn    = 4 // ref -> UseLink chain
+)
+
+const (
+	DocID      = 0 // i32
+	DocPart    = 1 // ref -> CompositePart
+	DocTitle   = 2 // bytes(40)
+	DocTextRef = 3 // ref -> large text (nil when the text is inline)
+	DocTextLen = 4 // i32 (inline tail length when TextRef is nil)
+)
+
+const (
+	BAsmID        = 0 // i32
+	BAsmBuildDate = 1 // i32
+	BAsmLevel     = 2 // i32; negated to mark "this is a base assembly"
+	BAsmComp0     = 3 // ref -> CompositePart
+	BAsmComp1     = 4 // ref -> CompositePart
+	BAsmComp2     = 5 // ref -> CompositePart
+	BAsmSuper     = 6 // ref -> ComplexAssembly
+	BAsmNext      = 7 // ref -> BaseAssembly (module's collection chain)
+)
+
+const (
+	CAsmID        = 0 // i32
+	CAsmBuildDate = 1 // i32
+	CAsmLevel     = 2 // i32
+	CAsmSub0      = 3 // ref -> assembly (complex or base)
+	CAsmSub1      = 4 // ref -> assembly
+	CAsmSub2      = 5 // ref -> assembly
+	CAsmSuper     = 6 // ref -> ComplexAssembly
+)
+
+const (
+	ModID       = 0 // i32
+	ModRoot     = 1 // ref -> ComplexAssembly (design root)
+	ModManual   = 2 // ref -> Manual (large object)
+	ModBAsmHead = 3 // ref -> BaseAssembly chain
+	ModManSize  = 4 // i32
+)
+
+const (
+	UseAssembly = 0 // ref -> BaseAssembly
+	UseNext     = 1 // ref -> UseLink
+)
+
+// ExtraLink chains the composite parts created by the structural-insert
+// operation (a benchmark extension beyond the paper's subset).
+const (
+	ExtraComp = 0 // ref -> CompositePart
+	ExtraNext = 1 // ref -> ExtraLink
+)
+
+// Types declares the OO7 schema once; each driver derives its own physical
+// layouts from it (8-byte refs for QS, 16-byte for E, padded for QS-B).
+var Types = [numTypes]schema.Type{
+	TAtomicPart: {Name: "AtomicPart", Fields: []schema.Field{
+		{Name: "id", Kind: schema.I32},
+		{Name: "buildDate", Kind: schema.I32},
+		{Name: "x", Kind: schema.I32},
+		{Name: "y", Kind: schema.I32},
+		{Name: "docId", Kind: schema.I32},
+		{Name: "type", Kind: schema.Bytes, Size: 10},
+		{Name: "partOf", Kind: schema.Ref},
+		{Name: "conn0", Kind: schema.Ref},
+		{Name: "conn1", Kind: schema.Ref},
+		{Name: "conn2", Kind: schema.Ref},
+		{Name: "inConn", Kind: schema.Ref},
+	}},
+	TConnection: {Name: "Connection", Fields: []schema.Field{
+		{Name: "length", Kind: schema.I32},
+		{Name: "type", Kind: schema.Bytes, Size: 10},
+		{Name: "from", Kind: schema.Ref},
+		{Name: "to", Kind: schema.Ref},
+		{Name: "fromNext", Kind: schema.Ref},
+	}},
+	TCompositePart: {Name: "CompositePart", Fields: []schema.Field{
+		{Name: "id", Kind: schema.I32},
+		{Name: "buildDate", Kind: schema.I32},
+		{Name: "rootPart", Kind: schema.Ref},
+		{Name: "doc", Kind: schema.Ref},
+		{Name: "usedIn", Kind: schema.Ref},
+	}},
+	TDocument: {Name: "Document", Fields: []schema.Field{
+		{Name: "id", Kind: schema.I32},
+		{Name: "part", Kind: schema.Ref},
+		{Name: "title", Kind: schema.Bytes, Size: 40},
+		{Name: "textRef", Kind: schema.Ref},
+		{Name: "textLen", Kind: schema.I32},
+	}},
+	TBaseAssembly: {Name: "BaseAssembly", Fields: []schema.Field{
+		{Name: "id", Kind: schema.I32},
+		{Name: "buildDate", Kind: schema.I32},
+		{Name: "level", Kind: schema.I32},
+		{Name: "comp0", Kind: schema.Ref},
+		{Name: "comp1", Kind: schema.Ref},
+		{Name: "comp2", Kind: schema.Ref},
+		{Name: "super", Kind: schema.Ref},
+		{Name: "next", Kind: schema.Ref},
+	}},
+	TComplexAssembly: {Name: "ComplexAssembly", Fields: []schema.Field{
+		{Name: "id", Kind: schema.I32},
+		{Name: "buildDate", Kind: schema.I32},
+		{Name: "level", Kind: schema.I32},
+		{Name: "sub0", Kind: schema.Ref},
+		{Name: "sub1", Kind: schema.Ref},
+		{Name: "sub2", Kind: schema.Ref},
+		{Name: "super", Kind: schema.Ref},
+	}},
+	TModule: {Name: "Module", Fields: []schema.Field{
+		{Name: "id", Kind: schema.I32},
+		{Name: "root", Kind: schema.Ref},
+		{Name: "manual", Kind: schema.Ref},
+		{Name: "bAsmHead", Kind: schema.Ref},
+		{Name: "manSize", Kind: schema.I32},
+	}},
+	TUseLink: {Name: "UseLink", Fields: []schema.Field{
+		{Name: "assembly", Kind: schema.Ref},
+		{Name: "next", Kind: schema.Ref},
+	}},
+	TExtraLink: {Name: "ExtraLink", Fields: []schema.Field{
+		{Name: "comp", Kind: schema.Ref},
+		{Name: "next", Kind: schema.Ref},
+	}},
+}
+
+// Layouts computes the physical layouts for a reference width.
+func Layouts(refSize int) [numTypes]schema.Layout {
+	var ls [numTypes]schema.Layout
+	for i := range Types {
+		ls[i] = Types[i].LayoutFor(refSize)
+	}
+	return ls
+}
+
+// PaddedLayouts computes QS-B layouts: 8-byte references, object sizes
+// padded to the 16-byte-reference sizes.
+func PaddedLayouts() [numTypes]schema.Layout {
+	big := Layouts(16)
+	var ls [numTypes]schema.Layout
+	for i := range Types {
+		ls[i] = Types[i].PaddedLayoutFor(8, big[i].Size)
+	}
+	return ls
+}
+
+// NumTypes exports the schema size for drivers.
+const NumTypes = int(numTypes)

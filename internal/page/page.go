@@ -1,0 +1,242 @@
+// Package page implements the slotted-page layout used for small-object
+// pages. A page holds a fixed header, object data growing upward from the
+// header, and a slot directory growing downward from the end of the page.
+//
+// Two properties from the paper are preserved:
+//   - objects never move within a page once allocated, so a page offset
+//     permanently identifies an object (QuickStore's <frame, offset>
+//     pointers depend on this);
+//   - object data is accessed in place in the buffer-pool frame, not copied.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"quickstore/internal/disk"
+)
+
+// Page header layout:
+//
+//	[0:8)   page LSN
+//	[8:9)   page type
+//	[9:10)  reserved
+//	[10:12) number of slots
+//	[12:14) free-space start offset
+//	[14:16) reserved
+//	[16:20) owning file id
+//	[20:24) next page in the file chain
+const (
+	offLSN       = 0
+	offType      = 8
+	offNumSlots  = 10
+	offFreeStart = 12
+	offFileID    = 16
+	offNextPage  = 20
+	// HeaderSize is the number of bytes reserved at the start of each page.
+	HeaderSize = 24
+	slotSize   = 4
+)
+
+// Page types stored in the header.
+const (
+	TypeFree    byte = 0
+	TypeSlotted byte = 1
+	TypeLarge   byte = 2
+	TypeBTree   byte = 3
+	TypeCatalog byte = 4
+)
+
+// Errors returned by page operations.
+var (
+	ErrPageFull    = errors.New("page: not enough free space")
+	ErrBadSlot     = errors.New("page: invalid slot")
+	ErrDeadSlot    = errors.New("page: slot is deleted")
+	ErrNotSlotted  = errors.New("page: not a slotted page")
+	ErrObjTooLarge = errors.New("page: object larger than a page")
+)
+
+// MaxObjectSize is the largest object that fits on a single slotted page.
+const MaxObjectSize = disk.PageSize - HeaderSize - slotSize
+
+// Slotted wraps an 8K buffer with slotted-page operations. The buffer is
+// aliased, not copied: mutations through Slotted are visible to the owner of
+// the buffer (typically a buffer-pool frame).
+type Slotted struct {
+	buf []byte
+}
+
+// Init formats buf as an empty slotted page and returns it wrapped.
+func Init(buf []byte, pageType byte) Slotted {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[offType] = pageType
+	binary.LittleEndian.PutUint16(buf[offFreeStart:], HeaderSize)
+	return Slotted{buf: buf}
+}
+
+// Wrap interprets buf as an existing slotted page.
+func Wrap(buf []byte) (Slotted, error) {
+	if len(buf) != disk.PageSize {
+		return Slotted{}, fmt.Errorf("page: buffer is %d bytes, want %d", len(buf), disk.PageSize)
+	}
+	return Slotted{buf: buf}, nil
+}
+
+// MustWrap is Wrap for buffers known to be page-sized.
+func MustWrap(buf []byte) Slotted {
+	p, err := Wrap(buf)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Type returns the page type byte.
+func (p Slotted) Type() byte { return p.buf[offType] }
+
+// LSN returns the page LSN.
+func (p Slotted) LSN() uint64 { return binary.LittleEndian.Uint64(p.buf[offLSN:]) }
+
+// SetLSN stores the page LSN.
+func (p Slotted) SetLSN(lsn uint64) { binary.LittleEndian.PutUint64(p.buf[offLSN:], lsn) }
+
+// FileID returns the id of the file owning this page.
+func (p Slotted) FileID() uint32 { return binary.LittleEndian.Uint32(p.buf[offFileID:]) }
+
+// SetFileID records the owning file id.
+func (p Slotted) SetFileID(id uint32) { binary.LittleEndian.PutUint32(p.buf[offFileID:], id) }
+
+// NextPage returns the next page in the owning file's chain (0 terminates).
+func (p Slotted) NextPage() uint32 { return binary.LittleEndian.Uint32(p.buf[offNextPage:]) }
+
+// SetNextPage links the page into its file chain.
+func (p Slotted) SetNextPage(id uint32) { binary.LittleEndian.PutUint32(p.buf[offNextPage:], id) }
+
+// NumSlots returns the number of slots ever allocated on the page,
+// including deleted ones.
+func (p Slotted) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[offNumSlots:]))
+}
+
+func (p Slotted) freeStart() int {
+	return int(binary.LittleEndian.Uint16(p.buf[offFreeStart:]))
+}
+
+func (p Slotted) slotPos(i int) int { return disk.PageSize - slotSize*(i+1) }
+
+func (p Slotted) slot(i int) (off, length int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p.buf[pos:])),
+		int(binary.LittleEndian.Uint16(p.buf[pos+2:]))
+}
+
+func (p Slotted) setSlot(i, off, length int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p.buf[pos:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[pos+2:], uint16(length))
+}
+
+// FreeSpace returns the bytes available for one more Insert (accounting for
+// its slot directory entry). Space from deleted objects is not reclaimed,
+// because objects are pinned to their offsets for the store's lifetime.
+func (p Slotted) FreeSpace() int {
+	free := disk.PageSize - slotSize*p.NumSlots() - p.freeStart() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert allocates a slot of the given size and returns the slot number and
+// the page offset of the new object. The object bytes are zeroed.
+func (p Slotted) Insert(size int) (slot, off int, err error) {
+	if size <= 0 || size > MaxObjectSize {
+		return 0, 0, fmt.Errorf("%w: %d bytes", ErrObjTooLarge, size)
+	}
+	if size > p.FreeSpace() {
+		return 0, 0, ErrPageFull
+	}
+	slot = p.NumSlots()
+	off = p.freeStart()
+	for i := off; i < off+size; i++ {
+		p.buf[i] = 0
+	}
+	p.setSlot(slot, off, size)
+	binary.LittleEndian.PutUint16(p.buf[offNumSlots:], uint16(slot+1))
+	binary.LittleEndian.PutUint16(p.buf[offFreeStart:], uint16(off+size))
+	return slot, off, nil
+}
+
+// Object returns the in-place byte view of slot i.
+func (p Slotted) Object(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.NumSlots())
+	}
+	off, length := p.slot(i)
+	if length == 0 {
+		return nil, ErrDeadSlot
+	}
+	return p.buf[off : off+length : off+length], nil
+}
+
+// ObjectAt returns the slot number and byte view of the object covering page
+// offset off, or an error if off does not fall inside a live object. This is
+// how QuickStore resolves the low bits of a virtual-memory pointer.
+func (p Slotted) ObjectAt(off int) (int, []byte, error) {
+	for i := 0; i < p.NumSlots(); i++ {
+		o, l := p.slot(i)
+		if l != 0 && off >= o && off < o+l {
+			return i, p.buf[o : o+l : o+l], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("%w: no object at offset %d", ErrBadSlot, off)
+}
+
+// SlotBounds returns the [start, end) page offsets of live slot i.
+func (p Slotted) SlotBounds(i int) (int, int, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.NumSlots())
+	}
+	off, length := p.slot(i)
+	if length == 0 {
+		return 0, 0, ErrDeadSlot
+	}
+	return off, off + length, nil
+}
+
+// Delete marks slot i dead. The space is not reused; dangling references to
+// the offset behave exactly as the paper describes (Section 4.5.2).
+func (p Slotted) Delete(i int) error {
+	if i < 0 || i >= p.NumSlots() {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.NumSlots())
+	}
+	off, length := p.slot(i)
+	if length == 0 {
+		return ErrDeadSlot
+	}
+	p.setSlot(i, off, 0)
+	return nil
+}
+
+// LiveObjects calls fn for each live slot with its slot number, page offset,
+// and in-place bytes. fn returning false stops the scan.
+func (p Slotted) LiveObjects(fn func(slot, off int, data []byte) bool) {
+	for i := 0; i < p.NumSlots(); i++ {
+		off, l := p.slot(i)
+		if l == 0 {
+			continue
+		}
+		if !fn(i, off, p.buf[off:off+l:off+l]) {
+			return
+		}
+	}
+}
+
+// UsedBytes reports the bytes consumed on the page (header, data including
+// dead space, and slot directory).
+func (p Slotted) UsedBytes() int {
+	return p.freeStart() + slotSize*p.NumSlots()
+}

@@ -1,0 +1,244 @@
+package page
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quickstore/internal/disk"
+)
+
+func newPage(t *testing.T) Slotted {
+	t.Helper()
+	return Init(make([]byte, disk.PageSize), TypeSlotted)
+}
+
+func TestInitAndHeader(t *testing.T) {
+	p := newPage(t)
+	if p.Type() != TypeSlotted {
+		t.Fatalf("Type = %d", p.Type())
+	}
+	if p.NumSlots() != 0 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+	p.SetLSN(0xDEADBEEF)
+	if p.LSN() != 0xDEADBEEF {
+		t.Fatal("LSN round trip failed")
+	}
+	p.SetFileID(42)
+	p.SetNextPage(99)
+	if p.FileID() != 42 || p.NextPage() != 99 {
+		t.Fatal("file/next round trip failed")
+	}
+}
+
+func TestInsertAndRead(t *testing.T) {
+	p := newPage(t)
+	s1, off1, err := p.Insert(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != HeaderSize {
+		t.Fatalf("first object at %d, want %d", off1, HeaderSize)
+	}
+	s2, off2, err := p.Insert(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != HeaderSize+100 {
+		t.Fatalf("second object at %d", off2)
+	}
+	o1, err := p.Object(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := p.Object(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != 100 || len(o2) != 200 {
+		t.Fatalf("object sizes %d, %d", len(o1), len(o2))
+	}
+	// Objects are zeroed and writable in place.
+	for _, b := range o1 {
+		if b != 0 {
+			t.Fatal("object not zeroed")
+		}
+	}
+	o1[0] = 0x55
+	again, _ := p.Object(s1)
+	if again[0] != 0x55 {
+		t.Fatal("in-place write lost")
+	}
+	// Writes to one object never bleed into its neighbor.
+	for i := range o1 {
+		o1[i] = 0xFF
+	}
+	if o2[0] != 0 {
+		t.Fatal("object overlap")
+	}
+}
+
+func TestObjectAt(t *testing.T) {
+	p := newPage(t)
+	s1, off1, _ := p.Insert(64)
+	_, off2, _ := p.Insert(64)
+	slot, data, err := p.ObjectAt(off1 + 10)
+	if err != nil || slot != s1 || len(data) != 64 {
+		t.Fatalf("ObjectAt inside obj1: slot=%d err=%v", slot, err)
+	}
+	if _, _, err := p.ObjectAt(off2 + 64); err == nil {
+		t.Fatal("ObjectAt past last object succeeded")
+	}
+	if _, _, err := p.ObjectAt(0); err == nil {
+		t.Fatal("ObjectAt in header succeeded")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := newPage(t)
+	s, off, _ := p.Insert(32)
+	if err := p.Delete(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Object(s); !errors.Is(err, ErrDeadSlot) {
+		t.Fatalf("read of deleted slot: %v", err)
+	}
+	if err := p.Delete(s); !errors.Is(err, ErrDeadSlot) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// The space is not reused: the offset stays dead, as the paper's
+	// dangling-pointer discussion requires.
+	_, off2, _ := p.Insert(32)
+	if off2 == off {
+		t.Fatal("deleted space was reused")
+	}
+}
+
+func TestPageFullAndBounds(t *testing.T) {
+	p := newPage(t)
+	if _, _, err := p.Insert(MaxObjectSize); err != nil {
+		t.Fatalf("max object rejected: %v", err)
+	}
+	if _, _, err := p.Insert(1); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("insert into full page: %v", err)
+	}
+	p2 := newPage(t)
+	if _, _, err := p2.Insert(MaxObjectSize + 1); err == nil {
+		t.Fatal("oversized insert succeeded")
+	}
+	if _, _, err := p2.Insert(0); err == nil {
+		t.Fatal("zero insert succeeded")
+	}
+	if _, err := p2.Object(0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("bad slot read: %v", err)
+	}
+}
+
+func TestLiveObjects(t *testing.T) {
+	p := newPage(t)
+	s0, _, _ := p.Insert(10)
+	p.Insert(20)
+	s2, _, _ := p.Insert(30)
+	p.Delete(s0)
+	var sizes []int
+	p.LiveObjects(func(slot, off int, data []byte) bool {
+		sizes = append(sizes, len(data))
+		return true
+	})
+	if len(sizes) != 2 || sizes[0] != 20 || sizes[1] != 30 {
+		t.Fatalf("LiveObjects sizes = %v", sizes)
+	}
+	// Early stop.
+	count := 0
+	p.LiveObjects(func(int, int, []byte) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	_ = s2
+}
+
+func TestWrapValidation(t *testing.T) {
+	if _, err := Wrap(make([]byte, 100)); err == nil {
+		t.Fatal("Wrap accepted a short buffer")
+	}
+}
+
+// Property: a random sequence of inserts yields non-overlapping, in-bounds
+// objects, each independently addressable and intact after writes.
+func TestInsertProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Init(make([]byte, disk.PageSize), TypeSlotted)
+		type obj struct {
+			slot, off, size int
+			tag             byte
+		}
+		var objs []obj
+		for {
+			size := 1 + rng.Intn(500)
+			slot, off, err := p.Insert(size)
+			if errors.Is(err, ErrPageFull) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			data, err := p.Object(slot)
+			if err != nil || len(data) != size {
+				return false
+			}
+			tag := byte(rng.Intn(255) + 1)
+			for i := range data {
+				data[i] = tag
+			}
+			objs = append(objs, obj{slot, off, size, tag})
+			if off < HeaderSize || off+size > disk.PageSize-4*p.NumSlots() {
+				return false // overlaps header or slot directory
+			}
+		}
+		// All objects retain their tags (no overlap).
+		for _, o := range objs {
+			data, err := p.Object(o.slot)
+			if err != nil {
+				return false
+			}
+			for _, b := range data {
+				if b != o.tag {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotBounds(t *testing.T) {
+	p := newPage(t)
+	s1, off1, _ := p.Insert(40)
+	start, end, err := p.SlotBounds(s1)
+	if err != nil || start != off1 || end != off1+40 {
+		t.Fatalf("SlotBounds = [%d,%d), %v", start, end, err)
+	}
+	if _, _, err := p.SlotBounds(99); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("bad slot: %v", err)
+	}
+	p.Delete(s1)
+	if _, _, err := p.SlotBounds(s1); !errors.Is(err, ErrDeadSlot) {
+		t.Fatalf("dead slot: %v", err)
+	}
+}
+
+func TestUsedBytesGrows(t *testing.T) {
+	p := newPage(t)
+	before := p.UsedBytes()
+	p.Insert(100)
+	after := p.UsedBytes()
+	if after != before+100+4 { // data + one slot entry
+		t.Fatalf("UsedBytes %d -> %d", before, after)
+	}
+}

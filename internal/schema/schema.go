@@ -1,0 +1,117 @@
+// Package schema supplies the type-layout information that QuickStore's
+// modified gdb provided in the paper: for every persistent type, the byte
+// offsets of its fields and in particular of its embedded pointers, from
+// which the per-page pointer bitmaps are maintained.
+//
+// The same declared type yields different physical layouts per system:
+// QuickStore stores references as 8-byte virtual addresses, E stores them
+// as 16-byte OIDs, and QS-B uses QuickStore references padded to E's object
+// sizes. All three layouts come from one declaration, which is what makes
+// the benchmark's object graphs structurally identical across systems.
+package schema
+
+import "fmt"
+
+// Kind classifies a field.
+type Kind uint8
+
+// Field kinds.
+const (
+	I32   Kind = iota + 1 // 4-byte integer
+	I64                   // 8-byte integer
+	Ref                   // persistent reference (width depends on the system)
+	Bytes                 // fixed-size byte array (Size bytes)
+)
+
+// String names the field kind.
+func (k Kind) String() string {
+	switch k {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case Ref:
+		return "ref"
+	case Bytes:
+		return "bytes"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Field declares one member of a persistent type.
+type Field struct {
+	Name string
+	Kind Kind
+	Size int // for Bytes: the array length
+}
+
+// Type declares a persistent type.
+type Type struct {
+	Name   string
+	Fields []Field
+}
+
+// Layout is a type's physical layout for a particular reference width.
+type Layout struct {
+	Offsets    []int // byte offset per declared field
+	Size       int   // total object size (8-byte aligned)
+	RefSize    int
+	RefOffsets []int // byte offsets of reference fields (bitmap input)
+}
+
+func align(off, a int) int { return (off + a - 1) &^ (a - 1) }
+
+// LayoutFor computes the physical layout of t with refSize-byte references.
+// References are 8-byte aligned so they land on bitmap word boundaries;
+// integers take natural alignment; byte arrays are unaligned. The total
+// size is rounded to 8 bytes so consecutive objects on a page keep their
+// pointers word-aligned.
+func (t Type) LayoutFor(refSize int) Layout {
+	l := Layout{Offsets: make([]int, len(t.Fields)), RefSize: refSize}
+	off := 0
+	for i, f := range t.Fields {
+		switch f.Kind {
+		case I32:
+			off = align(off, 4)
+			l.Offsets[i] = off
+			off += 4
+		case I64:
+			off = align(off, 8)
+			l.Offsets[i] = off
+			off += 8
+		case Ref:
+			off = align(off, 8)
+			l.Offsets[i] = off
+			l.RefOffsets = append(l.RefOffsets, off)
+			off += refSize
+		case Bytes:
+			l.Offsets[i] = off
+			off += f.Size
+		default:
+			panic(fmt.Sprintf("schema: bad field kind in %s.%s", t.Name, f.Name))
+		}
+	}
+	l.Size = align(off, 8)
+	return l
+}
+
+// PaddedLayoutFor is LayoutFor with the object padded to at least
+// targetSize bytes — the QS-B configuration, where every object matches the
+// size of the corresponding E object.
+func (t Type) PaddedLayoutFor(refSize, targetSize int) Layout {
+	l := t.LayoutFor(refSize)
+	if targetSize > l.Size {
+		l.Size = align(targetSize, 8)
+	}
+	return l
+}
+
+// FieldIndex returns the declaration index of the named field.
+func (t Type) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("schema: type %s has no field %s", t.Name, name))
+}

@@ -1,0 +1,141 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var part = Type{Name: "Part", Fields: []Field{
+	{Name: "id", Kind: I32},
+	{Name: "tag", Kind: Bytes, Size: 10},
+	{Name: "next", Kind: Ref},
+	{Name: "count", Kind: I64},
+	{Name: "other", Kind: Ref},
+}}
+
+func TestLayoutOffsets(t *testing.T) {
+	l := part.LayoutFor(8)
+	// id@0, tag@4..14, next aligned to 8 -> 16, count@24, other@32.
+	want := []int{0, 4, 16, 24, 32}
+	for i, w := range want {
+		if l.Offsets[i] != w {
+			t.Errorf("field %d offset = %d, want %d", i, l.Offsets[i], w)
+		}
+	}
+	if l.Size != 40 {
+		t.Errorf("size = %d, want 40", l.Size)
+	}
+	if len(l.RefOffsets) != 2 || l.RefOffsets[0] != 16 || l.RefOffsets[1] != 32 {
+		t.Errorf("ref offsets = %v", l.RefOffsets)
+	}
+}
+
+func TestLayoutWideRefs(t *testing.T) {
+	l8 := part.LayoutFor(8)
+	l16 := part.LayoutFor(16)
+	if l16.Size <= l8.Size {
+		t.Errorf("16-byte refs did not grow the object: %d vs %d", l16.Size, l8.Size)
+	}
+	// 2 refs x 8 extra bytes.
+	if l16.Size != l8.Size+16 {
+		t.Errorf("size growth = %d, want 16", l16.Size-l8.Size)
+	}
+}
+
+func TestPaddedLayout(t *testing.T) {
+	l8 := part.LayoutFor(8)
+	l16 := part.LayoutFor(16)
+	p := part.PaddedLayoutFor(8, l16.Size)
+	if p.Size != l16.Size {
+		t.Errorf("padded size = %d, want %d", p.Size, l16.Size)
+	}
+	// Field offsets stay at the 8-byte-ref positions.
+	for i := range l8.Offsets {
+		if p.Offsets[i] != l8.Offsets[i] {
+			t.Errorf("padding moved field %d: %d vs %d", i, p.Offsets[i], l8.Offsets[i])
+		}
+	}
+	// Padding smaller than natural size is a no-op.
+	q := part.PaddedLayoutFor(8, 8)
+	if q.Size != l8.Size {
+		t.Errorf("under-padding changed size: %d", q.Size)
+	}
+}
+
+func TestFieldIndex(t *testing.T) {
+	if part.FieldIndex("count") != 3 {
+		t.Fatal("FieldIndex wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing field did not panic")
+		}
+	}()
+	part.FieldIndex("nope")
+}
+
+// Property: for any field sequence, layouts keep fields non-overlapping and
+// in order, refs 8-aligned, and total size 8-aligned and monotone in ref
+// width.
+func TestLayoutProperty(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		if len(kinds) > 30 {
+			kinds = kinds[:30]
+		}
+		ty := Type{Name: "T"}
+		for i, k := range kinds {
+			fld := Field{Name: string(rune('a' + i%26))}
+			switch k % 4 {
+			case 0:
+				fld.Kind = I32
+			case 1:
+				fld.Kind = I64
+			case 2:
+				fld.Kind = Ref
+			case 3:
+				fld.Kind = Bytes
+				fld.Size = 1 + int(k)%17
+			}
+			ty.Fields = append(ty.Fields, fld)
+		}
+		for _, rs := range []int{8, 16} {
+			l := ty.LayoutFor(rs)
+			if l.Size%8 != 0 {
+				return false
+			}
+			prevEnd := 0
+			for i, fld := range ty.Fields {
+				off := l.Offsets[i]
+				if off < prevEnd {
+					return false // overlap
+				}
+				switch fld.Kind {
+				case I32:
+					if off%4 != 0 {
+						return false
+					}
+					prevEnd = off + 4
+				case I64:
+					if off%8 != 0 {
+						return false
+					}
+					prevEnd = off + 8
+				case Ref:
+					if off%8 != 0 {
+						return false
+					}
+					prevEnd = off + rs
+				case Bytes:
+					prevEnd = off + fld.Size
+				}
+			}
+			if prevEnd > l.Size {
+				return false
+			}
+		}
+		return ty.LayoutFor(16).Size >= ty.LayoutFor(8).Size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendIterate(t *testing.T) {
+	l := NewMemLog()
+	r1 := l.Append(Record{Tx: 1, Type: RecBegin})
+	r2 := l.Append(Record{Tx: 1, Type: RecUpdate, Page: 7, Off: 100, Old: []byte("aa"), New: []byte("bb")})
+	r3 := l.Append(Record{Tx: 1, Type: RecCommit, PrevLSN: r2})
+	if !(r1 < r2 && r2 < r3) {
+		t.Fatalf("LSNs not increasing: %d %d %d", r1, r2, r3)
+	}
+	var got []Record
+	if err := l.Iterate(func(r Record) bool { got = append(got, r); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("iterated %d records", len(got))
+	}
+	if got[1].Page != 7 || got[1].Off != 100 || string(got[1].Old) != "aa" || string(got[1].New) != "bb" {
+		t.Fatalf("record round trip: %+v", got[1])
+	}
+	if got[2].PrevLSN != r2 {
+		t.Fatal("PrevLSN lost")
+	}
+	if l.Records() != 3 {
+		t.Fatalf("Records = %d", l.Records())
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 10; i++ {
+		l.Append(Record{Tx: uint64(i), Type: RecBegin})
+	}
+	n := 0
+	l.Iterate(func(Record) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("early stop after %d", n)
+	}
+}
+
+func TestFileLogPersistenceAndTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := CreateFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Tx: 1, Type: RecBegin})
+	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 3, Off: 8, New: []byte{1, 2, 3}})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// An unflushed record is lost at the crash.
+	l.Append(Record{Tx: 1, Type: RecCommit})
+	l.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Records() != 2 {
+		t.Fatalf("recovered %d records, want 2 (commit was never forced)", l2.Records())
+	}
+}
+
+func TestDiscardUnflushed(t *testing.T) {
+	l := NewMemLog()
+	l.Append(Record{Tx: 1, Type: RecBegin})
+	l.Flush()
+	l.Append(Record{Tx: 1, Type: RecCommit})
+	l.DiscardUnflushed()
+	if l.FlushedLSN() != LSN(1+HeaderBytes) {
+		t.Fatalf("FlushedLSN = %d", l.FlushedLSN())
+	}
+	n := 0
+	l.Iterate(func(Record) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("after discard: %d records", n)
+	}
+}
+
+// memStore is a trivial PageStore for recovery tests.
+type memStore struct{ pages map[uint32][]byte }
+
+func newMemStore() *memStore { return &memStore{pages: map[uint32][]byte{}} }
+
+func (m *memStore) page(id uint32) []byte {
+	if m.pages[id] == nil {
+		m.pages[id] = make([]byte, 8192)
+	}
+	return m.pages[id]
+}
+func (m *memStore) ReadPage(id uint32, buf []byte) error  { copy(buf, m.page(id)); return nil }
+func (m *memStore) WritePage(id uint32, buf []byte) error { copy(m.page(id), buf); return nil }
+
+func lsnOf(buf []byte) uint64       { return binary.LittleEndian.Uint64(buf[:8]) }
+func setLSN(buf []byte, lsn uint64) { binary.LittleEndian.PutUint64(buf[:8], lsn) }
+
+func TestRecoverRedoWinner(t *testing.T) {
+	l := NewMemLog()
+	store := newMemStore()
+	l.Append(Record{Tx: 1, Type: RecBegin})
+	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 5, Off: 100, Old: []byte{0, 0}, New: []byte{7, 8}})
+	l.Append(Record{Tx: 1, Type: RecCommit})
+	// Crash before the page ever reached disk: page 5 is all zeroes.
+	winners, losers, err := Recover(l, store, lsnOf, setLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !winners[1] || len(losers) != 0 {
+		t.Fatalf("winners=%v losers=%v", winners, losers)
+	}
+	p := store.page(5)
+	if p[100] != 7 || p[101] != 8 {
+		t.Fatalf("redo missing: %v", p[100:102])
+	}
+}
+
+func TestRecoverUndoLoser(t *testing.T) {
+	l := NewMemLog()
+	store := newMemStore()
+	l.Append(Record{Tx: 2, Type: RecBegin})
+	rec := Record{Tx: 2, Type: RecUpdate, Page: 9, Off: 50, Old: []byte{1, 1}, New: []byte{9, 9}}
+	lsn := l.Append(rec)
+	// The dirty page was stolen to disk before the crash; no commit follows.
+	p := store.page(9)
+	p[50], p[51] = 9, 9
+	setLSN(p, uint64(lsn))
+	winners, losers, err := Recover(l, store, lsnOf, setLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(winners) != 0 || !losers[2] {
+		t.Fatalf("winners=%v losers=%v", winners, losers)
+	}
+	if p[50] != 1 || p[51] != 1 {
+		t.Fatalf("undo missing: %v", p[50:52])
+	}
+	// A CLR and a final abort record are in the log.
+	var types []RecType
+	l.Iterate(func(r Record) bool { types = append(types, r.Type); return true })
+	found := map[RecType]bool{}
+	for _, ty := range types {
+		found[ty] = true
+	}
+	if !found[RecCLR] || !found[RecAbort] {
+		t.Fatalf("log after recovery: %v", types)
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	l := NewMemLog()
+	store := newMemStore()
+	l.Append(Record{Tx: 1, Type: RecBegin})
+	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 3, Off: 40, Old: []byte{0}, New: []byte{5}})
+	l.Append(Record{Tx: 1, Type: RecCommit})
+	if _, _, err := Recover(l, store, lsnOf, setLSN); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), store.page(3)...)
+	if _, _, err := Recover(l, store, lsnOf, setLSN); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, store.page(3)) {
+		t.Fatal("second recovery changed the page")
+	}
+}
+
+func TestCorruptRecordDetected(t *testing.T) {
+	l := NewMemLog()
+	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 1, Off: 0, New: []byte{1}})
+	l.buf[HeaderBytes] ^= 0xFF // flip a payload byte
+	err := l.Iterate(func(Record) bool { return true })
+	if err == nil {
+		t.Fatal("corrupt record passed checksum")
+	}
+}
+
+// Property: marshal/unmarshal round-trips arbitrary records.
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(tx uint64, pg uint32, off uint16, old, new []byte) bool {
+		if len(old) > 4000 {
+			old = old[:4000]
+		}
+		if len(new) > 4000 {
+			new = new[:4000]
+		}
+		r := Record{LSN: 1, Tx: tx, Type: RecUpdate, Page: pg, Off: off, Old: old, New: new}
+		buf := make([]byte, r.size())
+		r.marshal(buf)
+		got, n, err := unmarshal(buf)
+		if err != nil || n != r.size() {
+			return false
+		}
+		return got.Tx == tx && got.Page == pg && got.Off == off &&
+			bytes.Equal(got.Old, old) && bytes.Equal(got.New, new)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any series of committed single-byte updates applied only to
+// the log (never the store), recovery reconstructs the final byte values.
+func TestRecoverReplaysHistory(t *testing.T) {
+	f := func(writes []uint16) bool {
+		l := NewMemLog()
+		store := newMemStore()
+		want := map[uint16]byte{}
+		tx := uint64(1)
+		l.Append(Record{Tx: tx, Type: RecBegin})
+		for i, w := range writes {
+			off := 16 + w%8000
+			val := byte(i + 1)
+			l.Append(Record{Tx: tx, Type: RecUpdate, Page: 2, Off: off,
+				Old: []byte{want[off]}, New: []byte{val}})
+			want[off] = val
+		}
+		l.Append(Record{Tx: tx, Type: RecCommit})
+		if _, _, err := Recover(l, store, lsnOf, setLSN); err != nil {
+			return false
+		}
+		p := store.page(2)
+		for off, val := range want {
+			if p[off] != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatePreservesLSNMonotonicity(t *testing.T) {
+	l := NewMemLog()
+	lsn1 := l.Append(Record{Tx: 1, Type: RecBegin})
+	l.Append(Record{Tx: 1, Type: RecCommit})
+	l.Flush()
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	l.Iterate(func(Record) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("%d records after truncate", n)
+	}
+	lsn2 := l.Append(Record{Tx: 2, Type: RecBegin})
+	if lsn2 <= lsn1 {
+		t.Fatalf("LSN went backwards after truncate: %d <= %d", lsn2, lsn1)
+	}
+}
+
+func TestTruncatedFileLogReopens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := CreateFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Tx: 1, Type: RecBegin})
+	l.Append(Record{Tx: 1, Type: RecCommit})
+	l.Flush()
+	l.Truncate()
+	lsnA := l.Append(Record{Tx: 2, Type: RecBegin})
+	l.Flush()
+	l.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Records() != 1 {
+		t.Fatalf("reopened with %d records", l2.Records())
+	}
+	// New LSNs continue past the pre-truncation space.
+	lsnB := l2.Append(Record{Tx: 3, Type: RecBegin})
+	if lsnB <= lsnA {
+		t.Fatalf("LSN went backwards across reopen: %d <= %d", lsnB, lsnA)
+	}
+}

@@ -1,0 +1,97 @@
+package quickstore_test
+
+import (
+	"fmt"
+	"log"
+
+	"quickstore/quickstore"
+)
+
+// Example shows the basic lifecycle: create a store, persist a pointer
+// graph, and traverse it by dereferencing persistent references.
+func Example() {
+	st, err := quickstore.CreateMem(quickstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	// A pair node: [0:8) partner Ref, [8:12) value.
+	err = st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		a, err := tx.Alloc(cl, 16, []int{0})
+		if err != nil {
+			return err
+		}
+		b, err := tx.Alloc(cl, 16, []int{0})
+		if err != nil {
+			return err
+		}
+		tx.WriteRef(a, b)
+		tx.WriteRef(b, a)
+		tx.WriteU32(a+8, 1)
+		tx.WriteU32(b+8, 2)
+		return tx.SetRoot("pair", a)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = st.View(func(tx *quickstore.Tx) error {
+		a, err := tx.Root("pair")
+		if err != nil {
+			return err
+		}
+		b, err := tx.ReadRef(a)
+		if err != nil {
+			return err
+		}
+		va, _ := tx.ReadU32(a + 8)
+		vb, _ := tx.ReadU32(b + 8)
+		back, _ := tx.ReadRef(b)
+		fmt.Println(va, vb, back == a)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output: 1 2 true
+}
+
+// ExampleStore_Stats demonstrates observing fault activity after dropping
+// the caches.
+func ExampleStore_Stats() {
+	st, err := quickstore.CreateMem(quickstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	err = st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		r, err := tx.Alloc(cl, 8, nil)
+		if err != nil {
+			return err
+		}
+		return tx.SetRoot("r", r)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	before := st.Stats().Faults
+	err = st.View(func(tx *quickstore.Tx) error {
+		r, err := tx.Root("r")
+		if err != nil {
+			return err
+		}
+		_, err = tx.ReadU32(r)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st.Stats().Faults-before >= 1)
+	// Output: true
+}

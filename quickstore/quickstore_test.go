@@ -1,0 +1,264 @@
+package quickstore_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"quickstore/quickstore"
+)
+
+func TestUpdateViewRoundTrip(t *testing.T) {
+	st, err := quickstore.CreateMem(quickstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var node quickstore.Ref
+	err = st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		var err error
+		node, err = tx.Alloc(cl, 16, []int{0})
+		if err != nil {
+			return err
+		}
+		if err := tx.WriteU32(node+8, 42); err != nil {
+			return err
+		}
+		return tx.SetRoot("head", node)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = st.View(func(tx *quickstore.Tx) error {
+		head, err := tx.Root("head")
+		if err != nil {
+			return err
+		}
+		v, err := tx.ReadU32(head + 8)
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("read %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().MappedPages == 0 {
+		t.Error("no pages in the mapping")
+	}
+}
+
+func TestUpdateErrorAborts(t *testing.T) {
+	st, _ := quickstore.CreateMem(quickstore.Options{})
+	defer st.Close()
+	var node quickstore.Ref
+	if err := st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		node, _ = tx.Alloc(cl, 16, nil)
+		tx.WriteU32(node, 1)
+		return tx.SetRoot("n", node)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := st.Update(func(tx *quickstore.Tx) error {
+		tx.WriteU32(node, 999)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	st.View(func(tx *quickstore.Tx) error {
+		v, err := tx.ReadU32(node)
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			t.Errorf("aborted write visible: %d", v)
+		}
+		return nil
+	})
+}
+
+func TestUpdatePanicAborts(t *testing.T) {
+	st, _ := quickstore.CreateMem(quickstore.Options{})
+	defer st.Close()
+	func() {
+		defer func() { recover() }()
+		st.Update(func(tx *quickstore.Tx) error {
+			panic("kaboom")
+		})
+	}()
+	// Store still usable.
+	if err := st.Update(func(tx *quickstore.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedTransactionRejected(t *testing.T) {
+	st, _ := quickstore.CreateMem(quickstore.Options{})
+	defer st.Close()
+	err := st.Update(func(tx *quickstore.Tx) error {
+		return st.Update(func(*quickstore.Tx) error { return nil })
+	})
+	if err == nil {
+		t.Fatal("nested Update succeeded")
+	}
+}
+
+func TestFileBackedPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.qs")
+	st, err := quickstore.Create(path, quickstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		a, err := tx.Alloc(cl, 24, []int{0})
+		if err != nil {
+			return err
+		}
+		b, err := tx.Alloc(cl, 24, nil)
+		if err != nil {
+			return err
+		}
+		if err := tx.WriteRef(a, b); err != nil {
+			return err
+		}
+		if err := tx.WriteBytes(b+8, []byte("persist me")); err != nil {
+			return err
+		}
+		return tx.SetRoot("a", a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := quickstore.Open(path, quickstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	err = st2.View(func(tx *quickstore.Tx) error {
+		a, err := tx.Root("a")
+		if err != nil {
+			return err
+		}
+		b, err := tx.ReadRef(a)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 10)
+		if err := tx.ReadBytes(b+8, buf); err != nil {
+			return err
+		}
+		if string(buf) != "persist me" {
+			t.Errorf("read %q", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().Faults == 0 {
+		t.Error("reopened store faulted no pages")
+	}
+}
+
+func TestLargeObjects(t *testing.T) {
+	st, _ := quickstore.CreateMem(quickstore.Options{})
+	defer st.Close()
+	const size = 3*quickstore.PageSize + 99
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var man quickstore.Ref
+	err := st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		var err error
+		man, err = tx.AllocLarge(cl, size)
+		if err != nil {
+			return err
+		}
+		anchor, err := tx.Alloc(cl, 8, []int{0})
+		if err != nil {
+			return err
+		}
+		if err := tx.WriteRef(anchor, man); err != nil {
+			return err
+		}
+		if err := tx.SetRoot("man", anchor); err != nil {
+			return err
+		}
+		return tx.WriteLarge(man, payload, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	err = st.View(func(tx *quickstore.Tx) error {
+		anchor, err := tx.Root("man")
+		if err != nil {
+			return err
+		}
+		m, err := tx.ReadRef(anchor)
+		if err != nil {
+			return err
+		}
+		if n, err := tx.LargeSize(m); err != nil || n != size {
+			t.Errorf("LargeSize = %d, %v", n, err)
+		}
+		for _, off := range []int{0, quickstore.PageSize, size - 1} {
+			b, err := tx.ReadU8(m + quickstore.Ref(off))
+			if err != nil {
+				return err
+			}
+			if b != byte(off) {
+				t.Errorf("byte %d = %d", off, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	st, _ := quickstore.CreateMem(quickstore.Options{})
+	defer st.Close()
+	st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		r, _ := tx.Alloc(cl, 64, nil)
+		return tx.SetRoot("r", r)
+	})
+	st.DropCaches()
+	before := st.Stats()
+	st.View(func(tx *quickstore.Tx) error {
+		r, _ := tx.Root("r")
+		_, err := tx.ReadU32(r)
+		return err
+	})
+	after := st.Stats()
+	if after.Faults <= before.Faults {
+		t.Error("cold read faulted no pages")
+	}
+	if after.ClientReads <= before.ClientReads {
+		t.Error("cold read issued no client reads")
+	}
+	if after.SimulatedMs <= before.SimulatedMs {
+		t.Error("clock did not advance")
+	}
+}
