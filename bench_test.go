@@ -310,6 +310,34 @@ func BenchmarkFig17Relocation(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefetchColdT1 measures the mapping-object prefetch extension:
+// cold T1 on QuickStore with the prefetcher off and on, reporting both
+// simulated response times plus the demand-I/O counts, so the overlap win
+// (and any regression in it) shows up in benchmark history.
+func BenchmarkPrefetchColdT1(b *testing.B) {
+	p := params(b)
+	env, err := harness.Build(harness.SysQS, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := harness.Ops(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := env.RunColdHot(ops["T1"], harness.SessionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, err := env.RunColdHot(ops["T1"], harness.SessionOpts{Prefetch: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(off.ColdMs, "sim-ms-off")
+		b.ReportMetric(on.ColdMs, "sim-ms-on")
+		b.ReportMetric(float64(off.ColdIOs()), "demand-IOs-off")
+		b.ReportMetric(float64(on.ColdIOs()), "demand-IOs-on")
+	}
+}
+
 // --- Real micro-benchmarks of the implementation ----------------------------
 
 // BenchmarkVmemRead measures a hot protected load (the QS dereference).

@@ -6,12 +6,19 @@
 // Usage:
 //
 //	oo7bench [-exp all|table2|fig8|fig9|table5|table6|fig10|fig11|fig12|
-//	          fig13|table7|fig14|fig15|fig16|fig17|ablations|extras|verify]
-//	          [-medium] [-list]
+//	          fig13|table7|fig14|fig15|fig16|fig17|ablations|extras|verify|
+//	          prefetch]
+//	          [-medium] [-list] [-json]
 //
 // "-exp verify" asserts the paper's headline shape claims programmatically
 // (one PASS/FAIL line each) and exits nonzero if any fails; it requires the
-// full small-database scale and is not part of "all".
+// full small-database scale and is not part of "all". "-exp prefetch"
+// measures the mapping-object prefetch extension (off in every paper table)
+// and is likewise not part of "all".
+//
+// With -json, each experiment's tables are additionally written to
+// BENCH_<exp>.json in the current directory, for tracking results across
+// revisions.
 //
 // Times are deterministic simulated milliseconds from the calibrated 1994
 // cost model (see internal/sim); I/O counts, fault counts, and log volumes
@@ -20,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +40,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments to run, or 'all'")
 	medium := flag.Bool("medium", false, "also build and measure the medium OO7 database (slower)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	jsonOut := flag.Bool("json", false, "also write each experiment's tables to BENCH_<exp>.json")
 	flag.Parse()
 
 	if *list {
@@ -45,8 +54,48 @@ func main() {
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 	}
-	if err := suite.Run(names); err != nil {
-		fmt.Fprintln(os.Stderr, "oo7bench:", err)
-		os.Exit(1)
+	if !*jsonOut {
+		if err := suite.Run(names); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
+	// JSON mode runs experiments one at a time so each one's tables can be
+	// attributed to its own BENCH_<exp>.json file.
+	if len(names) == 1 && names[0] == "all" {
+		names = harness.ExperimentNames
+	}
+	for _, name := range names {
+		if err := suite.Run([]string{name}); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON(name, suite.TakeTables()); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchFile is the on-disk schema of one BENCH_<exp>.json result.
+type benchFile struct {
+	Experiment string          `json:"experiment"`
+	Tables     []harness.Table `json:"tables"`
+}
+
+func writeJSON(exp string, tables []harness.Table) error {
+	if len(tables) == 0 {
+		return nil // skipped (e.g. a medium experiment without -medium)
+	}
+	blob, err := json.MarshalIndent(benchFile{Experiment: exp, Tables: tables}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", exp)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", path)
+	return nil
 }

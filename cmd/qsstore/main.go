@@ -5,10 +5,13 @@
 //	qsstore create -db path.vol
 //	qsstore info   -db path.vol
 //	qsstore verify -db path.vol
+//	qsstore stats  -db path.vol
 //
 // info prints the volume geometry and the log summary; verify walks every
 // header-bearing page checking slotted-page invariants and, for QuickStore
-// data pages, the meta-object and its mapping/bitmap references.
+// data pages, the meta-object and its mapping/bitmap references; stats
+// opens the store and prints the page server's statistics snapshot
+// (OpStats), including the prefetch service counters.
 package main
 
 import (
@@ -42,6 +45,8 @@ func main() {
 		err = info(*db)
 	case "verify":
 		err = verify(*db)
+	case "stats":
+		err = stats(*db)
 	default:
 		usage()
 	}
@@ -52,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qsstore create|info|verify -db <path>")
+	fmt.Fprintln(os.Stderr, "usage: qsstore create|info|verify|stats -db <path>")
 	os.Exit(2)
 }
 
@@ -94,6 +99,42 @@ func info(path string) error {
 	fmt.Printf("  begins=%d updates=%d commits=%d aborts=%d clrs=%d\n",
 		byType[wal.RecBegin], byType[wal.RecUpdate], byType[wal.RecCommit],
 		byType[wal.RecAbort], byType[wal.RecCLR])
+	return nil
+}
+
+// stats opens the store (running restart recovery if the log demands it)
+// and prints the server's OpStats snapshot, with the prefetch hit/wasted
+// ratio an operator tuning the prefetcher needs.
+func stats(path string) error {
+	st, err := quickstore.Open(path, quickstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	ss, err := st.ServerStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server buffer:  %d/%d pages resident\n", ss.Resident, ss.BufferPages)
+	fmt.Printf("pool:           %d hits, %d misses, %d evicted", ss.PoolHits, ss.PoolMisses, ss.PoolEvicted)
+	if total := ss.PoolHits + ss.PoolMisses; total > 0 {
+		fmt.Printf(" (%.1f%% hit rate)", 100*float64(ss.PoolHits)/float64(total))
+	}
+	fmt.Println()
+	fmt.Printf("volume:         %d allocated data pages\n", ss.AllocatedPages)
+	fmt.Printf("log:            %d records, %d bytes\n", ss.LogRecords, ss.LogBytes)
+	fmt.Printf("disk:           %d reads, %d writes\n", ss.DiskReads, ss.DiskWrites)
+	fmt.Printf("prefetch:       %d pages served in batches, %d background disk reads\n",
+		ss.PrefetchPages, ss.PrefetchReads)
+
+	cs := st.Stats()
+	fmt.Printf("session:        %d prefetches issued, %d hits, %d wasted", cs.PrefetchIssued, cs.PrefetchHits, cs.PrefetchWasted)
+	if cs.PrefetchIssued > 0 {
+		fmt.Printf(" (%.1f%% hit, %.1f%% wasted)",
+			100*float64(cs.PrefetchHits)/float64(cs.PrefetchIssued),
+			100*float64(cs.PrefetchWasted)/float64(cs.PrefetchIssued))
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -26,6 +26,11 @@ type Frame struct {
 	Pin   int
 	Dirty bool
 	Ref   bool // reference bit for the traditional clock policy
+	// Prefetched marks a speculative pre-read frame installed by the
+	// prefetcher (internal/prefetch) that no caller has used yet. The flag
+	// is cleared on first real use (ConsumePrefetched); a frame evicted or
+	// dropped with the flag still set was a wasted prefetch.
+	Prefetched bool
 }
 
 // Policy selects a victim frame for replacement. It may assume the pool's
@@ -53,6 +58,10 @@ type Pool struct {
 	// OnEvict, if set, is called after a page leaves the pool (clean or
 	// flushed). QuickStore uses it to revoke virtual-memory mappings.
 	OnEvict func(pid disk.PageID, frame int)
+	// OnPrefetchDrop, if set, is called when a frame leaves the pool with
+	// its Prefetched flag still set — a speculative read that was never
+	// used. The ESM client hooks it to count wasted prefetches.
+	OnPrefetchDrop func(pid disk.PageID)
 }
 
 // New creates a pool of nframes 8K frames with the given policy
@@ -121,14 +130,82 @@ func (p *Pool) Put(pid disk.PageID, load func(buf []byte) error) (int, error) {
 	f.Dirty = false
 	f.Ref = true
 	f.Pin = 0
+	f.Prefetched = false
 	p.index[pid] = i
 	return i, nil
 }
 
-// freeFrame returns an empty frame, evicting one if necessary.
+// PutPrefetched installs a speculative pre-read page image. Unlike Put it
+// never displaces demand-loaded pages: it uses an empty frame or evicts
+// another not-yet-used prefetched frame, and reports ok=false (page
+// dropped) when neither exists, so speculation can never push hot pages
+// out of the pool. The frame is installed with the reference bit clear and
+// Prefetched set; if the page is already resident the call is a no-op with
+// ok=false.
+func (p *Pool) PutPrefetched(pid disk.PageID, data []byte) (idx int, ok bool) {
+	if _, resident := p.index[pid]; resident {
+		return 0, false
+	}
+	i := -1
+	for j := range p.frames {
+		if p.frames[j].Page == disk.InvalidPage {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		for j := range p.frames {
+			f := &p.frames[j]
+			if f.Prefetched && f.Pin == 0 {
+				if err := p.Evict(j); err != nil {
+					return 0, false
+				}
+				i = j
+				break
+			}
+		}
+	}
+	if i < 0 {
+		return 0, false
+	}
+	f := &p.frames[i]
+	copy(f.Data, data)
+	f.Page = pid
+	f.Dirty = false
+	f.Ref = false
+	f.Pin = 0
+	f.Prefetched = true
+	p.index[pid] = i
+	return i, true
+}
+
+// ConsumePrefetched clears frame i's Prefetched flag, reporting whether it
+// was set — i.e. whether this access is the first real use of a
+// speculative pre-read frame (the caller owes the deferred transfer cost).
+func (p *Pool) ConsumePrefetched(i int) bool {
+	f := &p.frames[i]
+	if !f.Prefetched {
+		return false
+	}
+	f.Prefetched = false
+	return true
+}
+
+// freeFrame returns an empty frame, evicting one if necessary. Speculative
+// prefetched frames that were never used are preferred victims: they cost
+// nothing to reread and should never outlive demand-loaded pages.
 func (p *Pool) freeFrame() (int, error) {
 	for i := range p.frames {
 		if p.frames[i].Page == disk.InvalidPage {
+			return i, nil
+		}
+	}
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.Prefetched && f.Pin == 0 {
+			if err := p.Evict(i); err != nil {
+				return 0, err
+			}
 			return i, nil
 		}
 	}
@@ -158,11 +235,16 @@ func (p *Pool) Evict(i int) error {
 		}
 	}
 	pid := f.Page
+	wasted := f.Prefetched
 	delete(p.index, pid)
 	f.Page = disk.InvalidPage
 	f.Dirty = false
 	f.Ref = false
+	f.Prefetched = false
 	p.evicted++
+	if wasted && p.OnPrefetchDrop != nil {
+		p.OnPrefetchDrop(pid)
+	}
 	if p.OnEvict != nil {
 		p.OnEvict(pid, i)
 	}
@@ -206,11 +288,16 @@ func (p *Pool) DropAll() {
 		f := &p.frames[i]
 		if f.Page != disk.InvalidPage {
 			pid := f.Page
+			wasted := f.Prefetched
 			delete(p.index, pid)
 			f.Page = disk.InvalidPage
 			f.Dirty = false
 			f.Ref = false
 			f.Pin = 0
+			f.Prefetched = false
+			if wasted && p.OnPrefetchDrop != nil {
+				p.OnPrefetchDrop(pid)
+			}
 			if p.OnEvict != nil {
 				p.OnEvict(pid, i)
 			}

@@ -1,0 +1,209 @@
+package buffer
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"quickstore/internal/disk"
+)
+
+func pageImage(tag byte) []byte {
+	return bytes.Repeat([]byte{tag}, disk.PageSize)
+}
+
+func TestPutPrefetchedBasics(t *testing.T) {
+	p := New(2, nil)
+	i, ok := p.PutPrefetched(1, pageImage(0xA1))
+	if !ok {
+		t.Fatal("install into empty pool failed")
+	}
+	f := p.Frame(i)
+	if !f.Prefetched || f.Ref || f.Pin != 0 || f.Data[0] != 0xA1 {
+		t.Fatalf("bad speculative frame: %+v", f)
+	}
+	// Installing a resident page is a no-op.
+	if _, ok := p.PutPrefetched(1, pageImage(0xB2)); ok {
+		t.Fatal("reinstalled a resident page")
+	}
+	if f.Data[0] != 0xA1 {
+		t.Fatal("no-op install overwrote the frame")
+	}
+	// First use clears the flag exactly once.
+	if !p.ConsumePrefetched(i) {
+		t.Fatal("first consume reported no prefetch")
+	}
+	if p.ConsumePrefetched(i) {
+		t.Fatal("second consume reported a prefetch")
+	}
+}
+
+func TestPutPrefetchedNeverEvictsDemandPages(t *testing.T) {
+	p := New(2, nil)
+	p.Put(1, loadTag(1))
+	p.Put(2, loadTag(2))
+	// Pool full of demand-loaded pages: speculation is refused.
+	if _, ok := p.PutPrefetched(3, pageImage(3)); ok {
+		t.Fatal("speculative install displaced a demand-loaded page")
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("resident = %d", p.Resident())
+	}
+	for _, pid := range []disk.PageID{1, 2} {
+		if _, ok := p.Lookup(pid); !ok {
+			t.Fatalf("page %d evicted by refused speculation", pid)
+		}
+	}
+}
+
+func TestPutPrefetchedEvictsOlderPrefetch(t *testing.T) {
+	var dropped []disk.PageID
+	p := New(2, nil)
+	p.OnPrefetchDrop = func(pid disk.PageID) { dropped = append(dropped, pid) }
+	p.Put(1, loadTag(1))
+	if _, ok := p.PutPrefetched(2, pageImage(2)); !ok {
+		t.Fatal("install failed")
+	}
+	// Pool full; the unused speculative frame for page 2 is the victim.
+	if _, ok := p.PutPrefetched(3, pageImage(3)); !ok {
+		t.Fatal("install over older prefetch failed")
+	}
+	if _, ok := p.Lookup(2); ok {
+		t.Fatal("older prefetched page still resident")
+	}
+	if _, ok := p.Lookup(3); !ok {
+		t.Fatal("newer prefetched page missing")
+	}
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Fatalf("OnPrefetchDrop calls: %v (want [2])", dropped)
+	}
+	// A consumed (used) prefetched frame is no longer a speculation victim.
+	i, _ := p.Lookup(3)
+	p.ConsumePrefetched(i)
+	if _, ok := p.PutPrefetched(4, pageImage(4)); ok {
+		t.Fatal("speculation displaced a consumed page")
+	}
+}
+
+func TestFreeFramePrefersPrefetchedVictims(t *testing.T) {
+	var dropped []disk.PageID
+	p := New(2, nil)
+	p.OnPrefetchDrop = func(pid disk.PageID) { dropped = append(dropped, pid) }
+	p.Put(1, loadTag(1))
+	p.PutPrefetched(2, pageImage(2))
+	// A demand load with the pool full must sacrifice the unused
+	// speculative frame, not consult the clock.
+	if _, err := p.Put(3, loadTag(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lookup(1); !ok {
+		t.Fatal("demand-loaded page evicted while a speculative one remained")
+	}
+	if _, ok := p.Lookup(2); ok {
+		t.Fatal("speculative page survived demand pressure")
+	}
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Fatalf("wasted prefetches: %v (want [2])", dropped)
+	}
+}
+
+func TestDropAllCountsWastedPrefetches(t *testing.T) {
+	var dropped []disk.PageID
+	p := New(4, nil)
+	p.OnPrefetchDrop = func(pid disk.PageID) { dropped = append(dropped, pid) }
+	p.Put(1, loadTag(1))
+	p.PutPrefetched(2, pageImage(2))
+	p.PutPrefetched(3, pageImage(3))
+	i, _ := p.Lookup(3)
+	p.ConsumePrefetched(i) // page 3 was used; only page 2 is waste
+	p.DropAll()
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Fatalf("wasted prefetches: %v (want [2])", dropped)
+	}
+}
+
+// TestConcurrentPinUnpinEvict hammers one pool from many goroutines under an
+// external mutex — the synchronization model the Pool documents (one owner
+// session serializes access) — and checks the invariants hold throughout.
+// Run with -race: the point is that the lock discipline plus the pool's
+// callback structure stays race-free even when callbacks re-enter pool state.
+func TestConcurrentPinUnpinEvict(t *testing.T) {
+	const (
+		frames  = 16
+		pages   = 64
+		workers = 8
+		iters   = 2000
+	)
+	var mu sync.Mutex
+	p := New(frames, nil)
+	p.FlushFn = func(pid disk.PageID, data []byte) error { return nil }
+	p.OnEvict = func(pid disk.PageID, frame int) {
+		// Re-enter the pool from the callback, as core.Store's hook does.
+		_, _ = p.Lookup(pid)
+	}
+	p.OnPrefetchDrop = func(pid disk.PageID) { _, _ = p.Lookup(pid) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < iters; it++ {
+				pid := disk.PageID(1 + rng.Intn(pages))
+				mu.Lock()
+				switch rng.Intn(6) {
+				case 0, 1: // demand load + touch
+					if i, err := p.Put(pid, loadTag(byte(pid))); err == nil {
+						if p.Frame(i).Data[0] != byte(pid) {
+							t.Errorf("frame %d holds wrong image", i)
+						}
+					}
+				case 2: // pin/unpin cycle
+					if i, ok := p.Get(pid); ok {
+						p.Pin(i)
+						p.Frame(i).Data[1] = byte(w)
+						p.Unpin(i)
+					}
+				case 3: // explicit evict
+					if i, ok := p.Lookup(pid); ok && p.Frame(i).Pin == 0 {
+						if err := p.Evict(i); err != nil {
+							t.Errorf("evict: %v", err)
+						}
+					}
+				case 4: // speculative install
+					p.PutPrefetched(pid, pageImage(byte(pid)))
+				case 5: // consume if prefetched
+					if i, ok := p.Lookup(pid); ok {
+						p.ConsumePrefetched(i)
+					}
+				}
+				if p.Resident() > frames {
+					t.Errorf("resident %d > frames %d", p.Resident(), frames)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Final integrity sweep: the index and frames must agree.
+	seen := 0
+	for i := 0; i < p.Len(); i++ {
+		f := p.Frame(i)
+		if f.Page == disk.InvalidPage {
+			continue
+		}
+		seen++
+		if j, ok := p.Lookup(f.Page); !ok || j != i {
+			t.Errorf("index out of sync for page %d (frame %d)", f.Page, i)
+		}
+		if f.Pin != 0 {
+			t.Errorf("frame %d left pinned", i)
+		}
+	}
+	if seen != p.Resident() {
+		t.Errorf("%d occupied frames vs %d indexed", seen, p.Resident())
+	}
+}

@@ -49,6 +49,12 @@ func (s *Store) handleFault(a vmem.Addr, acc vmem.Access) error {
 		if err != nil {
 			return err
 		}
+	} else if s.c.ConsumePrefetch(idx) {
+		// First real use of a speculatively pre-read page: the fault is a
+		// buffer hit instead of a synchronous server round trip. The page
+		// was never seen this transaction, so swizzle checking below treats
+		// it like a fresh read.
+		resident = false
 	}
 	pool.Pin(idx)
 	defer pool.Unpin(idx)
@@ -196,10 +202,30 @@ func (s *Store) processMapping(d *PageDesc, data []byte) error {
 		}
 		s.byOID[e.OID] = nd
 	}
-	if len(reloc) == 0 {
+	if len(reloc) != 0 {
+		if err := s.swizzlePage(d, data, meta, reloc); err != nil {
+			return err
+		}
+	}
+	return s.prefetchReferenced(d, entries)
+}
+
+// prefetchReferenced turns the mapping object just processed into read-ahead:
+// every referenced disk page that is neither resident nor already requested
+// is enqueued, then the queue is pumped — batches are fetched concurrently
+// (OpReadPages) while this thread waits, and the images land in the client
+// pool as speculative frames. The mapping object is the paper's own data
+// structure; using it as the prefetch oracle adds no I/O of its own.
+func (s *Store) prefetchReferenced(d *PageDesc, entries []mapEntry) error {
+	if !s.pf.Enabled() {
 		return nil
 	}
-	return s.swizzlePage(d, data, meta, reloc)
+	for _, e := range entries {
+		// For large objects e.OID.Page is the descriptor's (small-object)
+		// page — still a page a traversal is about to touch.
+		s.pf.Enqueue(e.OID.Page)
+	}
+	return s.pf.Pump()
 }
 
 type relocTarget struct {

@@ -8,6 +8,7 @@ import (
 	"quickstore/internal/esm"
 	"quickstore/internal/lock"
 	"quickstore/internal/page"
+	"quickstore/internal/prefetch"
 	"quickstore/internal/sim"
 	"quickstore/internal/vmem"
 )
@@ -80,6 +81,19 @@ type Config struct {
 	// modified page in full instead (ablation for the Hoski93b
 	// comparison: how much log volume diffing saves).
 	WholeObjectLogging bool
+
+	// Prefetch enables the asynchronous mapping-object-driven prefetcher
+	// (internal/prefetch): pages named by a faulted page's mapping object
+	// are read ahead in batches and landed in the client pool as
+	// speculative frames. Off by default; the paper's configuration.
+	Prefetch bool
+	// PrefetchDepth bounds the hint queue between pumps (0 = default).
+	PrefetchDepth int
+	// PrefetchBatch is the number of pages per OpReadPages frame (0 = default).
+	PrefetchBatch int
+	// PrefetchWorkers is the fixed fan-out of concurrent batch fetches
+	// per pump (0 = default).
+	PrefetchWorkers int
 }
 
 func (c *Config) fill() {
@@ -123,6 +137,7 @@ type Store struct {
 
 	rng    *rand.Rand
 	policy *SimplifiedClock // nil under the traditional-clock ablation
+	pf     *prefetch.Prefetcher
 
 	// Diagnostics.
 	swizzleChecks int64
@@ -194,8 +209,21 @@ func newStore(c *esm.Client, cfg Config) (*Store, error) {
 		pool.SetPolicy(s.policy)
 	}
 	c.BeforeSteal = s.beforeSteal
+	s.pf = prefetch.New(prefetch.Config{
+		Enabled:   cfg.Prefetch,
+		Depth:     cfg.PrefetchDepth,
+		BatchSize: cfg.PrefetchBatch,
+		Workers:   cfg.PrefetchWorkers,
+	}, s.clock, prefetch.Funcs{
+		Resident: func(pid disk.PageID) bool { _, ok := pool.Lookup(pid); return ok },
+		Fetch:    c.ReadPagesBatch,
+		Install:  c.InstallPrefetched,
+	})
 	return s, nil
 }
+
+// Prefetcher exposes the store's prefetcher (introspection/tests).
+func (s *Store) Prefetcher() *prefetch.Prefetcher { return s.pf }
 
 func (s *Store) initClusters() {
 	s.mapCluster = s.c.NewCluster(s.mapFile)
@@ -409,6 +437,8 @@ func (s *Store) residentData(d *PageDesc) ([]byte, int, error) {
 // onEvict revokes the virtual-memory mapping of an evicted data page
 // (Figure 1b: access to frame A is disabled when page a leaves the pool).
 func (s *Store) onEvict(pid disk.PageID, frame int) {
+	// An evicted page may be referenced again later; let it be re-prefetched.
+	s.pf.Forget(pid)
 	d, ok := s.byPid[pid]
 	if !ok {
 		return

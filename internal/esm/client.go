@@ -2,6 +2,7 @@ package esm
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -67,6 +68,7 @@ func NewClient(tr Transport, cfg ClientConfig) *Client {
 	c := &Client{tr: tr, clock: cfg.Clock, rawPages: map[disk.PageID]bool{}}
 	c.pool = buffer.New(cfg.BufferPages, cfg.Policy)
 	c.pool.FlushFn = c.stealPage
+	c.pool.OnPrefetchDrop = func(disk.PageID) { c.clock.Charge(sim.CtrPrefetchWasted, 1) }
 	c.pending = make([]byte, 4)
 	return c
 }
@@ -114,6 +116,7 @@ func (c *Client) FetchPage(pid disk.PageID) (int, error) {
 		return 0, ErrNoTx
 	}
 	if i, ok := c.pool.Get(pid); ok {
+		c.ConsumePrefetch(i)
 		return i, nil
 	}
 	return c.pool.Put(pid, func(buf []byte) error {
@@ -125,6 +128,76 @@ func (c *Client) FetchPage(pid disk.PageID) (int, error) {
 		copy(buf, resp.Data)
 		return nil
 	})
+}
+
+// ConsumePrefetch settles the deferred cost of frame i if it holds a
+// speculative pre-read page that is now being used for real. The background
+// batch already paid the disk wait off the critical path, so consumption
+// charges only the network + server CPU leg of the transfer
+// (CtrServerBufferHit) — the overlapped-I/O accounting described in the
+// prefetch design notes. Reports whether this access was a prefetch hit.
+func (c *Client) ConsumePrefetch(i int) bool {
+	if !c.pool.ConsumePrefetched(i) {
+		return false
+	}
+	c.clock.Charge(sim.CtrPrefetchHit, 1)
+	c.clock.Charge(sim.CtrServerBufferHit, 1)
+	return true
+}
+
+// ReadPagesBatch fetches a batch of page images with one OpReadPages round
+// trip and returns them in request order. It never touches the client pool,
+// so the prefetcher may call it from worker goroutines while the session's
+// main thread is blocked in the pump; installation (InstallPrefetched)
+// stays on the main thread.
+func (c *Client) ReadPagesBatch(pids []disk.PageID) ([][]byte, error) {
+	if len(pids) == 0 {
+		return nil, nil
+	}
+	payload := make([]byte, 4*len(pids))
+	for i, pid := range pids {
+		binary.LittleEndian.PutUint32(payload[i*4:], uint32(pid))
+	}
+	resp, err := c.call(&Request{Op: OpReadPages, Tx: c.tx, N: uint64(len(pids)), Data: payload})
+	if err != nil {
+		return nil, err
+	}
+	const rec = 4 + disk.PageSize
+	if len(resp.Data) != rec*len(pids) {
+		return nil, fmt.Errorf("esm: ReadPages returned %d bytes for %d pages", len(resp.Data), len(pids))
+	}
+	images := make([][]byte, len(pids))
+	for i := range pids {
+		p := i * rec
+		got := disk.PageID(binary.LittleEndian.Uint32(resp.Data[p:]))
+		if got != pids[i] {
+			return nil, fmt.Errorf("esm: ReadPages record %d is page %d, want %d", i, got, pids[i])
+		}
+		images[i] = resp.Data[p+4 : p+rec : p+rec]
+	}
+	return images, nil
+}
+
+// InstallPrefetched lands a pre-read page image in the client pool as a
+// speculative frame (see buffer.PutPrefetched for the non-displacement
+// rules). No time is charged here: the cost of a useful prefetch is settled
+// at consumption, and a dropped one counts only as waste.
+func (c *Client) InstallPrefetched(pid disk.PageID, data []byte) bool {
+	_, ok := c.pool.PutPrefetched(pid, data)
+	return ok
+}
+
+// ServerStats fetches the server's statistics snapshot (OpStats).
+func (c *Client) ServerStats() (*ServerStats, error) {
+	resp, err := c.call(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	var st ServerStats
+	if err := json.Unmarshal(resp.Data, &st); err != nil {
+		return nil, fmt.Errorf("esm: bad stats payload: %w", err)
+	}
+	return &st, nil
 }
 
 // PageData returns the in-place bytes of frame i.

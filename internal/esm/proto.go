@@ -31,13 +31,21 @@ const (
 	OpCounter
 	OpCheckpoint
 	OpStats
+	// OpReadPages is the batched page-read protocol: one request/response
+	// frame for N pages. The request carries the page ids as little-endian
+	// u32s in Data (count in N); the response carries N (u32 pid, 8K image)
+	// records. It exists for the asynchronous prefetcher
+	// (internal/prefetch): batch reads are served without disturbing the
+	// server buffer pool, so a client speculating on future accesses never
+	// changes what a non-speculating client would observe.
+	OpReadPages
 )
 
 // String names the operation for diagnostics.
 func (o Op) String() string {
 	names := [...]string{"", "BEGIN", "COMMIT", "ABORT", "READ", "WRITE", "ALLOC",
 		"FREE", "LOCK", "LOG", "CREATEFILE", "OPENFILE", "GETROOT", "SETROOT",
-		"COUNTER", "CHECKPOINT", "STATS"}
+		"COUNTER", "CHECKPOINT", "STATS", "READPAGES"}
 	if int(o) < len(names) {
 		return names[o]
 	}

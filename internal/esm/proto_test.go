@@ -1,0 +1,190 @@
+package esm
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// allOps enumerates every defined protocol operation.
+var allOps = []Op{
+	OpBegin, OpCommit, OpAbort, OpReadPage, OpWritePage, OpAllocPages,
+	OpFreePages, OpLock, OpLog, OpCreateFile, OpOpenFile, OpGetRoot,
+	OpSetRoot, OpCounter, OpCheckpoint, OpStats, OpReadPages,
+}
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, op := range allOps {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "Op(") {
+			t.Errorf("op %d has no name (%q)", op, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := Op(200).String(); got != "Op(200)" {
+		t.Errorf("out-of-range op name = %q", got)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{},
+		{Op: OpBegin},
+		{Op: OpReadPage, Tx: 42, Page: 7},
+		{Op: OpWritePage, Tx: 1, Page: 9, Data: bytes.Repeat([]byte{0xAB}, 8192)},
+		{Op: OpLock, Tx: 3, Page: 11, Mode: 0x21},
+		{Op: OpGetRoot, Name: "root/name with spaces \x00 and NULs"},
+		{Op: OpCounter, Name: "ctr", N: 1<<63 + 17},
+		{Op: OpSetRoot, Name: strings.Repeat("n", 65535), N: 5, Data: []byte{1, 2, 3}},
+		{Op: OpReadPages, Tx: 9, N: 3, Data: []byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}},
+	}
+	for _, op := range allOps {
+		cases = append(cases, Request{Op: op, Tx: uint64(op), Page: uint32(op), N: uint64(op) * 3, Mode: uint8(op), Name: op.String(), Data: []byte(op.String())})
+	}
+	for i, want := range cases {
+		got, err := unmarshalRequest(want.marshal())
+		if err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		// marshal encodes nil and empty Data identically.
+		if len(want.Data) == 0 {
+			want.Data = nil
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Errorf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, *got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{},
+		{Err: "esm: something broke"},
+		{Page: 1234, N: 99},
+		{Err: "e", Page: 1, N: 2, Data: []byte{9, 8, 7}},
+		{Data: bytes.Repeat([]byte{0x5A}, 3*8192)},
+	}
+	for i, want := range cases {
+		got, err := unmarshalResponse(want.marshal())
+		if err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if len(want.Data) == 0 {
+			want.Data = nil
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Errorf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, *got, want)
+		}
+	}
+}
+
+// TestUnmarshalTruncated feeds every proper prefix of valid messages to the
+// decoders: all must fail cleanly, never panic, never succeed.
+func TestUnmarshalTruncated(t *testing.T) {
+	req := (&Request{Op: OpSetRoot, Tx: 1, Page: 2, N: 3, Mode: 4, Name: "abcdef", Data: []byte{1, 2, 3, 4, 5}}).marshal()
+	for n := 0; n < len(req); n++ {
+		if _, err := unmarshalRequest(req[:n]); err == nil {
+			t.Errorf("request truncated to %d bytes decoded successfully", n)
+		}
+	}
+	resp := (&Response{Err: "oops", Page: 1, N: 2, Data: []byte{1, 2, 3}}).marshal()
+	for n := 0; n < len(resp); n++ {
+		if _, err := unmarshalResponse(resp[:n]); err == nil {
+			t.Errorf("response truncated to %d bytes decoded successfully", n)
+		}
+	}
+}
+
+// TestUnmarshalLyingLengths covers messages whose embedded lengths point past
+// the end of the buffer.
+func TestUnmarshalLyingLengths(t *testing.T) {
+	req := (&Request{Op: OpGetRoot, Name: "abc"}).marshal()
+	bad := append([]byte(nil), req...)
+	bad[22] = 0xFF // nameLen low byte: name now claims to be longer than the buffer
+	bad[23] = 0xFF
+	if _, err := unmarshalRequest(bad); err == nil {
+		t.Error("oversized nameLen accepted")
+	}
+	bad = append([]byte(nil), req...)
+	bad[len(bad)-4] = 0xFF // dataLen: data claims bytes that are not there
+	if _, err := unmarshalRequest(bad); err == nil {
+		t.Error("oversized dataLen accepted")
+	}
+	resp := (&Response{Err: "x"}).marshal()
+	bad = append([]byte(nil), resp...)
+	bad[0] = 0xFF // errLen
+	if _, err := unmarshalResponse(bad); err == nil {
+		t.Error("oversized errLen accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{7}, 100000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("hello frame")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for n := 0; n < len(whole); n++ {
+		if _, err := readFrame(bytes.NewReader(whole[:n])); err == nil {
+			t.Errorf("frame truncated to %d bytes read successfully", n)
+		}
+	}
+	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameOversizedHeader(t *testing.T) {
+	// Header declares 2 GiB; readFrame must refuse before allocating.
+	hdr := []byte{0, 0, 0, 0x80}
+	if _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+// FuzzUnmarshalRequest throws arbitrary bytes at the request decoder, and
+// checks that everything it accepts survives a marshal/unmarshal round trip.
+func FuzzUnmarshalRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Request{Op: OpBegin}).marshal())
+	f.Add((&Request{Op: OpSetRoot, Name: "seed", Data: []byte{1, 2, 3}}).marshal())
+	f.Add((&Request{Op: OpReadPages, N: 2, Data: []byte{1, 0, 0, 0, 2, 0, 0, 0}}).marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := unmarshalRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := unmarshalRequest(req.marshal())
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v", again, req)
+		}
+	})
+}

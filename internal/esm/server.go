@@ -57,6 +57,26 @@ type Server struct {
 
 	lastTxLSN map[uint64]wal.LSN
 	active    map[uint64]bool
+
+	// prefetchPages counts pages served through OpReadPages batches.
+	prefetchPages int64
+}
+
+// ServerStats is the JSON payload returned in OpStats responses; it backs
+// the `qsstore stats` subcommand.
+type ServerStats struct {
+	BufferPages    int   `json:"buffer_pages"`
+	Resident       int   `json:"resident_pages"`
+	PoolHits       int64 `json:"pool_hits"`
+	PoolMisses     int64 `json:"pool_misses"`
+	PoolEvicted    int64 `json:"pool_evicted"`
+	AllocatedPages int   `json:"allocated_pages"`
+	LogRecords     int64 `json:"log_records"`
+	LogBytes       int64 `json:"log_bytes"`
+	DiskReads      int64 `json:"disk_reads"`
+	DiskWrites     int64 `json:"disk_writes"`
+	PrefetchPages  int64 `json:"prefetch_pages_served"`
+	PrefetchReads  int64 `json:"prefetch_disk_reads"`
 }
 
 // NewServer creates a server over a fresh volume: the catalog page is
@@ -298,9 +318,67 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		return nil, nil
 
 	case OpStats:
-		return &Response{N: uint64(s.pool.Resident())}, nil
+		hits, misses, evicted := s.pool.Stats()
+		st := ServerStats{
+			BufferPages:    s.pool.Len(),
+			Resident:       s.pool.Resident(),
+			PoolHits:       hits,
+			PoolMisses:     misses,
+			PoolEvicted:    evicted,
+			AllocatedPages: int(s.vol.AllocatedPages()),
+			LogRecords:     s.log.Records(),
+			LogBytes:       s.log.Bytes(),
+			DiskReads:      s.clock.Count(sim.CtrServerDiskRead),
+			DiskWrites:     s.clock.Count(sim.CtrServerDiskWrite),
+			PrefetchPages:  s.prefetchPages,
+			PrefetchReads:  s.clock.Count(sim.CtrPrefetchDiskRead),
+		}
+		blob, err := json.Marshal(&st)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{N: uint64(s.pool.Resident()), Data: blob}, nil
+
+	case OpReadPages:
+		return s.readPagesBatch(req)
 	}
 	return nil, fmt.Errorf("esm: unknown op %v", req.Op)
+}
+
+// readPagesBatch serves one OpReadPages frame: every requested page is
+// returned in request order, taken from the server pool when resident
+// (Lookup, so reference bits stay untouched) and read straight from the
+// volume otherwise. The server pool is deliberately bypassed for the
+// volume reads: prefetch traffic must not install or evict server frames,
+// both because speculative reads should not pollute the server's working
+// set and because it keeps concurrent batch fetches from perturbing the
+// deterministic pool state the experiments depend on. Background disk
+// reads are counted (CtrPrefetchDiskRead) but charge no foreground time —
+// they overlap with client computation.
+func (s *Server) readPagesBatch(req *Request) (*Response, error) {
+	if len(req.Data)%4 != 0 || uint64(len(req.Data)/4) != req.N {
+		return nil, fmt.Errorf("esm: malformed ReadPages payload (%d bytes for %d pages)", len(req.Data), req.N)
+	}
+	n := int(req.N)
+	out := make([]byte, 0, n*(4+disk.PageSize))
+	for i := 0; i < n; i++ {
+		pid := disk.PageID(binary.LittleEndian.Uint32(req.Data[i*4:]))
+		var pidb [4]byte
+		binary.LittleEndian.PutUint32(pidb[:], uint32(pid))
+		out = append(out, pidb[:]...)
+		if idx, ok := s.pool.Lookup(pid); ok {
+			out = append(out, s.pool.Frame(idx).Data...)
+		} else {
+			buf := make([]byte, disk.PageSize)
+			if err := s.vol.ReadPage(pid, buf); err != nil {
+				return nil, fmt.Errorf("esm: ReadPages(%d): %w", pid, err)
+			}
+			s.clock.Charge(sim.CtrPrefetchDiskRead, 1)
+			out = append(out, buf...)
+		}
+		s.prefetchPages++
+	}
+	return &Response{N: req.N, Data: out}, nil
 }
 
 func (s *Server) readPage(pid disk.PageID) (*Response, error) {

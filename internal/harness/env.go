@@ -42,6 +42,9 @@ type SessionOpts struct {
 	// Ablation knobs (DESIGN.md §7).
 	TraditionalClock   bool
 	WholeObjectLogging bool
+	// Prefetch enables QuickStore's mapping-object-driven prefetcher
+	// (internal/prefetch). Off in every paper-table experiment.
+	Prefetch bool
 }
 
 // Env is one generated OO7 database for one system: a server over an
@@ -92,6 +95,7 @@ func (e *Env) open(opts SessionOpts, bulk bool) (oo7.DB, error) {
 			RelocSeed:          opts.RelocSeed,
 			TraditionalClock:   opts.TraditionalClock,
 			WholeObjectLogging: opts.WholeObjectLogging,
+			Prefetch:           opts.Prefetch,
 		}
 		var s *core.Store
 		var err error

@@ -33,7 +33,9 @@ var ExperimentNames = []string{
 
 // Verify ("-exp verify") is intentionally not part of "all": its assertions
 // hold at full benchmark scale (oo7.Small and up), not at the reduced test
-// configurations the suite also supports.
+// configurations the suite also supports. Likewise "prefetch" is not part of
+// "all": it measures the prefetch extension (off by default), so keeping it
+// out preserves byte-identical "-exp all" output against the paper baseline.
 
 // Suite runs experiments, caching generated databases and measurements that
 // several tables share.
@@ -49,6 +51,8 @@ type Suite struct {
 	mediumRO   map[string]map[System]Measurement
 	smallUpd   map[string]map[System]Measurement
 	mediumUpd  map[string]map[System]Measurement
+
+	tables []Table // every table emitted since the last TakeTables
 }
 
 // NewSuite builds a suite writing reports to w. When medium is false the
@@ -64,6 +68,21 @@ func NewSuite(w io.Writer, medium bool) *Suite {
 
 func (s *Suite) logf(format string, args ...any) {
 	fmt.Fprintf(s.Out, format+"\n", args...)
+}
+
+// emit prints a finished table and records it for structured consumers
+// (cmd/oo7bench -json).
+func (s *Suite) emit(t Table) {
+	s.logf("%s", t.String())
+	s.tables = append(s.tables, t)
+}
+
+// TakeTables drains the tables emitted since the previous call. Callers use
+// it to attribute tables to the experiment that just ran.
+func (s *Suite) TakeTables() []Table {
+	out := s.tables
+	s.tables = nil
+	return out
 }
 
 func (s *Suite) envs(medium bool) (map[System]*Env, error) {
@@ -184,6 +203,7 @@ func (s *Suite) dispatch() map[string]func() error {
 		"ablations": s.Ablations,
 		"extras":    s.Extras,
 		"verify":    s.Verify,
+		"prefetch":  s.PrefetchExp,
 	}
 }
 
@@ -224,7 +244,7 @@ func (s *Suite) Table2() error {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("QS/E small size ratio = %.2f (paper: 0.63)",
 			ratio(small[SysQS].SizeMB(), small[SysE].SizeMB())))
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -243,7 +263,7 @@ func (s *Suite) coldOps(medium bool, names []string, title string) error {
 			d(m[SysQS].ColdIOs()), d(m[SysE].ColdIOs()), d(m[SysQSB].ColdIOs()),
 			d(int64(m[SysQS].Result)))
 	}
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -262,7 +282,7 @@ func (s *Suite) hotOps(medium bool, names []string, title string) error {
 		}
 		t.AddRow(name, f1(m[SysQS].HotMs), f1(m[SysE].HotMs), f1(m[SysQSB].HotMs), r)
 	}
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -291,7 +311,7 @@ func (s *Suite) Table5() error {
 		}
 		t.AddRow(row...)
 	}
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -334,7 +354,7 @@ func (s *Suite) Table6() error {
 		t.AddRow(row...)
 	}
 	t.AddRow("total", fmt.Sprintf("%.2f", totals["T1"]), fmt.Sprintf("%.2f", totals["T6"]))
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -392,7 +412,7 @@ func (s *Suite) updates(medium bool) error {
 		resp.AddRow(name, sec(m[SysQS].ColdMs), sec(m[SysE].ColdMs), sec(m[SysQSB].ColdMs),
 			d(int64(m[SysQS].Result)))
 	}
-	s.logf("%s", resp.String())
+	s.emit(resp)
 	return nil
 }
 
@@ -412,7 +432,7 @@ func (s *Suite) commitBreakdown() error {
 			commit.AddRow(name, sys.String(), sec(diff), sec(logGen), sec(mapUpd), sec(flush))
 		}
 	}
-	s.logf("%s", commit.String())
+	s.emit(commit)
 	return nil
 }
 
@@ -447,7 +467,7 @@ func (s *Suite) Table7() error {
 		}
 		t.AddRow(row...)
 	}
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -482,7 +502,7 @@ func (s *Suite) Fig17() error {
 		row = append(row, d(swizzled[core.RelocCR]), d(swizzled[core.RelocOR]))
 		t.AddRow(row...)
 	}
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }
 
@@ -528,7 +548,7 @@ func (s *Suite) Ablations() error {
 		}
 		clockT.AddRow(name, sec(m.ColdMs), sec(m.HotMs), d(m.HotDelta.Count(sim.CtrClientRead)))
 	}
-	s.logf("%s", clockT.String())
+	s.emit(clockT)
 
 	// Ablation 2: log generation. Diffing emits minimal records; the
 	// whole-page alternative (the Hoski93b-style comparison) logs every
@@ -552,7 +572,7 @@ func (s *Suite) Ablations() error {
 			d(m.ColdDelta.Count(sim.CtrLogRecord)),
 			d(m.ColdDelta.Count(sim.CtrLogByte)/1024))
 	}
-	s.logf("%s", logT.String())
+	s.emit(logT)
 	return nil
 }
 
@@ -605,6 +625,6 @@ func (s *Suite) Extras() error {
 		}
 		t.AddRow(append(row, d(int64(result)))...)
 	}
-	s.logf("%s", t.String())
+	s.emit(t)
 	return nil
 }

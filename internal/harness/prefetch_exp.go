@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"quickstore/internal/sim"
+)
+
+// PrefetchExp ("-exp prefetch") measures the mapping-object-driven prefetch
+// extension: the Figure 8 cold traversals rerun on QuickStore with the
+// prefetcher off and on. It is deliberately not part of "-exp all" — the
+// extension is off by default, and the paper tables must stay byte-identical
+// to the baseline — so the comparison lives in its own report. With -medium
+// the Figure 14 (medium database) traversals are repeated the same way.
+func (s *Suite) PrefetchExp() error {
+	if err := s.prefetchCold(false, "Prefetch: cold traversal times, small database (QS, prefetch off vs on)"); err != nil {
+		return err
+	}
+	return s.mediumGate(func() error {
+		return s.prefetchCold(true, "Prefetch: cold traversal times, medium database (QS, prefetch off vs on)")
+	})
+}
+
+func (s *Suite) prefetchCold(medium bool, title string) error {
+	p := s.Small
+	if medium {
+		p = s.Medium
+	}
+	env, err := Build(SysQS, p)
+	if err != nil {
+		return err
+	}
+	ops := Ops(p)
+	t := Table{Title: title,
+		Columns: []string{"op", "off ms", "on ms", "gain", "off IOs", "on IOs", "pf.issued", "pf.hit", "pf.wasted", "result"}}
+	for _, name := range []string{"T1", "T6", "T7", "T8", "T9"} {
+		off, err := env.RunColdHot(ops[name], SessionOpts{})
+		if err != nil {
+			return err
+		}
+		on, err := env.RunColdHot(ops[name], SessionOpts{Prefetch: true})
+		if err != nil {
+			return err
+		}
+		if on.Result != off.Result {
+			return fmt.Errorf("harness: prefetch changed %s result: off=%d on=%d", name, off.Result, on.Result)
+		}
+		t.AddRow(name,
+			ms(off.ColdMs), ms(on.ColdMs),
+			pct(1-ratio(on.ColdMs, off.ColdMs)),
+			d(off.ColdIOs()), d(on.ColdIOs()),
+			d(on.ColdDelta.Count(sim.CtrPrefetchIssued)),
+			d(on.ColdDelta.Count(sim.CtrPrefetchHit)),
+			d(on.ColdDelta.Count(sim.CtrPrefetchWasted)),
+			d(int64(on.Result)))
+	}
+	t.Notes = append(t.Notes,
+		"a prefetch hit is charged the network+server CPU leg only; the disk read overlapped with client computation")
+	s.emit(t)
+	return nil
+}

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"quickstore/internal/oo7"
+	"quickstore/internal/sim"
+)
+
+// TestPrefetchColdT1 is the acceptance gate for the prefetch extension: on
+// the paper's small database, enabling the mapping-object prefetcher must
+// cut the cold T1 simulated time by at least 25% without changing the
+// traversal result or the hot (in-memory) time.
+func TestPrefetchColdT1(t *testing.T) {
+	env, err := Build(SysQS, oo7.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := Ops(oo7.Small())
+	off, err := env.RunColdHot(ops["T1"], SessionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := env.RunColdHot(ops["T1"], SessionOpts{Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if on.Result != off.Result {
+		t.Fatalf("prefetch changed the traversal result: off=%d on=%d", off.Result, on.Result)
+	}
+	if gain := 1 - on.ColdMs/off.ColdMs; gain < 0.25 {
+		t.Errorf("cold T1 gain = %.1f%% (off=%.0fms on=%.0fms), want >= 25%%",
+			gain*100, off.ColdMs, on.ColdMs)
+	}
+	// Hot runs touch no non-resident pages, so the prefetcher must be
+	// completely inert there. The deltas are differences of accumulated
+	// floats, so allow rounding noise.
+	if diff := on.HotMs - off.HotMs; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("hot T1 changed: off=%.6fms on=%.6fms", off.HotMs, on.HotMs)
+	}
+	if n := on.HotDelta.Count(sim.CtrPrefetchIssued); n != 0 {
+		t.Errorf("hot run issued %d prefetches, want 0", n)
+	}
+
+	// The counters must tell a coherent story: hits happened, every hit was
+	// a page previously issued, and hits replaced synchronous reads.
+	cd := on.ColdDelta
+	hits := cd.Count(sim.CtrPrefetchHit)
+	issued := cd.Count(sim.CtrPrefetchIssued)
+	if hits == 0 {
+		t.Error("prefetch-on cold run recorded no hits")
+	}
+	if hits > issued {
+		t.Errorf("hits (%d) exceed issued (%d)", hits, issued)
+	}
+	if on.ColdIOs() >= off.ColdIOs() {
+		t.Errorf("prefetch did not reduce synchronous reads: off=%d on=%d",
+			off.ColdIOs(), on.ColdIOs())
+	}
+	if got := off.ColdIOs() - hits; on.ColdIOs() > got {
+		t.Errorf("synchronous reads %d, want at most off-hits = %d", on.ColdIOs(), got)
+	}
+}
+
+// TestPrefetchOffIsInert checks the determinism contract: with the
+// prefetcher disabled (the default), a session's counters contain no
+// prefetch activity at all, so every paper-table experiment is untouched.
+func TestPrefetchOffIsInert(t *testing.T) {
+	env, err := Build(SysQS, oo7.SmallTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := env.RunColdHot(Ops(oo7.SmallTest())["T1"], SessionOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []sim.Counter{
+		sim.CtrPrefetchIssued, sim.CtrPrefetchBatch, sim.CtrPrefetchHit,
+		sim.CtrPrefetchWasted, sim.CtrPrefetchDiskRead,
+	} {
+		if n := m.ColdDelta.Count(c) + m.HotDelta.Count(c); n != 0 {
+			t.Errorf("%v = %d with prefetch off, want 0", c, n)
+		}
+	}
+}
+
+// TestPrefetchExperimentRuns exercises the "-exp prefetch" report end to end
+// on the reduced configuration.
+func TestPrefetchExperimentRuns(t *testing.T) {
+	var out bytes.Buffer
+	s := tinySuite(&out)
+	s.RunMedium = false
+	if err := s.Run([]string{"prefetch"}); err != nil {
+		t.Fatalf("prefetch experiment failed: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "prefetch off vs on") {
+		t.Errorf("missing report title in output:\n%s", text)
+	}
+	if !strings.Contains(text, "pf.hit") {
+		t.Errorf("missing prefetch counters in output:\n%s", text)
+	}
+}

@@ -1,0 +1,203 @@
+// Package prefetch implements QuickStore's asynchronous, mapping-object-
+// driven page prefetcher.
+//
+// The oracle is free: every QuickStore page carries a mapping object — an
+// array of <virtual range, disk OID> entries naming exactly the disk pages
+// the page's pointers refer to — and the fault handler already walks it on
+// every fault (Section 3.3 of the paper). The prefetcher turns that walk
+// into a read-ahead hint: referenced pages that are neither resident nor
+// previously requested are enqueued, then fetched in the background with
+// the batched OpReadPages protocol op (one request/response frame for N
+// pages) and landed in the client pool as speculative, not-yet-used frames.
+// The next fault on such a page is a buffer hit instead of a synchronous
+// server round trip.
+//
+// Determinism rules (the experiment harness depends on byte-identical
+// output across runs):
+//
+//   - Enqueue order is the mapping-object entry order, which is itself
+//     deterministic; the queue dedups against residency and a
+//     previously-requested set.
+//   - Pump is a synchronous scatter-gather: the session's main thread
+//     blocks while a fixed fan-out of worker goroutines fetch the batches
+//     concurrently, then installs the results in issue order (ordered
+//     drain). Goroutine scheduling can change wall-clock overlap but never
+//     the observable pool state or counter totals.
+//   - The server side of OpReadPages never mutates the server buffer pool,
+//     so concurrent batch fetches cannot perturb server state either.
+//
+// Cost accounting models overlapped I/O: enqueue/batch/background-disk
+// events are counted at zero foreground cost, and a consumed prefetched
+// page is charged only the network + server CPU leg of its transfer
+// (CtrServerBufferHit) at consumption time — the disk wait happened off
+// the critical path.
+package prefetch
+
+import (
+	"quickstore/internal/disk"
+	"quickstore/internal/sim"
+)
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultDepth     = 64
+	DefaultBatchSize = 8
+	DefaultWorkers   = 4
+)
+
+// Config tunes a Prefetcher.
+type Config struct {
+	Enabled   bool
+	Depth     int // max pages queued between pumps; excess hints are dropped
+	BatchSize int // pages per OpReadPages frame
+	Workers   int // concurrent batch fetches per pump (fixed fan-out)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth <= 0 {
+		c.Depth = DefaultDepth
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	return c
+}
+
+// Funcs are the prefetcher's bindings to the owning session. All four are
+// required when the prefetcher is enabled. Fetch may be called from worker
+// goroutines; the other three run only on the session's main thread.
+type Funcs struct {
+	// Resident reports whether pid is already in the client pool.
+	Resident func(pid disk.PageID) bool
+	// Fetch performs one batched read (esm.Client.ReadPagesBatch).
+	Fetch func(pids []disk.PageID) ([][]byte, error)
+	// Install lands one pre-read image (esm.Client.InstallPrefetched),
+	// reporting false when the pool had no room for speculation.
+	Install func(pid disk.PageID, data []byte) bool
+}
+
+// Prefetcher accumulates page hints between faults and fetches them in
+// batches at pump points. It is not internally synchronized: Enqueue and
+// Pump run on the session's single application thread, and Pump blocks
+// that thread until its workers finish.
+type Prefetcher struct {
+	cfg   Config
+	clock *sim.Clock
+	fn    Funcs
+
+	queue     []disk.PageID
+	requested map[disk.PageID]bool
+}
+
+// New builds a prefetcher. A nil clock means events are not counted.
+func New(cfg Config, clock *sim.Clock, fn Funcs) *Prefetcher {
+	if clock == nil {
+		clock = sim.NewClock(sim.CostModel{})
+	}
+	return &Prefetcher{
+		cfg:       cfg.withDefaults(),
+		clock:     clock,
+		fn:        fn,
+		requested: map[disk.PageID]bool{},
+	}
+}
+
+// Enabled reports whether the prefetcher is active.
+func (p *Prefetcher) Enabled() bool { return p != nil && p.cfg.Enabled }
+
+// Enqueue records a read-ahead hint for pid. Hints for resident or
+// already-requested pages are ignored; hints past the depth cap are
+// dropped (the queue bounds speculative memory, not correctness).
+func (p *Prefetcher) Enqueue(pid disk.PageID) {
+	if !p.Enabled() || pid == disk.InvalidPage {
+		return
+	}
+	if p.requested[pid] || (p.fn.Resident != nil && p.fn.Resident(pid)) {
+		return
+	}
+	if len(p.queue) >= p.cfg.Depth {
+		return
+	}
+	p.requested[pid] = true
+	p.queue = append(p.queue, pid)
+	p.clock.Charge(sim.CtrPrefetchIssued, 1)
+}
+
+// Forget drops pid from the previously-requested set, making it eligible
+// for prefetch again. The owning session calls it when a page leaves the
+// client pool, so a page evicted and later referenced again can be
+// re-prefetched.
+func (p *Prefetcher) Forget(pid disk.PageID) {
+	if p == nil {
+		return
+	}
+	delete(p.requested, pid)
+}
+
+// Pending reports the number of queued, not-yet-fetched hints.
+func (p *Prefetcher) Pending() int { return len(p.queue) }
+
+// Pump drains the queue: the hints are cut into BatchSize batches, at most
+// Workers batches are fetched concurrently (each one OpReadPages round
+// trip), and once every fetch has returned the images are installed in
+// issue order on the calling thread. The scatter-gather is synchronous, so
+// by the time Pump returns the speculative frames are in the pool and no
+// prefetch work remains in flight.
+func (p *Prefetcher) Pump() error {
+	if !p.Enabled() || len(p.queue) == 0 {
+		return nil
+	}
+	pending := p.queue
+	p.queue = nil
+
+	var batches [][]disk.PageID
+	for len(pending) > 0 {
+		n := p.cfg.BatchSize
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batches = append(batches, pending[:n])
+		pending = pending[n:]
+	}
+	p.clock.Charge(sim.CtrPrefetchBatch, int64(len(batches)))
+
+	type result struct {
+		images [][]byte
+		err    error
+	}
+	results := make([]result, len(batches))
+	// Fixed fan-out: worker w owns batches w, w+Workers, w+2*Workers, ...
+	// The assignment depends only on the issue order, never on scheduling.
+	workers := p.cfg.Workers
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for b := w; b < len(batches); b += workers {
+				images, err := p.fn.Fetch(batches[b])
+				results[b] = result{images, err}
+			}
+			done <- w
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+
+	// Ordered drain: install strictly in issue order regardless of which
+	// worker finished first.
+	for b, batch := range batches {
+		if results[b].err != nil {
+			return results[b].err
+		}
+		for i, pid := range batch {
+			p.fn.Install(pid, results[b].images[i])
+		}
+	}
+	return nil
+}

@@ -62,6 +62,18 @@ const (
 	CtrCommitFlushPage // dirty pages forced to the server at commit (costed)
 	CtrSideBufferCopy  // EPVM object copies into the side buffer (costed)
 
+	// Asynchronous prefetch subsystem (internal/prefetch). The prefetcher's
+	// work overlaps with client computation, so none of these carry a
+	// foreground cost in the default model: a consumed prefetched page is
+	// charged the network + server CPU leg of its transfer (via
+	// CtrServerBufferHit) at consumption time, while the background disk
+	// reads behind it are counted here without advancing the clock.
+	CtrPrefetchIssued   // pages handed to the prefetcher (enqueued into a batch)
+	CtrPrefetchBatch    // batched OpReadPages round trips issued
+	CtrPrefetchHit      // faults satisfied by a pre-read frame (no server round trip)
+	CtrPrefetchWasted   // pre-read frames evicted or dropped before any use
+	CtrPrefetchDiskRead // background server disk reads on behalf of prefetch batches
+
 	// Application-level work, used for the hot (in-memory) results and the
 	// Table 7 CPU profile.
 	CtrDeref      // pointer dereferences performed by the application
@@ -82,6 +94,7 @@ var counterNames = [NumCounters]string{
 	"sw.interp.call", "sw.residency.check", "sw.bigptr.deref",
 	"rec.copy", "rec.lock.upgrade", "rec.page.diff", "rec.diff.byte", "rec.log.record",
 	"rec.log.byte", "rec.map.update", "rec.commit.flush", "rec.side.copy",
+	"pf.issued", "pf.batch", "pf.hit", "pf.wasted", "pf.disk.read",
 	"app.deref", "app.field.read", "app.field.write", "app.iter.alloc", "app.part.set",
 	"app.index.op", "app.byte.scan",
 }

@@ -70,6 +70,17 @@ type Options struct {
 	RelocateFraction float64
 	// RelocSeed seeds the relocation-injection randomness.
 	RelocSeed int64
+	// Prefetch enables the asynchronous mapping-object-driven prefetcher
+	// (internal/prefetch): pages referenced by a faulted page are read
+	// ahead in batches and the next fault on them is a buffer hit. Off by
+	// default (the paper's configuration).
+	Prefetch bool
+	// PrefetchDepth, PrefetchBatch, and PrefetchWorkers tune the
+	// prefetcher's queue depth, pages per batched read, and concurrent
+	// fetch fan-out (0 = package defaults).
+	PrefetchDepth   int
+	PrefetchBatch   int
+	PrefetchWorkers int
 }
 
 // RelocationMode selects the Section 5.5 relocation policy.
@@ -157,6 +168,10 @@ func attach(vol disk.Volume, log *wal.Log, srv *esm.Server, clock *sim.Clock, op
 		Relocation:          opts.Relocation,
 		RelocateFraction:    opts.RelocateFraction,
 		RelocSeed:           opts.RelocSeed,
+		Prefetch:            opts.Prefetch,
+		PrefetchDepth:       opts.PrefetchDepth,
+		PrefetchBatch:       opts.PrefetchBatch,
+		PrefetchWorkers:     opts.PrefetchWorkers,
 	}
 	var cs *core.Store
 	var err error
@@ -306,7 +321,11 @@ type Stats struct {
 	MappedPages  int   // page descriptors in the current mapping
 	Relocations  int64 // page ranges assigned new addresses
 	LogRecords   int64 // log records generated
-	SimulatedMs  float64
+	// Prefetcher activity (zero unless Options.Prefetch is on).
+	PrefetchIssued int64 // pages handed to the prefetcher
+	PrefetchHits   int64 // faults satisfied by a pre-read frame
+	PrefetchWasted int64 // pre-read frames dropped before any use
+	SimulatedMs    float64
 }
 
 // Stats reports the session's counters.
@@ -322,8 +341,18 @@ func (s *Store) Stats() Stats {
 		MappedPages:  s.core.DescCount(),
 		Relocations:  s.core.Relocations(),
 		LogRecords:   snap.Count(sim.CtrLogRecord),
-		SimulatedMs:  snap.ElapsedMicros() / 1000,
+		PrefetchIssued: snap.Count(sim.CtrPrefetchIssued),
+		PrefetchHits:   snap.Count(sim.CtrPrefetchHit),
+		PrefetchWasted: snap.Count(sim.CtrPrefetchWasted),
+		SimulatedMs:    snap.ElapsedMicros() / 1000,
 	}
+}
+
+// ServerStats fetches the embedded page server's statistics snapshot
+// (the OpStats protocol op): pool occupancy and hit rates, log volume,
+// disk I/O, and pages served to the prefetcher.
+func (s *Store) ServerStats() (*esm.ServerStats, error) {
+	return s.client.ServerStats()
 }
 
 // DropCaches empties the client and server pools, making the next accesses
