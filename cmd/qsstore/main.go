@@ -2,16 +2,23 @@
 //
 // Usage:
 //
-//	qsstore create -db path.vol
-//	qsstore info   -db path.vol
-//	qsstore verify -db path.vol
-//	qsstore stats  -db path.vol
+//	qsstore create     -db path.vol
+//	qsstore info       -db path.vol
+//	qsstore verify     -db path.vol
+//	qsstore stats      -db path.vol
+//	qsstore crashdrill [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]
 //
 // info prints the volume geometry and the log summary; verify walks every
 // header-bearing page checking slotted-page invariants and, for QuickStore
 // data pages, the meta-object and its mapping/bitmap references; stats
 // opens the store and prints the page server's statistics snapshot
 // (OpStats), including the prefetch service counters.
+//
+// crashdrill runs the deterministic fault-injection drill (DESIGN.md §9)
+// on scratch volumes: seeded update workloads killed at named crash
+// points, restarted, and checked against the recovery invariants. With no
+// -point it sweeps every named point; with -point it runs one drill and
+// prints its report. The exit status is non-zero if any invariant broke.
 package main
 
 import (
@@ -20,6 +27,8 @@ import (
 	"os"
 
 	"quickstore/internal/disk"
+	"quickstore/internal/faultinject"
+	"quickstore/internal/harness"
 	"quickstore/internal/page"
 	"quickstore/internal/wal"
 	"quickstore/quickstore"
@@ -32,8 +41,15 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	db := fs.String("db", "", "database volume path")
+	point := fs.String("point", "", "crashdrill: crash point to arm (default: sweep all)")
+	seed := fs.Int64("seed", 1, "crashdrill: base workload/fault seed")
+	seeds := fs.Int("seeds", 4, "crashdrill: seeds per configuration in sweep mode")
+	hitN := fs.Int("hit", 1, "crashdrill: fire the crash on the n-th hit of the point")
+	short := fs.Bool("short", false, "crashdrill: crashing log flush keeps only a prefix")
+	torn := fs.Bool("torn", false, "crashdrill: sub-page torn page writes (detection mode)")
+	dir := fs.String("dir", "", "crashdrill: scratch directory (default: temp)")
 	fs.Parse(os.Args[2:])
-	if *db == "" {
+	if *db == "" && cmd != "crashdrill" {
 		fmt.Fprintln(os.Stderr, "qsstore: -db is required")
 		os.Exit(2)
 	}
@@ -47,6 +63,8 @@ func main() {
 		err = verify(*db)
 	case "stats":
 		err = stats(*db)
+	case "crashdrill":
+		err = crashdrill(*point, *seed, *seeds, *hitN, *short, *torn, *dir)
 	default:
 		usage()
 	}
@@ -58,7 +76,81 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: qsstore create|info|verify|stats -db <path>")
+	fmt.Fprintln(os.Stderr, "       qsstore crashdrill [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]")
 	os.Exit(2)
+}
+
+// crashdrill runs one drill (with -point) or sweeps the full crash-point
+// catalogue, reporting every recovery-invariant violation.
+func crashdrill(point string, seed int64, seeds, hitN int, short, torn bool, dir string) error {
+	run := func(opts harness.DrillOpts) (*harness.DrillReport, error) {
+		scratch, err := os.MkdirTemp(dir, "qsdrill-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(scratch)
+		opts.Dir = scratch
+		return harness.RunCrashDrill(opts)
+	}
+
+	if point != "" {
+		rep, err := run(harness.DrillOpts{
+			Seed: seed, Point: point, HitN: hitN,
+			ShortFlush: short, TornWrite: torn, AbortEvery: 3,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("point:      %s (hit %d, seed %d)\n", point, hitN, seed)
+		fmt.Printf("crashed:    %v\n", rep.Crashed)
+		fmt.Printf("committed:  %d transactions, %d aborted, in-doubt=%v\n",
+			rep.Committed, rep.Aborted, rep.InDoubt)
+		if len(rep.Trace) > 0 {
+			fmt.Printf("trace:      %v\n", rep.Trace)
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("VIOLATION:  %s\n", v)
+		}
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("%d recovery invariants violated", len(rep.Violations))
+		}
+		fmt.Println("all recovery invariants held")
+		return nil
+	}
+
+	points := append([]string{""}, faultinject.Points...)
+	runs, crashes, violations := 0, 0, 0
+	for _, pt := range points {
+		for _, hit := range []int{1, 3} {
+			for s := int64(0); s < int64(seeds); s++ {
+				rep, err := run(harness.DrillOpts{
+					Seed: seed + s*997 + int64(hit), Point: pt, HitN: hit,
+					ShortFlush: short, TornWrite: torn, AbortEvery: 3,
+					Transient: int(s%2) * 2,
+				})
+				if err != nil {
+					return err
+				}
+				runs++
+				if rep.Crashed {
+					crashes++
+				}
+				for _, v := range rep.Violations {
+					violations++
+					name := pt
+					if name == "" {
+						name = "(no crash)"
+					}
+					fmt.Printf("VIOLATION [%s hit=%d seed=%d]: %s\n", name, hit, seed+s*997+int64(hit), v)
+				}
+			}
+		}
+	}
+	fmt.Printf("crash drill: %d runs, %d crashed, %d violations\n", runs, crashes, violations)
+	if violations > 0 {
+		return fmt.Errorf("%d recovery invariants violated", violations)
+	}
+	return nil
 }
 
 func createStore(path string) error {

@@ -50,6 +50,11 @@ type Volume interface {
 	NumPages() uint32
 	// AllocatedPages reports the number of currently allocated data pages.
 	AllocatedPages() uint32
+	// Grow extends the volume to at least n pages and reserves them from
+	// future allocation. Restart recovery uses it when the log's redo
+	// records reference pages a crash left beyond the volume header's
+	// (possibly stale) page count.
+	Grow(n uint32) error
 	// Sync forces the volume to stable storage.
 	Sync() error
 	// Close releases resources. The volume must not be used afterwards.
@@ -214,6 +219,20 @@ func (v *MemVolume) AllocatedPages() uint32 {
 	return v.allocated
 }
 
+// Grow implements Volume.
+func (v *MemVolume) Grow(n uint32) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	v.growLocked(n)
+	for uint32(len(v.pages)) < v.numPages {
+		v.pages = append(v.pages, nil)
+	}
+	return nil
+}
+
 // Sync implements Volume (a no-op in memory).
 func (v *MemVolume) Sync() error { return nil }
 
@@ -259,6 +278,20 @@ func (c *volumeCore) allocate(n int, fetch func(PageID) ([]byte, error), flush f
 	}
 	c.allocated += uint32(n)
 	return first, nil
+}
+
+// growLocked reserves every page id below n: the volume covers them and
+// the bump allocator will never hand them out again. Pages brought into
+// existence this way are counted allocated — recovery only grows over
+// pages some crashed-but-logged transaction was using.
+func (c *volumeCore) growLocked(n uint32) {
+	if n > c.numPages {
+		c.numPages = n
+	}
+	if n > c.nextFresh {
+		c.allocated += n - c.nextFresh
+		c.nextFresh = n
+	}
 }
 
 func (c *volumeCore) free(id PageID, n int, fetch func(PageID) ([]byte, error), flush func(PageID, []byte) error) error {
@@ -307,6 +340,14 @@ func CreateFileVolume(path string) (*FileVolume, error) {
 }
 
 // OpenFileVolume opens an existing volume at path.
+//
+// The header page is only rewritten at Sync and Close, so a crash can
+// leave it stale: pages written after the last sync lie beyond the
+// header's page count. Reopening repairs the geometry from the file size
+// — those pages exist and must never be handed out by the allocator again
+// — and drops the free-list head, which may chain through pages that were
+// reallocated after the header was last written (a leak, never a double
+// allocation). Restart recovery then decides the pages' contents.
 func OpenFileVolume(path string) (*FileVolume, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -321,6 +362,13 @@ func OpenFileVolume(path string) (*FileVolume, error) {
 	if err := v.loadHeader(hdr); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if st, err := f.Stat(); err == nil {
+		filePages := uint32((st.Size() + PageSize - 1) / PageSize)
+		if filePages > v.numPages {
+			v.growLocked(filePages)
+			v.freeHead = InvalidPage
+		}
 	}
 	return v, nil
 }
@@ -431,6 +479,17 @@ func (v *FileVolume) AllocatedPages() uint32 {
 	return v.allocated
 }
 
+// Grow implements Volume (the file itself grows lazily on write).
+func (v *FileVolume) Grow(n uint32) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	v.growLocked(n)
+	return nil
+}
+
 // Sync implements Volume, persisting the header and fsyncing the file.
 func (v *FileVolume) Sync() error {
 	v.mu.Lock()
@@ -444,6 +503,20 @@ func (v *FileVolume) Sync() error {
 		return err
 	}
 	return v.f.Sync()
+}
+
+// Abandon closes the backing file without rewriting the header, modeling
+// a process that died: the header keeps whatever the last Sync wrote,
+// stale geometry included. Crash drills use it to release the descriptor
+// before reopening the volume the way restart would find it.
+func (v *FileVolume) Abandon() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	return v.f.Close()
 }
 
 // Close implements Volume.

@@ -1,0 +1,94 @@
+package disk
+
+// IOHook intercepts page I/O on a hooked volume. It is the seam the fault
+// plane (internal/faultinject) plugs into: deterministic crash drills
+// inject read/write faults and torn writes here without the volume
+// implementations knowing about fault injection.
+type IOHook interface {
+	// BeforeRead runs before a page read; a non-nil error aborts the read.
+	BeforeRead(id uint32) error
+	// BeforeWrite runs before a page write. On a non-nil error the write
+	// is torn: only tearPrefix bytes of the new image land (0 = the write
+	// never happens, pageSize = it completes just before the fault
+	// surfaces), the rest of the page keeps its previous contents.
+	BeforeWrite(id uint32, pageSize int) (tearPrefix int, err error)
+}
+
+// hookedVolume routes ReadPage/WritePage through an IOHook; every other
+// operation delegates to the wrapped volume.
+type hookedVolume struct {
+	inner Volume
+	hook  IOHook
+}
+
+// WithHook wraps v so that page I/O consults hook first. A nil hook
+// returns v unchanged.
+func WithHook(v Volume, hook IOHook) Volume {
+	if hook == nil {
+		return v
+	}
+	return &hookedVolume{inner: v, hook: hook}
+}
+
+// ReadPage implements Volume.
+func (v *hookedVolume) ReadPage(id PageID, buf []byte) error {
+	if err := v.hook.BeforeRead(uint32(id)); err != nil {
+		return err
+	}
+	return v.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Volume. When the hook injects a fault mid-write,
+// the page is left torn exactly as the hook dictates: the first
+// tearPrefix bytes of the new image over the old tail.
+func (v *hookedVolume) WritePage(id PageID, buf []byte) error {
+	tear, err := v.hook.BeforeWrite(uint32(id), PageSize)
+	if err == nil {
+		return v.inner.WritePage(id, buf)
+	}
+	if tear >= PageSize {
+		// The write completed; the process died on the way back.
+		if werr := v.inner.WritePage(id, buf); werr != nil {
+			return werr
+		}
+		return err
+	}
+	if tear > 0 {
+		torn := make([]byte, PageSize)
+		if rerr := v.inner.ReadPage(id, torn); rerr == nil {
+			copy(torn[:tear], buf[:tear])
+			_ = v.inner.WritePage(id, torn)
+		}
+	}
+	return err
+}
+
+// Allocate implements Volume.
+func (v *hookedVolume) Allocate(n int) (PageID, error) { return v.inner.Allocate(n) }
+
+// Free implements Volume.
+func (v *hookedVolume) Free(id PageID, n int) error { return v.inner.Free(id, n) }
+
+// NumPages implements Volume.
+func (v *hookedVolume) NumPages() uint32 { return v.inner.NumPages() }
+
+// AllocatedPages implements Volume.
+func (v *hookedVolume) AllocatedPages() uint32 { return v.inner.AllocatedPages() }
+
+// Grow implements Volume.
+func (v *hookedVolume) Grow(n uint32) error { return v.inner.Grow(n) }
+
+// Sync implements Volume.
+func (v *hookedVolume) Sync() error { return v.inner.Sync() }
+
+// Close implements Volume.
+func (v *hookedVolume) Close() error { return v.inner.Close() }
+
+// Unhook returns the volume beneath any hook wrapper, for restart paths
+// that must bypass a crashed fault plane.
+func Unhook(v Volume) Volume {
+	if h, ok := v.(*hookedVolume); ok {
+		return Unhook(h.inner)
+	}
+	return v
+}

@@ -1,0 +1,202 @@
+package disk
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// scriptHook is a programmable IOHook for wrapper tests.
+type scriptHook struct {
+	readErr  error
+	writeErr error
+	tear     int
+	reads    int
+	writes   int
+}
+
+func (h *scriptHook) BeforeRead(id uint32) error { h.reads++; return h.readErr }
+func (h *scriptHook) BeforeWrite(id uint32, pageSize int) (int, error) {
+	h.writes++
+	return h.tear, h.writeErr
+}
+
+func TestWithHookNilPassthrough(t *testing.T) {
+	v := NewMemVolume()
+	if WithHook(v, nil) != Volume(v) {
+		t.Fatal("nil hook should return the volume unchanged")
+	}
+}
+
+func TestHookedReadWriteFaults(t *testing.T) {
+	v := NewMemVolume()
+	pid, err := v.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &scriptHook{}
+	hv := WithHook(v, h)
+	buf := make([]byte, PageSize)
+	if err := hv.WritePage(pid, buf); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	h.readErr = boom
+	if err := hv.ReadPage(pid, buf); !errors.Is(err, boom) {
+		t.Fatalf("read fault not surfaced: %v", err)
+	}
+	h.readErr = nil
+	h.writeErr = boom
+	h.tear = 0
+	old := make([]byte, PageSize)
+	copy(old, buf)
+	newImg := make([]byte, PageSize)
+	for i := range newImg {
+		newImg[i] = 0xAB
+	}
+	if err := hv.WritePage(pid, newImg); !errors.Is(err, boom) {
+		t.Fatalf("write fault not surfaced: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := v.ReadPage(pid, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != old[0] || got[PageSize-1] != old[PageSize-1] {
+		t.Fatal("tear=0 write should not have landed")
+	}
+}
+
+func TestHookedTornWrite(t *testing.T) {
+	v := NewMemVolume()
+	pid, err := v.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, PageSize)
+	for i := range old {
+		old[i] = 0x11
+	}
+	if err := v.WritePage(pid, old); err != nil {
+		t.Fatal(err)
+	}
+	h := &scriptHook{writeErr: errors.New("crash"), tear: 100}
+	hv := WithHook(v, h)
+	newImg := make([]byte, PageSize)
+	for i := range newImg {
+		newImg[i] = 0x22
+	}
+	if err := hv.WritePage(pid, newImg); err == nil {
+		t.Fatal("torn write did not surface the fault")
+	}
+	got := make([]byte, PageSize)
+	if err := v.ReadPage(pid, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got[i] != 0x22 {
+			t.Fatalf("byte %d: torn prefix missing (%#x)", i, got[i])
+		}
+	}
+	for i := 100; i < PageSize; i++ {
+		if got[i] != 0x11 {
+			t.Fatalf("byte %d: old tail clobbered (%#x)", i, got[i])
+		}
+	}
+}
+
+func TestGrowReservesPages(t *testing.T) {
+	for _, mk := range []func(t *testing.T) Volume{
+		func(t *testing.T) Volume { return NewMemVolume() },
+		func(t *testing.T) Volume {
+			v, err := CreateFileVolume(filepath.Join(t.TempDir(), "v"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		},
+	} {
+		v := mk(t)
+		if err := v.Grow(50); err != nil {
+			t.Fatal(err)
+		}
+		if v.NumPages() < 50 {
+			t.Fatalf("NumPages = %d after Grow(50)", v.NumPages())
+		}
+		buf := make([]byte, PageSize)
+		if err := v.WritePage(49, buf); err != nil {
+			t.Fatalf("write to grown page: %v", err)
+		}
+		// Grown pages are reserved: fresh allocation must not reuse them.
+		pid, err := v.Allocate(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint32(pid) < 50 {
+			t.Fatalf("Allocate handed out grown page %d", pid)
+		}
+		v.Close()
+	}
+}
+
+// TestOpenFileVolumeRepairsStaleHeader models a crash after pages were
+// written past the last header sync: reopening must recover the geometry
+// from the file size so those pages stay readable and are never
+// reallocated over.
+func TestOpenFileVolumeRepairsStaleHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v")
+	v, err := CreateFileVolume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Allocate(1); err != nil { // page 1
+		t.Fatal(err)
+	}
+	if err := v.Sync(); err != nil { // header now says 2 pages
+		t.Fatal(err)
+	}
+	// Allocate and write more pages, then "crash" (no Sync, no Close).
+	pid, err := v.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := make([]byte, PageSize)
+	marker[7] = 0x5A
+	for i := 0; i < 3; i++ {
+		if err := v.WritePage(pid+PageID(i), marker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate process death: reopen the file without closing v.
+	v2, err := OpenFileVolume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if got := v2.NumPages(); got < uint32(pid)+3 {
+		t.Fatalf("NumPages = %d after repair, want >= %d", got, uint32(pid)+3)
+	}
+	buf := make([]byte, PageSize)
+	if err := v2.ReadPage(pid+2, buf); err != nil {
+		t.Fatalf("grown page unreadable after reopen: %v", err)
+	}
+	if buf[7] != 0x5A {
+		t.Fatal("page written before the crash lost its contents")
+	}
+	np, err := v2.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np >= pid && np < pid+3 {
+		t.Fatalf("repair let Allocate reuse live page %d", np)
+	}
+	// The file advertises the repaired size to the next opener too.
+	if err := v2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+}

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"quickstore/internal/buffer"
 	"quickstore/internal/disk"
+	"quickstore/internal/faultinject"
 	"quickstore/internal/lock"
 	"quickstore/internal/sim"
 	"quickstore/internal/wal"
@@ -25,11 +27,19 @@ type remoteError string
 // Error implements the error interface.
 func (e remoteError) Error() string { return "esm server: " + string(e) }
 
+// RetryPolicy bounds the client's automatic retry of transient server
+// faults (injected or real I/O hiccups that heal on their own).
+type RetryPolicy struct {
+	MaxAttempts int           // total tries per request; 0 or 1 disables retry
+	Backoff     time.Duration // sleep before each retry, doubled every attempt
+}
+
 // ClientConfig tunes a client session.
 type ClientConfig struct {
 	BufferPages int           // client pool size; 0 = DefaultClientBufferPages
 	Policy      buffer.Policy // replacement policy; nil = traditional clock
 	Clock       *sim.Clock    // cost-model clock; nil = free clock
+	Retry       RetryPolicy   // transient-fault retry; zero value disables
 }
 
 // Client is one application session against the page server. It owns the
@@ -40,6 +50,9 @@ type Client struct {
 	tr    Transport
 	clock *sim.Clock
 	pool  *buffer.Pool
+
+	retry   RetryPolicy
+	retries int64 // requests re-sent after a transient fault
 
 	tx      uint64
 	pending []byte // serialized log batch (count in first 4 bytes)
@@ -65,7 +78,7 @@ func NewClient(tr Transport, cfg ClientConfig) *Client {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.NewClock(sim.CostModel{})
 	}
-	c := &Client{tr: tr, clock: cfg.Clock, rawPages: map[disk.PageID]bool{}}
+	c := &Client{tr: tr, clock: cfg.Clock, retry: cfg.Retry, rawPages: map[disk.PageID]bool{}}
 	c.pool = buffer.New(cfg.BufferPages, cfg.Policy)
 	c.pool.FlushFn = c.stealPage
 	c.pool.OnPrefetchDrop = func(disk.PageID) { c.clock.Charge(sim.CtrPrefetchWasted, 1) }
@@ -80,17 +93,55 @@ func (c *Client) Pool() *buffer.Pool { return c.pool }
 // Clock returns the session's cost-model clock.
 func (c *Client) Clock() *sim.Clock { return c.clock }
 
-// call sends a request and surfaces server errors as Go errors.
-func (c *Client) call(req *Request) (*Response, error) {
-	resp, err := c.tr.Call(req)
-	if err != nil {
-		return nil, err
+// retryable reports whether req may be re-sent verbatim after a transient
+// fault. Only requests with no server-side effects qualify: re-reading a
+// page or re-acquiring an already-held lock is harmless, but replaying
+// OpLog, OpCounter, or a page install would double-apply it (the first
+// attempt may have taken effect before the fault surfaced).
+func retryable(op Op) bool {
+	switch op {
+	case OpReadPage, OpReadPages, OpGetRoot, OpOpenFile, OpStats, OpLock:
+		return true
 	}
-	if resp.Err != "" {
-		return nil, remoteError(resp.Err)
-	}
-	return resp, nil
+	return false
 }
+
+// call sends a request and surfaces server errors as Go errors. Idempotent
+// requests that fail with a transient fault are retried under the
+// session's RetryPolicy with doubling backoff; crashes and every other
+// error surface immediately.
+func (c *Client) call(req *Request) (*Response, error) {
+	attempts := 1
+	if c.retry.MaxAttempts > 1 && retryable(req.Op) {
+		attempts = c.retry.MaxAttempts
+	}
+	backoff := c.retry.Backoff
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.retries++
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		resp, err := c.tr.Call(req)
+		if err != nil {
+			return nil, err // transport failure: the session is gone
+		}
+		if resp.Err == "" {
+			return resp, nil
+		}
+		lastErr = remoteError(resp.Err)
+		if !faultinject.IsTransient(lastErr) {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}
+
+// Retries reports how many requests were re-sent after transient faults.
+func (c *Client) Retries() int64 { return c.retries }
 
 // Begin starts a transaction.
 func (c *Client) Begin() error {

@@ -3,12 +3,14 @@ package esm
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"quickstore/internal/buffer"
 	"quickstore/internal/disk"
+	"quickstore/internal/faultinject"
 	"quickstore/internal/lock"
 	"quickstore/internal/sim"
 	"quickstore/internal/wal"
@@ -42,6 +44,12 @@ type ServerConfig struct {
 	BufferPages int           // server pool size; 0 = DefaultServerBufferPages
 	LockTimeout time.Duration // lock wait timeout; 0 = 1s
 	Clock       *sim.Clock    // cost-model clock; nil = free clock
+
+	// Fault, when non-nil, arms the server's named crash points for the
+	// crash drill. The volume and log should be wrapped with the same
+	// plane (disk.WithHook, Log.FlushHook) so disk and log I/O share the
+	// crashed latch. nil (production) costs one pointer check per point.
+	Fault *faultinject.Plane
 }
 
 // Server is the page server: it owns the volume, the server buffer pool,
@@ -53,6 +61,7 @@ type Server struct {
 	log   *wal.Log
 	locks *lock.Manager
 	clock *sim.Clock
+	fault *faultinject.Plane
 	cat   catalog
 
 	lastTxLSN map[uint64]wal.LSN
@@ -121,7 +130,7 @@ func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error
 	if err := json.Unmarshal(buf[4:4+n], &s.cat); err != nil {
 		return nil, fmt.Errorf("esm: corrupt catalog: %w", err)
 	}
-	if _, _, err := wal.Recover(log, volStore{vol}, pageLSNOf, setPageLSN); err != nil {
+	if _, _, err := wal.Recover(log, volStore{vol}, disk.PageSize, pageLSNOf, setPageLSN); err != nil {
 		return nil, fmt.Errorf("esm: restart recovery: %w", err)
 	}
 	// Never reuse transaction ids seen in the log.
@@ -149,27 +158,59 @@ func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, 
 		log:       log,
 		locks:     lock.New(cfg.LockTimeout),
 		clock:     cfg.Clock,
+		fault:     cfg.Fault,
 		lastTxLSN: map[uint64]wal.LSN{},
 		active:    map[uint64]bool{},
 	}
 	s.pool.FlushFn = func(pid disk.PageID, data []byte) error {
+		if err := s.fault.Hit(faultinject.PtStealBeforeLogFlush); err != nil {
+			return err
+		}
+		// WAL rule on the steal path: before a dirty page may overwrite
+		// its volume copy, the log must be durable through that page's
+		// pageLSN, or a crash after the write leaves an uncommitted page
+		// on disk with no before-images to undo it.
+		if err := s.log.FlushTo(wal.LSN(pageLSNOf(data))); err != nil {
+			return err
+		}
+		if err := s.fault.Hit(faultinject.PtStealAfterLogFlush); err != nil {
+			return err
+		}
 		s.clock.Charge(sim.CtrServerDiskWrite, 1)
 		return s.vol.WritePage(pid, data)
 	}
 	return s, nil
 }
 
-// volStore adapts a Volume to wal.PageStore.
+// volStore adapts a Volume to wal.PageStore. Restart recovery can meet
+// log records for pages a crash left beyond the volume's (possibly stale)
+// geometry — allocated and logged, but never flushed before the process
+// died — so out-of-range pages are grown into existence rather than
+// failing recovery.
 type volStore struct{ v disk.Volume }
 
 // ReadPage implements wal.PageStore.
 func (vs volStore) ReadPage(id uint32, buf []byte) error {
-	return vs.v.ReadPage(disk.PageID(id), buf)
+	err := vs.v.ReadPage(disk.PageID(id), buf)
+	if errors.Is(err, disk.ErrPageOutOfRange) {
+		if gerr := vs.v.Grow(id + 1); gerr != nil {
+			return gerr
+		}
+		return vs.v.ReadPage(disk.PageID(id), buf)
+	}
+	return err
 }
 
 // WritePage implements wal.PageStore.
 func (vs volStore) WritePage(id uint32, buf []byte) error {
-	return vs.v.WritePage(disk.PageID(id), buf)
+	err := vs.v.WritePage(disk.PageID(id), buf)
+	if errors.Is(err, disk.ErrPageOutOfRange) {
+		if gerr := vs.v.Grow(id + 1); gerr != nil {
+			return gerr
+		}
+		return vs.v.WritePage(disk.PageID(id), buf)
+	}
+	return err
 }
 
 // pageLSNOf reads the LSN of a header-bearing (slotted/btree/catalog) page.
@@ -212,6 +253,12 @@ func (s *Server) Handle(req *Request) *Response {
 func (s *Server) handle(req *Request) (*Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fault.Crashed() {
+		// An armed crash fired: the process is dead until the drill
+		// restarts it. Every request fails, including ones whose own
+		// path carries no instrumented point.
+		return nil, faultinject.ErrCrash
+	}
 	switch req.Op {
 	case OpBegin:
 		tx := s.cat.NextTx
@@ -305,6 +352,9 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		if err := s.log.Flush(); err != nil {
 			return nil, err
 		}
+		if err := s.fault.Hit(faultinject.PtCheckpointBeforeSync); err != nil {
+			return nil, err
+		}
 		if err := s.vol.Sync(); err != nil {
 			return nil, err
 		}
@@ -312,6 +362,15 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		// record can be needed again: truncate the log.
 		if len(s.active) == 0 {
 			if err := s.log.Truncate(); err != nil {
+				return nil, err
+			}
+			// Re-anchor the LSN space. OpenFileLog recovers the base of
+			// a truncated log from the LSNs of surviving records; an
+			// empty file would reopen at base 0 and hand out LSNs that
+			// collide with pageLSNs stamped before the truncation. A
+			// durable checkpoint record carries the base in its own LSN.
+			s.log.Append(wal.Record{Type: wal.RecCheckpoint})
+			if err := s.log.Flush(); err != nil {
 				return nil, err
 			}
 		}
@@ -467,8 +526,17 @@ func (s *Server) commit(tx uint64, data []byte) error {
 			return err
 		}
 	}
+	if err := s.fault.Hit(faultinject.PtCommitAfterInstall); err != nil {
+		return err
+	}
 	s.lastTxLSN[tx] = s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecCommit})
+	if err := s.fault.Hit(faultinject.PtCommitBeforeFlush); err != nil {
+		return err
+	}
 	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	if err := s.fault.Hit(faultinject.PtCommitAfterFlush); err != nil {
 		return err
 	}
 	// Catalog changes (files, roots, counters) become durable with the
@@ -519,7 +587,25 @@ func (s *Server) abort(tx uint64) error {
 		setPageLSN(f.Data, uint64(clr))
 		s.pool.MarkDirty(idx)
 	}
+	if err := s.fault.Hit(faultinject.PtAbortAfterCLR); err != nil {
+		return err
+	}
 	s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecAbort})
+	if err := s.fault.Hit(faultinject.PtAbortBeforeFlush); err != nil {
+		return err
+	}
+	// The abort is acknowledged to the client, which forgets the
+	// transaction; the rollback decision must be durable before that ack.
+	// Without this force, a crash after the ack can leave the log ending
+	// in the transaction's updates — restart recovery would count it a
+	// loser and undo it a second time against pages the runtime abort
+	// already rolled back (and whose CLRs were equally lost).
+	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	if err := s.fault.Hit(faultinject.PtAbortAfterFlush); err != nil {
+		return err
+	}
 	delete(s.active, tx)
 	delete(s.lastTxLSN, tx)
 	s.locks.ReleaseAll(tx)

@@ -1,0 +1,362 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/faultinject"
+	"quickstore/internal/wal"
+)
+
+// DrillOpts configures one crash drill: a seeded update workload over a
+// file-backed store, a fault plane armed at one named point, a simulated
+// process kill, and an invariant sweep over the recovered store.
+type DrillOpts struct {
+	Seed  int64  // drives the workload, the fault plane, and the values
+	Point string // crash point to arm (faultinject.Pt*); "" = no crash
+	HitN  int    // fire the crash on the n-th hit of Point; 0 = first
+
+	TornWrite  bool // sub-page torn page write at the crash (detection mode)
+	ShortFlush bool // the crashing log flush persists only a prefix
+	Transient  int  // transient read faults injected before any crash
+
+	Txns       int    // update transactions to attempt; 0 = 12
+	AbortEvery int    // every n-th transaction aborts instead; 0 = never
+	Objects    int    // oracle objects; 0 = 16
+	Dir        string // scratch directory for the volume and log files
+}
+
+// DrillReport is the outcome of one drill. Violations lists every broken
+// recovery invariant; a clean drill has none.
+type DrillReport struct {
+	Crashed    bool     // an armed crash fired during the workload
+	Committed  int      // transactions whose commit was acknowledged
+	Aborted    int      // transactions whose abort was acknowledged
+	InDoubt    bool     // one commit/abort was cut off mid-protocol
+	Retries    int64    // client requests re-sent after transient faults
+	Violations []string // broken invariants (empty = drill passed)
+	Trace      []string // fault-plane trace, for reproducing a failure
+}
+
+func (r *DrillReport) violate(format string, args ...interface{}) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// drillObj is one oracle-tracked object: the drill knows which value each
+// object must hold after recovery.
+type drillObj struct {
+	oid       esm.OID
+	committed uint64 // last value whose commit was acknowledged
+	inDoubt   uint64 // value proposed by the in-doubt transaction, if any
+	touched   bool   // the in-doubt transaction touched this object
+}
+
+// payloadSize is the object size used by the drill: four objects to a
+// page, so the default sixteen objects spread over more pages than the
+// workload client's three frames — updates steal dirty pages to the
+// server mid-transaction, and neighbors on a stolen page carry each
+// other's uncommitted bytes.
+const payloadSize = 2000
+
+// putValue encodes value and its checksum into the first 12 payload
+// bytes. The checksum rides inside the page, so any torn or misdirected
+// page write that slices through a payload is detectable after recovery.
+func putValue(p []byte, value uint64) {
+	binary.LittleEndian.PutUint64(p[:8], value)
+	binary.LittleEndian.PutUint32(p[8:12], crc32.ChecksumIEEE(p[:8]))
+}
+
+// getValue decodes a payload written by putValue, verifying the checksum.
+func getValue(p []byte) (uint64, bool) {
+	v := binary.LittleEndian.Uint64(p[:8])
+	return v, crc32.ChecksumIEEE(p[:8]) == binary.LittleEndian.Uint32(p[8:12])
+}
+
+// RunCrashDrill executes one drill: build a committed baseline on a
+// file-backed volume and log, arm the fault plane, run seeded update
+// transactions through a steal-prone client until the crash fires (or the
+// workload ends), kill the server without any orderly shutdown, reopen
+// the files the way restart would find them, and verify every recovery
+// invariant. The returned error reports harness problems (unusable
+// scratch dir); invariant breaks go in the report instead.
+func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
+	if opts.Txns == 0 {
+		opts.Txns = 12
+	}
+	if opts.Objects == 0 {
+		opts.Objects = 16
+	}
+	if opts.HitN == 0 {
+		opts.HitN = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rep := &DrillReport{}
+
+	volPath := filepath.Join(opts.Dir, "vol")
+	logPath := filepath.Join(opts.Dir, "log")
+	vol, err := disk.CreateFileVolume(volPath)
+	if err != nil {
+		return nil, err
+	}
+	logf, err := wal.CreateFileLog(logPath)
+	if err != nil {
+		return nil, err
+	}
+
+	plane := faultinject.New(opts.Seed)
+	hv := disk.WithHook(vol, plane)
+	logf.FlushHook = plane.FlushHook()
+	// A two-frame server pool keeps the write-back (steal) path hot: most
+	// installs and reads evict a dirty page to the volume, so the
+	// pool.steal.* and disk.write points fire inside ordinary traffic.
+	srv, err := esm.NewServer(hv, logf, esm.ServerConfig{BufferPages: 2, Fault: plane})
+	if err != nil {
+		return nil, err
+	}
+
+	// Baseline: the oracle objects, committed and checkpointed before any
+	// fault is armed.
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 3})
+	if err := c.Begin(); err != nil {
+		return nil, err
+	}
+	fid, err := c.CreateFile("drill")
+	if err != nil {
+		return nil, err
+	}
+	cl := c.NewCluster(fid)
+	objs := make([]*drillObj, opts.Objects)
+	for i := range objs {
+		oid, data, err := c.CreateObject(cl, payloadSize)
+		if err != nil {
+			return nil, err
+		}
+		v := rng.Uint64()
+		putValue(data, v)
+		objs[i] = &drillObj{oid: oid, committed: v}
+		if err := c.SetRoot(fmt.Sprintf("drill.obj.%d", i), oid, uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Commit(); err != nil {
+		return nil, err
+	}
+	if err := srv.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	// Arm the plane and run the workload until the crash.
+	if opts.TornWrite {
+		plane.SetTornWrite(1, disk.PageSize-1)
+	}
+	plane.SetShortFlush(opts.ShortFlush)
+	if opts.Transient > 0 {
+		plane.ArmTransient(faultinject.PtDiskRead, opts.Transient)
+	}
+	if opts.Point != "" {
+		plane.ArmCrash(opts.Point, opts.HitN)
+	}
+
+	w := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{
+		BufferPages: 3, // steal-prone: dirty pages ship mid-transaction
+		Retry:       esm.RetryPolicy{MaxAttempts: 4},
+	})
+	attempts := 0
+workload:
+	for t := 1; t <= opts.Txns; t++ {
+		if err := w.Begin(); err != nil {
+			break
+		}
+		// Update 1-3 distinct objects with fresh seeded values.
+		picked := rng.Perm(len(objs))[:1+rng.Intn(3)]
+		proposed := map[int]uint64{}
+		for _, i := range picked {
+			data, off, frame, err := w.ReadObjectAt(objs[i].oid)
+			if err != nil {
+				break workload
+			}
+			old := append([]byte(nil), data[:12]...)
+			v := rng.Uint64()
+			putValue(data, v)
+			w.Pool().MarkDirty(frame)
+			w.LogUpdate(objs[i].oid.Page, off, old, append([]byte(nil), data[:12]...))
+			proposed[i] = v
+		}
+		attempts++
+		if _, err := w.Counter("drill.count", 1); err != nil {
+			break
+		}
+		if opts.AbortEvery > 0 && t%opts.AbortEvery == 0 {
+			// Acked or not, an abort leaves only committed values behind.
+			if err := w.Abort(); err != nil {
+				break
+			}
+			rep.Aborted++
+			continue
+		}
+		err := w.Commit()
+		if err == nil {
+			for i, v := range proposed {
+				objs[i].committed = v
+			}
+			rep.Committed++
+			continue
+		}
+		// The commit was cut off mid-protocol: recovery decides whether
+		// this transaction happened, and the store must pick exactly one
+		// of the two outcomes for all its objects.
+		rep.InDoubt = true
+		for i, v := range proposed {
+			objs[i].inDoubt = v
+			objs[i].touched = true
+		}
+		break
+	}
+	rep.Crashed = plane.Crashed()
+	rep.Retries = w.Retries()
+	rep.Trace = plane.Trace()
+
+	// Kill the process: no checkpoint, no close, just drop the handles.
+	// Abandon/Close release descriptors without writing anything back.
+	if err := vol.Abandon(); err != nil {
+		return nil, err
+	}
+	_ = logf.Close()
+
+	// Restart: reopen the files exactly as a fresh process would.
+	vol2, err := disk.OpenFileVolume(volPath)
+	if err != nil {
+		rep.violate("reopen volume: %v", err)
+		return rep, nil
+	}
+	defer vol2.Close()
+	log2, err := wal.OpenFileLog(logPath)
+	if err != nil {
+		rep.violate("reopen log: %v", err)
+		return rep, nil
+	}
+	defer log2.Close()
+
+	// Invariant: the pruned log iterates cleanly with monotone LSNs.
+	var prev wal.LSN
+	if err := log2.Iterate(func(r wal.Record) bool {
+		if r.LSN <= prev {
+			rep.violate("log LSNs not monotone: %d after %d", r.LSN, prev)
+			return false
+		}
+		prev = r.LSN
+		return true
+	}); err != nil {
+		rep.violate("log iterate: %v", err)
+	}
+
+	srv2, err := esm.OpenServer(vol2, log2, esm.ServerConfig{BufferPages: 64})
+	if err != nil {
+		rep.violate("restart recovery: %v", err)
+		return rep, nil
+	}
+
+	v := esm.NewClient(esm.NewInProcTransport(srv2), esm.ClientConfig{BufferPages: 8})
+	if err := v.Begin(); err != nil {
+		rep.violate("post-recovery begin: %v", err)
+		return rep, nil
+	}
+
+	// Invariant: catalog roots still resolve to the same objects.
+	for i, o := range objs {
+		oid, aux, err := v.GetRoot(fmt.Sprintf("drill.obj.%d", i))
+		if err != nil {
+			rep.violate("root drill.obj.%d lost: %v", i, err)
+			continue
+		}
+		if oid != o.oid || aux != uint64(i) {
+			rep.violate("root drill.obj.%d points at %v/%d, want %v/%d", i, oid, aux, o.oid, i)
+		}
+	}
+
+	// Invariant: every object holds its committed value (or, for objects
+	// of the one in-doubt transaction, consistently the proposed value),
+	// with an intact embedded checksum.
+	inDoubtOutcome := 0 // +1 per in-doubt object that committed, -1 per rolled back
+	for i, o := range objs {
+		data, _, err := v.ReadObject(o.oid)
+		if err != nil {
+			rep.violate("object %d unreadable: %v", i, err)
+			continue
+		}
+		got, ok := getValue(data)
+		if !ok {
+			rep.violate("object %d checksum broken (value %#x)", i, got)
+			continue
+		}
+		switch {
+		case got == o.committed && (!o.touched || got != o.inDoubt):
+			if o.touched {
+				inDoubtOutcome--
+			}
+		case o.touched && got == o.inDoubt:
+			inDoubtOutcome++
+		default:
+			rep.violate("object %d holds %#x, want %#x%s", i, got, o.committed,
+				inDoubtAlt(o))
+		}
+	}
+	if n := countTouched(objs); n > 0 && inDoubtOutcome != n && inDoubtOutcome != -n {
+		rep.violate("in-doubt transaction applied partially (%d of %d objects)", (inDoubtOutcome+n)/2, n)
+	}
+
+	// Invariant: the attempts counter survived within its bounds — every
+	// acked commit carried it to the catalog, and nothing can exceed the
+	// attempted increments.
+	if count, err := v.Counter("drill.count", 0); err != nil {
+		rep.violate("counter lost: %v", err)
+	} else if int(count) < rep.Committed || int(count) > attempts {
+		rep.violate("counter %d outside [%d committed, %d attempted]", count, rep.Committed, attempts)
+	}
+
+	// Invariant: the recovered store still takes transactions end to end.
+	data, off, frame, err := v.ReadObjectAt(objs[0].oid)
+	if err != nil {
+		rep.violate("post-recovery read: %v", err)
+		return rep, nil
+	}
+	old := append([]byte(nil), data[:12]...)
+	putValue(data, 0xD0D0D0D0D0D0D0D0)
+	v.Pool().MarkDirty(frame)
+	v.LogUpdate(objs[0].oid.Page, off, old, append([]byte(nil), data[:12]...))
+	if err := v.Commit(); err != nil {
+		rep.violate("post-recovery commit: %v", err)
+		return rep, nil
+	}
+	if err := v.Begin(); err == nil {
+		if data, _, err := v.ReadObject(objs[0].oid); err != nil {
+			rep.violate("post-recovery reread: %v", err)
+		} else if got, ok := getValue(data); !ok || got != 0xD0D0D0D0D0D0D0D0 {
+			rep.violate("post-recovery write lost (%#x, checksum %v)", got, ok)
+		}
+		_ = v.Commit()
+	}
+	return rep, nil
+}
+
+func countTouched(objs []*drillObj) int {
+	n := 0
+	for _, o := range objs {
+		if o.touched {
+			n++
+		}
+	}
+	return n
+}
+
+func inDoubtAlt(o *drillObj) string {
+	if !o.touched {
+		return ""
+	}
+	return fmt.Sprintf(" or in-doubt %#x", o.inDoubt)
+}

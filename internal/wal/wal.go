@@ -146,6 +146,13 @@ func unmarshal(buf []byte) (Record, int, error) {
 // forces them to the optional backing file (the "log disk" of the paper's
 // server configuration).
 type Log struct {
+	// FlushHook, when non-nil, intercepts every flush: it receives the
+	// number of pending (not yet durable) bytes and returns how many of
+	// them may persist plus an injected error. It is the fault-injection
+	// seam the crash drill uses for torn log tails and flush crashes; nil
+	// in production. Set it before the log is shared across goroutines.
+	FlushHook func(pending int) (allow int, err error)
+
 	mu      sync.Mutex
 	buf     []byte // serialized records; LSN = 1 + base + offset into buf
 	base    int    // LSN space consumed by truncated log generations
@@ -228,17 +235,76 @@ func (l *Log) Append(r Record) LSN {
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.file == nil {
-		l.flushed = len(l.buf)
-		return nil
+	return l.flushLocked(len(l.buf))
+}
+
+// flushLocked makes buf[:upto] durable. When a FlushHook injects a fault
+// it may shorten the durable range to a prefix of the pending bytes — a
+// torn log tail, possibly ending mid-record, exactly what a crash during
+// a physical log write leaves behind for OpenFileLog to prune.
+func (l *Log) flushLocked(upto int) error {
+	if upto > len(l.buf) {
+		upto = len(l.buf)
 	}
-	if l.flushed < len(l.buf) {
-		if _, err := l.file.WriteAt(l.buf[l.flushed:], int64(l.flushed)); err != nil {
+	if upto < l.flushed {
+		upto = l.flushed
+	}
+	var hookErr error
+	if l.FlushHook != nil {
+		allow, err := l.FlushHook(upto - l.flushed)
+		if err != nil {
+			hookErr = err
+			if allow < 0 {
+				allow = 0
+			}
+			if max := upto - l.flushed; allow > max {
+				allow = max
+			}
+			upto = l.flushed + allow
+		}
+	}
+	if l.file == nil {
+		l.flushed = upto
+		return hookErr
+	}
+	if l.flushed < upto {
+		if _, err := l.file.WriteAt(l.buf[l.flushed:upto], int64(l.flushed)); err != nil {
 			return err
 		}
-		l.flushed = len(l.buf)
+		l.flushed = upto
 	}
-	return l.file.Sync()
+	if err := l.file.Sync(); err != nil {
+		return err
+	}
+	return hookErr
+}
+
+// FlushTo forces the log through the record containing lsn, inclusive.
+// This is the flush the WAL rule requires on the buffer pool's steal
+// path: a dirty page may reach the volume only once the log covers its
+// pageLSN, and flushing just that prefix avoids forcing unrelated tail
+// records. An lsn already durable (or from a truncated generation) is a
+// no-op; an lsn beyond the log, or one whose bytes do not parse as a
+// record header (raw large-object pages stamp arbitrary bytes where the
+// LSN would sit), falls back to a full flush.
+func (l *Log) FlushTo(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn == NilLSN {
+		return nil
+	}
+	off := int(lsn) - 1 - l.base
+	if off < l.flushed {
+		return nil
+	}
+	if off >= len(l.buf) {
+		return l.flushLocked(len(l.buf))
+	}
+	_, n, err := unmarshal(l.buf[off:])
+	if err != nil {
+		return l.flushLocked(len(l.buf))
+	}
+	return l.flushLocked(off + n)
 }
 
 // FlushedLSN returns the LSN up to which the log is durable (exclusive).
@@ -332,7 +398,12 @@ type PageStore interface {
 // redo of winner updates whose effects are missing (page LSN < record LSN),
 // then undo of loser updates in reverse LSN order, writing CLRs.
 // It returns the sets of committed and rolled-back transaction ids.
-func Recover(l *Log, store PageStore, pageLSNOf func(pageBuf []byte) uint64, setPageLSN func(pageBuf []byte, lsn uint64)) (winners, losers map[uint64]bool, err error) {
+// pageSize is the store's page size in bytes (callers pass disk.PageSize;
+// wal cannot import disk without a cycle).
+func Recover(l *Log, store PageStore, pageSize int, pageLSNOf func(pageBuf []byte) uint64, setPageLSN func(pageBuf []byte, lsn uint64)) (winners, losers map[uint64]bool, err error) {
+	if pageSize <= 0 {
+		return nil, nil, fmt.Errorf("wal: invalid page size %d", pageSize)
+	}
 	winners = map[uint64]bool{}
 	losers = map[uint64]bool{}
 	var updates []Record
@@ -353,7 +424,7 @@ func Recover(l *Log, store PageStore, pageLSNOf func(pageBuf []byte) uint64, set
 	if err != nil {
 		return nil, nil, err
 	}
-	buf := make([]byte, 8192)
+	buf := make([]byte, pageSize)
 	// Redo phase: repeat history for winners (and CLRs).
 	for _, r := range updates {
 		if r.Type == RecUpdate && !winners[r.Tx] && !losers[r.Tx] {

@@ -111,7 +111,7 @@ func TestRecoverRedoWinner(t *testing.T) {
 	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 5, Off: 100, Old: []byte{0, 0}, New: []byte{7, 8}})
 	l.Append(Record{Tx: 1, Type: RecCommit})
 	// Crash before the page ever reached disk: page 5 is all zeroes.
-	winners, losers, err := Recover(l, store, lsnOf, setLSN)
+	winners, losers, err := Recover(l, store, 8192, lsnOf, setLSN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRecoverUndoLoser(t *testing.T) {
 	p := store.page(9)
 	p[50], p[51] = 9, 9
 	setLSN(p, uint64(lsn))
-	winners, losers, err := Recover(l, store, lsnOf, setLSN)
+	winners, losers, err := Recover(l, store, 8192, lsnOf, setLSN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +162,11 @@ func TestRecoverIdempotent(t *testing.T) {
 	l.Append(Record{Tx: 1, Type: RecBegin})
 	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 3, Off: 40, Old: []byte{0}, New: []byte{5}})
 	l.Append(Record{Tx: 1, Type: RecCommit})
-	if _, _, err := Recover(l, store, lsnOf, setLSN); err != nil {
+	if _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
 		t.Fatal(err)
 	}
 	first := append([]byte(nil), store.page(3)...)
-	if _, _, err := Recover(l, store, lsnOf, setLSN); err != nil {
+	if _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first, store.page(3)) {
@@ -225,7 +225,7 @@ func TestRecoverReplaysHistory(t *testing.T) {
 			want[off] = val
 		}
 		l.Append(Record{Tx: tx, Type: RecCommit})
-		if _, _, err := Recover(l, store, lsnOf, setLSN); err != nil {
+		if _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
 			return false
 		}
 		p := store.page(2)
