@@ -7,14 +7,21 @@
 //
 //	oo7bench [-exp all|table2|fig8|fig9|table5|table6|fig10|fig11|fig12|
 //	          fig13|table7|fig14|fig15|fig16|fig17|ablations|extras|verify|
-//	          prefetch]
-//	          [-medium] [-list] [-json]
+//	          prefetch|concurrency]
+//	          [-medium] [-list] [-json] [-clients N]
 //
 // "-exp verify" asserts the paper's headline shape claims programmatically
 // (one PASS/FAIL line each) and exits nonzero if any fails; it requires the
 // full small-database scale and is not part of "all". "-exp prefetch"
 // measures the mapping-object prefetch extension (off in every paper table)
 // and is likewise not part of "all".
+//
+// "-clients N" runs only the multi-client concurrency bench: a wall-clock
+// sweep of 1..N concurrent sessions against one page server, against a
+// big-lock baseline, with group-commit force counts. Its table is always
+// written to BENCH_concurrency.json. ("-exp concurrency" runs the same
+// bench at the default 8 clients, and is not part of "all" because its
+// wall-clock numbers are nondeterministic.)
 //
 // With -json, each experiment's tables are additionally written to
 // BENCH_<exp>.json in the current directory, for tracking results across
@@ -41,6 +48,7 @@ func main() {
 	medium := flag.Bool("medium", false, "also build and measure the medium OO7 database (slower)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonOut := flag.Bool("json", false, "also write each experiment's tables to BENCH_<exp>.json")
+	clients := flag.Int("clients", 0, "run only the concurrency bench, sweeping 1..N clients (writes BENCH_concurrency.json)")
 	flag.Parse()
 
 	if *list {
@@ -50,6 +58,17 @@ func main() {
 		return
 	}
 	suite := harness.NewSuite(os.Stdout, *medium)
+	if *clients > 0 {
+		if err := suite.ConcurrencyExp(harness.ConcurrencyOpts{MaxClients: *clients}); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON("concurrency", suite.TakeTables()); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	names := strings.Split(*exp, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])

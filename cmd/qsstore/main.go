@@ -12,7 +12,7 @@
 // header-bearing page checking slotted-page invariants and, for QuickStore
 // data pages, the meta-object and its mapping/bitmap references; stats
 // opens the store and prints the page server's statistics snapshot
-// (OpStats), including the prefetch service counters.
+// (OpStats), including the prefetch service and group-commit counters.
 //
 // crashdrill runs the deterministic fault-injection drill (DESIGN.md §9)
 // on scratch volumes: seeded update workloads killed at named crash
@@ -218,6 +218,11 @@ func stats(path string) error {
 	fmt.Printf("disk:           %d reads, %d writes\n", ss.DiskReads, ss.DiskWrites)
 	fmt.Printf("prefetch:       %d pages served in batches, %d background disk reads\n",
 		ss.PrefetchPages, ss.PrefetchReads)
+	fmt.Printf("commit:         %d commits, %d log forces, %d piggybacked", ss.Commits, ss.LogForces, ss.LogPiggybacks)
+	if ss.Commits > 0 {
+		fmt.Printf(" (%.2f forces/commit)", float64(ss.LogForces)/float64(ss.Commits))
+	}
+	fmt.Println()
 
 	cs := st.Stats()
 	fmt.Printf("session:        %d prefetches issued, %d hits, %d wasted", cs.PrefetchIssued, cs.PrefetchHits, cs.PrefetchWasted)

@@ -1,0 +1,555 @@
+package buffer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"quickstore/internal/disk"
+)
+
+// LatchPool is the internally synchronized buffer pool used by the page
+// server. Where Pool belongs to one single-threaded session, a LatchPool is
+// shared by every client connection the server handles concurrently:
+//
+//   - Frames are partitioned into stripes (page id modulo stripe count),
+//     each guarded by its own latch, so lookups and hits on different
+//     stripes never contend.
+//   - Each frame carries a pin count (guarded by the stripe latch) and a
+//     content latch (an RWMutex over the page bytes), so readers copying a
+//     page out overlap each other and exclude only writers.
+//   - All I/O — demand loads and eviction write-backs — happens with no
+//     stripe latch held. A per-page in-flight table dedups concurrent
+//     loads (two clients faulting the same page issue one disk read) and
+//     makes loads of an evicting page wait for its write-back, so the
+//     reload cannot read the stale disk image.
+//
+// Lock order within the pool: stripe latch → frame content latch. FlushFn
+// runs with only a content read latch held, so it may take the WAL and
+// volume locks (the server's steal path does) but must never re-enter the
+// pool.
+type LatchPool struct {
+	stripes []latchStripe
+	mask    uint32 // len(stripes) - 1; stripe count is a power of two
+	nframes int
+
+	// FlushFn, if set, writes back a dirty page before its frame is reused
+	// (and during FlushAll). Set it before the pool is shared.
+	FlushFn func(pid disk.PageID, data []byte) error
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	evicted  atomic.Int64
+	resident atomic.Int64
+}
+
+type latchStripe struct {
+	mu       sync.Mutex
+	frames   []latchFrame
+	index    map[disk.PageID]int
+	hand     int
+	inflight map[disk.PageID]*inflight
+}
+
+type latchFrame struct {
+	page       disk.PageID
+	data       []byte
+	pin        int
+	ref        bool
+	dirty      bool
+	prefetched bool
+	content    sync.RWMutex
+}
+
+// inflight marks a page with I/O in progress: a demand load filling a
+// frame, or an eviction writing one back. Waiters block on done, then
+// re-examine the stripe. err is written before done closes.
+type inflight struct {
+	done chan struct{}
+	err  error
+	load bool // a demand load (waiters may adopt err); else an eviction
+}
+
+// maxReserveSpins bounds the retry loop when every frame in a stripe is
+// transiently pinned. Pins in the server are held only across a page copy,
+// so thousands of yields mean a real leak, not contention.
+const maxReserveSpins = 100000
+
+// NewLatchPool creates a pool of nframes 8K frames. The stripe count is
+// derived from the frame count: one latch per ~8 frames, capped at 64.
+func NewLatchPool(nframes int) *LatchPool {
+	nstripes := 1
+	for nstripes*2 <= nframes/8 && nstripes*2 <= 64 {
+		nstripes *= 2
+	}
+	p := &LatchPool{
+		stripes: make([]latchStripe, nstripes),
+		mask:    uint32(nstripes - 1),
+		nframes: nframes,
+	}
+	backing := make([]byte, nframes*disk.PageSize)
+	next := 0
+	for i := range p.stripes {
+		n := nframes / nstripes
+		if i < nframes%nstripes {
+			n++
+		}
+		s := &p.stripes[i]
+		s.frames = make([]latchFrame, n)
+		s.index = make(map[disk.PageID]int, n)
+		s.inflight = map[disk.PageID]*inflight{}
+		for j := range s.frames {
+			s.frames[j].data = backing[next*disk.PageSize : (next+1)*disk.PageSize : (next+1)*disk.PageSize]
+			next++
+		}
+	}
+	return p
+}
+
+func (p *LatchPool) stripe(pid disk.PageID) *latchStripe {
+	return &p.stripes[uint32(pid)&p.mask]
+}
+
+// Len returns the number of frames in the pool.
+func (p *LatchPool) Len() int { return p.nframes }
+
+// Stripes returns the stripe count (tests and stats).
+func (p *LatchPool) Stripes() int { return len(p.stripes) }
+
+// Resident returns the number of pages currently cached.
+func (p *LatchPool) Resident() int { return int(p.resident.Load()) }
+
+// Stats reports hit/miss/eviction counts.
+func (p *LatchPool) Stats() (hits, misses, evicted int64) {
+	return p.hits.Load(), p.misses.Load(), p.evicted.Load()
+}
+
+// PageRef is a pinned reference to a resident page. The frame cannot be
+// evicted or reused while the reference is held. Access the bytes through
+// Read/Write (which take the frame's content latch) and call Release
+// exactly once when done.
+type PageRef struct {
+	pool *LatchPool
+	s    *latchStripe
+	idx  int
+	pid  disk.PageID
+}
+
+// Page returns the page id the reference pins.
+func (r *PageRef) Page() disk.PageID { return r.pid }
+
+// Read calls fn with the page bytes under the frame's shared content
+// latch. fn must not retain the slice or re-enter the pool.
+func (r *PageRef) Read(fn func(data []byte)) {
+	f := &r.s.frames[r.idx]
+	f.content.RLock()
+	fn(f.data)
+	f.content.RUnlock()
+}
+
+// Write calls fn with the page bytes under the frame's exclusive content
+// latch. It does not mark the frame dirty; call MarkDirty if fn modified
+// the page. fn must not retain the slice or re-enter the pool.
+func (r *PageRef) Write(fn func(data []byte)) {
+	f := &r.s.frames[r.idx]
+	f.content.Lock()
+	fn(f.data)
+	f.content.Unlock()
+}
+
+// MarkDirty flags the pinned frame as modified.
+func (r *PageRef) MarkDirty() {
+	r.s.mu.Lock()
+	r.s.frames[r.idx].dirty = true
+	r.s.mu.Unlock()
+}
+
+// ConsumePrefetched clears the frame's speculative flag, reporting whether
+// this reference is the first real use of a prefetched page.
+func (r *PageRef) ConsumePrefetched() bool {
+	r.s.mu.Lock()
+	f := &r.s.frames[r.idx]
+	was := f.prefetched
+	f.prefetched = false
+	r.s.mu.Unlock()
+	return was
+}
+
+// Release drops the pin. The reference must not be used afterwards.
+func (r *PageRef) Release() {
+	if r.pool == nil {
+		panic("buffer: double release of page reference")
+	}
+	r.s.mu.Lock()
+	f := &r.s.frames[r.idx]
+	if f.pin <= 0 {
+		r.s.mu.Unlock()
+		panic("buffer: release of unpinned frame")
+	}
+	f.pin--
+	r.s.mu.Unlock()
+	r.pool = nil
+}
+
+// Get returns a pinned reference to pid if resident, setting the reference
+// bit. It does not wait for in-flight loads; use Load for read-through.
+func (p *LatchPool) Get(pid disk.PageID) (*PageRef, bool) {
+	s := p.stripe(pid)
+	s.mu.Lock()
+	i, ok := s.index[pid]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	f := &s.frames[i]
+	f.ref = true
+	f.pin++
+	s.mu.Unlock()
+	p.hits.Add(1)
+	return &PageRef{pool: p, s: s, idx: i, pid: pid}, true
+}
+
+// Load returns a pinned reference to pid, calling load to fill a frame on
+// a miss. loaded reports whether this call performed the load: a caller
+// that rode another client's in-flight load of the same page gets
+// loaded=false (its I/O was deduplicated), exactly like a hit. The load
+// callback and any eviction write-back run with no stripe latch held.
+func (p *LatchPool) Load(pid disk.PageID, load func(buf []byte) error) (ref *PageRef, loaded bool, err error) {
+	s := p.stripe(pid)
+	for {
+		s.mu.Lock()
+		if i, ok := s.index[pid]; ok {
+			f := &s.frames[i]
+			f.ref = true
+			f.pin++
+			s.mu.Unlock()
+			p.hits.Add(1)
+			return &PageRef{pool: p, s: s, idx: i, pid: pid}, false, nil
+		}
+		if fl := s.inflight[pid]; fl != nil {
+			isLoad := fl.load
+			s.mu.Unlock()
+			<-fl.done
+			if isLoad && fl.err != nil {
+				// The load we were riding failed; adopt its error, as if
+				// our own read had failed.
+				return nil, false, fl.err
+			}
+			continue
+		}
+		fl := &inflight{done: make(chan struct{}), load: true}
+		s.inflight[pid] = fl
+		s.mu.Unlock()
+
+		idx, rerr := p.reserveFrame(s)
+		if rerr == nil {
+			f := &s.frames[idx]
+			rerr = load(f.data) // frame is reserved: no latch needed for the fill
+			if rerr != nil {
+				s.mu.Lock()
+				f.pin-- // release the reservation
+				delete(s.inflight, pid)
+				s.mu.Unlock()
+			} else {
+				s.mu.Lock()
+				f.page = pid
+				f.dirty = false
+				f.ref = true
+				f.prefetched = false
+				s.index[pid] = idx
+				delete(s.inflight, pid)
+				s.mu.Unlock()
+				p.misses.Add(1)
+				p.resident.Add(1)
+			}
+		} else {
+			s.mu.Lock()
+			delete(s.inflight, pid)
+			s.mu.Unlock()
+		}
+		fl.err = rerr
+		close(fl.done)
+		if rerr != nil {
+			return nil, true, rerr
+		}
+		return &PageRef{pool: p, s: s, idx: idx, pid: pid}, true, nil
+	}
+}
+
+// reserveFrame returns a free frame in s, pinned (pin=1) so no concurrent
+// loader can claim it. Preference order matches Pool.freeFrame: empty
+// frames, then never-used prefetched frames, then the stripe's clock
+// victim. Dirty victims are written back with the stripe latch released;
+// an in-flight entry makes concurrent loads of the victim page wait for
+// the write-back before rereading it from the volume.
+func (p *LatchPool) reserveFrame(s *latchStripe) (int, error) {
+	for spin := 0; ; spin++ {
+		s.mu.Lock()
+		victim := -1
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.page == disk.InvalidPage && f.pin == 0 {
+				f.pin = 1
+				s.mu.Unlock()
+				return i, nil
+			}
+		}
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.prefetched && f.pin == 0 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			n := len(s.frames)
+			for scanned := 0; scanned < 2*n; scanned++ {
+				i := s.hand
+				s.hand = (s.hand + 1) % n
+				f := &s.frames[i]
+				if f.pin != 0 {
+					continue
+				}
+				if f.ref {
+					f.ref = false
+					continue
+				}
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			s.mu.Unlock()
+			if spin >= maxReserveSpins {
+				return 0, ErrNoVictim
+			}
+			runtime.Gosched()
+			continue
+		}
+		f := &s.frames[victim]
+		vpid := f.page
+		dirty := f.dirty
+		f.pin = 1
+		delete(s.index, vpid)
+		fl := &inflight{done: make(chan struct{})}
+		s.inflight[vpid] = fl
+		s.mu.Unlock()
+
+		var werr error
+		if dirty && p.FlushFn != nil {
+			f.content.RLock()
+			werr = p.FlushFn(vpid, f.data)
+			f.content.RUnlock()
+		}
+		s.mu.Lock()
+		delete(s.inflight, vpid)
+		if werr != nil {
+			// The write-back failed: the page stays resident and dirty.
+			s.index[vpid] = victim
+			f.pin = 0
+			s.mu.Unlock()
+			close(fl.done)
+			return 0, werr
+		}
+		f.page = disk.InvalidPage
+		f.dirty = false
+		f.ref = false
+		f.prefetched = false
+		s.mu.Unlock()
+		p.evicted.Add(1)
+		p.resident.Add(-1)
+		close(fl.done)
+		return victim, nil
+	}
+}
+
+// Snapshot copies pid's current image into dst (PageSize bytes) without
+// touching the reference bit or the hit counters, the access discipline of
+// speculative batch reads (OpReadPages): served from the pool when
+// resident, but never perturbing replacement state.
+func (p *LatchPool) Snapshot(pid disk.PageID, dst []byte) bool {
+	s := p.stripe(pid)
+	s.mu.Lock()
+	i, ok := s.index[pid]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	f := &s.frames[i]
+	f.pin++
+	s.mu.Unlock()
+	f.content.RLock()
+	copy(dst, f.data)
+	f.content.RUnlock()
+	s.mu.Lock()
+	f.pin--
+	s.mu.Unlock()
+	return true
+}
+
+// PutPrefetched installs a speculative pre-read page image under the same
+// non-displacement rules as Pool.PutPrefetched: only an empty frame or
+// another never-used prefetched frame may hold it, and the install is
+// dropped (ok=false) when the page is resident, has I/O in flight, or no
+// such frame exists. Prefetched frames are always clean, so the install
+// never does I/O and runs entirely under the stripe latch.
+func (p *LatchPool) PutPrefetched(pid disk.PageID, data []byte) bool {
+	s := p.stripe(pid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, resident := s.index[pid]; resident {
+		return false
+	}
+	if s.inflight[pid] != nil {
+		return false
+	}
+	victim := -1
+	for i := range s.frames {
+		f := &s.frames[i]
+		if f.page == disk.InvalidPage && f.pin == 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.prefetched && f.pin == 0 {
+				delete(s.index, f.page)
+				p.evicted.Add(1)
+				p.resident.Add(-1)
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	f := &s.frames[victim]
+	copy(f.data, data)
+	f.page = pid
+	f.dirty = false
+	f.ref = false
+	f.prefetched = true
+	s.index[pid] = victim
+	p.resident.Add(1)
+	return true
+}
+
+// Evict removes pid from the pool if resident and unpinned, writing it
+// back first when dirty. It reports whether the page was evicted.
+func (p *LatchPool) Evict(pid disk.PageID) (bool, error) {
+	s := p.stripe(pid)
+	s.mu.Lock()
+	i, ok := s.index[pid]
+	if !ok {
+		s.mu.Unlock()
+		return false, nil
+	}
+	f := &s.frames[i]
+	if f.pin != 0 {
+		s.mu.Unlock()
+		return false, fmt.Errorf("buffer: evicting pinned page %d", pid)
+	}
+	dirty := f.dirty
+	f.pin = 1
+	delete(s.index, pid)
+	fl := &inflight{done: make(chan struct{})}
+	s.inflight[pid] = fl
+	s.mu.Unlock()
+
+	var werr error
+	if dirty && p.FlushFn != nil {
+		f.content.RLock()
+		werr = p.FlushFn(pid, f.data)
+		f.content.RUnlock()
+	}
+	s.mu.Lock()
+	delete(s.inflight, pid)
+	if werr != nil {
+		s.index[pid] = i
+		f.pin = 0
+		s.mu.Unlock()
+		close(fl.done)
+		return false, werr
+	}
+	f.page = disk.InvalidPage
+	f.dirty = false
+	f.ref = false
+	f.prefetched = false
+	f.pin = 0
+	s.mu.Unlock()
+	p.evicted.Add(1)
+	p.resident.Add(-1)
+	close(fl.done)
+	return true, nil
+}
+
+// FlushAll writes back every dirty page without evicting. Dirty flags are
+// cleared before each write-back, so a page re-dirtied concurrently stays
+// dirty; the flushed image excludes writes that arrive after its content
+// latch is taken (a checkpoint never promised to cover them).
+func (p *LatchPool) FlushAll() error {
+	if p.FlushFn == nil {
+		for si := range p.stripes {
+			s := &p.stripes[si]
+			s.mu.Lock()
+			for i := range s.frames {
+				s.frames[i].dirty = false
+			}
+			s.mu.Unlock()
+		}
+		return nil
+	}
+	for si := range p.stripes {
+		s := &p.stripes[si]
+		s.mu.Lock()
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.page == disk.InvalidPage || !f.dirty {
+				continue
+			}
+			pid := f.page
+			f.dirty = false
+			f.pin++
+			s.mu.Unlock()
+			f.content.RLock()
+			err := p.FlushFn(pid, f.data)
+			f.content.RUnlock()
+			s.mu.Lock()
+			f.pin--
+			if err != nil {
+				f.dirty = true
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// DropAll empties the pool without flushing (used to make caches cold).
+// Pinned frames and pages with I/O in flight are skipped; callers drop
+// caches only on quiesced servers, where neither exists.
+func (p *LatchPool) DropAll() {
+	for si := range p.stripes {
+		s := &p.stripes[si]
+		s.mu.Lock()
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.page == disk.InvalidPage || f.pin != 0 {
+				continue
+			}
+			delete(s.index, f.page)
+			f.page = disk.InvalidPage
+			f.dirty = false
+			f.ref = false
+			f.prefetched = false
+			p.resident.Add(-1)
+		}
+		s.mu.Unlock()
+	}
+}

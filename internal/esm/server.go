@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quickstore/internal/buffer"
@@ -45,6 +46,13 @@ type ServerConfig struct {
 	LockTimeout time.Duration // lock wait timeout; 0 = 1s
 	Clock       *sim.Clock    // cost-model clock; nil = free clock
 
+	// CommitWindow is the group-commit batching window (wal.SetCommitWindow):
+	// a commit that becomes log-force leader waits this long for concurrent
+	// committers to join its batch. 0 forces immediately (deterministic
+	// single-session behavior; concurrent commits still piggyback on a
+	// force in progress).
+	CommitWindow time.Duration
+
 	// Fault, when non-nil, arms the server's named crash points for the
 	// crash drill. The volume and log should be wrapped with the same
 	// plane (disk.WithHook, Log.FlushHook) so disk and log I/O share the
@@ -54,10 +62,30 @@ type ServerConfig struct {
 
 // Server is the page server: it owns the volume, the server buffer pool,
 // the write-ahead log, and the lock manager, and answers the protocol ops.
+//
+// The server is concurrent: protocol dispatch takes no global lock, so
+// page reads, batch fills, installs, and log appends from different client
+// sessions overlap, including their disk I/O. Shared state is partitioned:
+//
+//   - pool (buffer.LatchPool) is internally synchronized with striped
+//     latches; all page I/O runs outside any server lock, with per-page
+//     in-flight dedup.
+//   - log (wal.Log) and vol (disk.Volume) carry their own locks; commit
+//     forces go through the log's group-commit path.
+//   - locks (lock.Manager) is internally synchronized with FIFO waiters.
+//   - mu — the one narrow server lock — guards only the catalog maps and
+//     the transaction tables (active, lastTxLSN, catVersion).
+//   - catMu serializes catalog page write-back (see writeCatalogIfDirty).
+//
+// Lock order: catMu → mu → (wal.Log.mu | volume lock). Pool stripe latches
+// and frame content latches are taken with neither mu nor catMu held; the
+// pool's FlushFn (steal write-back) runs under a frame content latch and
+// takes the log and volume locks, never mu. sim.Clock, faultinject.Plane,
+// and lock.Manager locks are leaves.
 type Server struct {
 	mu    sync.Mutex
 	vol   disk.Volume
-	pool  *buffer.Pool
+	pool  *buffer.LatchPool
 	log   *wal.Log
 	locks *lock.Manager
 	clock *sim.Clock
@@ -67,8 +95,18 @@ type Server struct {
 	lastTxLSN map[uint64]wal.LSN
 	active    map[uint64]bool
 
-	// prefetchPages counts pages served through OpReadPages batches.
-	prefetchPages int64
+	// catVersion (under mu) counts catalog mutations; catWritten (under
+	// catMu) is the highest version written to the catalog page. Commits
+	// skip the catalog write when nothing changed since the last one.
+	catVersion uint64
+	catMu      sync.Mutex
+	catWritten uint64
+
+	// prefetchPages counts pages served through OpReadPages batches;
+	// commits counts committed transactions. Atomics: stats reads race
+	// concurrent ops by design.
+	prefetchPages atomic.Int64
+	commits       atomic.Int64
 }
 
 // ServerStats is the JSON payload returned in OpStats responses; it backs
@@ -86,6 +124,9 @@ type ServerStats struct {
 	DiskWrites     int64 `json:"disk_writes"`
 	PrefetchPages  int64 `json:"prefetch_pages_served"`
 	PrefetchReads  int64 `json:"prefetch_disk_reads"`
+	Commits        int64 `json:"commits"`
+	LogForces      int64 `json:"log_forces"`
+	LogPiggybacks  int64 `json:"log_piggybacks"`
 }
 
 // NewServer creates a server over a fresh volume: the catalog page is
@@ -109,11 +150,12 @@ func NewServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error)
 		NextFile: 1,
 		NextTx:   1,
 	}
-	return s, s.writeCatalog()
+	return s, s.writeCatalogLocked()
 }
 
 // OpenServer attaches a server to an existing volume, loading the catalog
-// and running restart recovery from the log.
+// and running restart recovery from the log. It runs before the server is
+// shared, so no locking applies yet.
 func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error) {
 	s, err := newServerCommon(vol, log, cfg)
 	if err != nil {
@@ -154,7 +196,7 @@ func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, 
 	}
 	s := &Server{
 		vol:       vol,
-		pool:      buffer.New(cfg.BufferPages, buffer.Clock{}),
+		pool:      buffer.NewLatchPool(cfg.BufferPages),
 		log:       log,
 		locks:     lock.New(cfg.LockTimeout),
 		clock:     cfg.Clock,
@@ -162,6 +204,7 @@ func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, 
 		lastTxLSN: map[uint64]wal.LSN{},
 		active:    map[uint64]bool{},
 	}
+	log.SetCommitWindow(cfg.CommitWindow)
 	s.pool.FlushFn = func(pid disk.PageID, data []byte) error {
 		if err := s.fault.Hit(faultinject.PtStealBeforeLogFlush); err != nil {
 			return err
@@ -223,7 +266,10 @@ func pageLSNOf(buf []byte) uint64 {
 
 func setPageLSN(buf []byte, lsn uint64) { binary.LittleEndian.PutUint64(buf[:8], lsn) }
 
-func (s *Server) writeCatalog() error {
+// writeCatalogLocked serializes the catalog to its page. Callers either
+// own the server exclusively (construction) or hold mu; the write itself
+// goes to the internally synchronized volume.
+func (s *Server) writeCatalogLocked() error {
 	blob, err := json.Marshal(&s.cat)
 	if err != nil {
 		return err
@@ -237,8 +283,43 @@ func (s *Server) writeCatalog() error {
 	return s.vol.WritePage(catalogPage, buf)
 }
 
+// writeCatalogIfDirty makes catalog changes durable if any happened since
+// the last write. Snapshotting the blob under mu and writing under catMu
+// keeps commits from serializing on the catalog page write unless they
+// actually changed the catalog; the version check under catMu drops writes
+// that a later snapshot already covered.
+func (s *Server) writeCatalogIfDirty() error {
+	s.mu.Lock()
+	v := s.catVersion
+	s.mu.Unlock()
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if s.catWritten >= v {
+		return nil
+	}
+	s.mu.Lock()
+	v = s.catVersion
+	blob, err := json.Marshal(&s.cat)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, disk.PageSize)
+	if len(blob)+4 > disk.PageSize {
+		return fmt.Errorf("esm: catalog too large (%d bytes)", len(blob))
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(blob)))
+	copy(buf[4:], blob)
+	if err := s.vol.WritePage(catalogPage, buf); err != nil {
+		return err
+	}
+	s.catWritten = v
+	return nil
+}
+
 // Handle executes one protocol request. It never returns a nil response;
-// errors travel in Response.Err.
+// errors travel in Response.Err. Handle is safe for concurrent use: the
+// transport layer calls it from one goroutine per client connection.
 func (s *Server) Handle(req *Request) *Response {
 	resp, err := s.handle(req)
 	if err != nil {
@@ -251,8 +332,6 @@ func (s *Server) Handle(req *Request) *Response {
 }
 
 func (s *Server) handle(req *Request) (*Response, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.fault.Crashed() {
 		// An armed crash fired: the process is dead until the drill
 		// restarts it. Every request fails, including ones whose own
@@ -261,10 +340,12 @@ func (s *Server) handle(req *Request) (*Response, error) {
 	}
 	switch req.Op {
 	case OpBegin:
+		s.mu.Lock()
 		tx := s.cat.NextTx
 		s.cat.NextTx++
 		s.active[tx] = true
 		s.lastTxLSN[tx] = s.log.Append(wal.Record{Tx: tx, Type: wal.RecBegin})
+		s.mu.Unlock()
 		return &Response{N: tx}, nil
 
 	case OpReadPage:
@@ -306,15 +387,20 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		return nil, err
 
 	case OpCreateFile:
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		if _, ok := s.cat.Files[req.Name]; ok {
 			return nil, fmt.Errorf("esm: file %q exists", req.Name)
 		}
 		id := s.cat.NextFile
 		s.cat.NextFile++
 		s.cat.Files[req.Name] = id
+		s.catVersion++
 		return &Response{N: uint64(id)}, nil
 
 	case OpOpenFile:
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		id, ok := s.cat.Files[req.Name]
 		if !ok {
 			return nil, fmt.Errorf("esm: no file %q", req.Name)
@@ -322,6 +408,8 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		return &Response{N: uint64(id)}, nil
 
 	case OpGetRoot:
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		e, ok := s.cat.Roots[req.Name]
 		if !ok {
 			return nil, fmt.Errorf("esm: no root %q", req.Name)
@@ -334,47 +422,22 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			copy(e.OID[:], req.Data)
 		}
 		e.Aux = req.N
+		s.mu.Lock()
 		s.cat.Roots[req.Name] = e
+		s.catVersion++
+		s.mu.Unlock()
 		return nil, nil
 
 	case OpCounter:
+		s.mu.Lock()
 		old := s.cat.Counters[req.Name]
 		s.cat.Counters[req.Name] = old + req.N
+		s.catVersion++
+		s.mu.Unlock()
 		return &Response{N: old}, nil
 
 	case OpCheckpoint:
-		if err := s.pool.FlushAll(); err != nil {
-			return nil, err
-		}
-		if err := s.writeCatalog(); err != nil {
-			return nil, err
-		}
-		if err := s.log.Flush(); err != nil {
-			return nil, err
-		}
-		if err := s.fault.Hit(faultinject.PtCheckpointBeforeSync); err != nil {
-			return nil, err
-		}
-		if err := s.vol.Sync(); err != nil {
-			return nil, err
-		}
-		// With every page durable and no transaction in flight, no log
-		// record can be needed again: truncate the log.
-		if len(s.active) == 0 {
-			if err := s.log.Truncate(); err != nil {
-				return nil, err
-			}
-			// Re-anchor the LSN space. OpenFileLog recovers the base of
-			// a truncated log from the LSNs of surviving records; an
-			// empty file would reopen at base 0 and hand out LSNs that
-			// collide with pageLSNs stamped before the truncation. A
-			// durable checkpoint record carries the base in its own LSN.
-			s.log.Append(wal.Record{Type: wal.RecCheckpoint})
-			if err := s.log.Flush(); err != nil {
-				return nil, err
-			}
-		}
-		return nil, nil
+		return nil, s.checkpoint()
 
 	case OpStats:
 		hits, misses, evicted := s.pool.Stats()
@@ -389,14 +452,17 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			LogBytes:       s.log.Bytes(),
 			DiskReads:      s.clock.Count(sim.CtrServerDiskRead),
 			DiskWrites:     s.clock.Count(sim.CtrServerDiskWrite),
-			PrefetchPages:  s.prefetchPages,
+			PrefetchPages:  s.prefetchPages.Load(),
 			PrefetchReads:  s.clock.Count(sim.CtrPrefetchDiskRead),
+			Commits:        s.commits.Load(),
+			LogForces:      s.log.Forces(),
+			LogPiggybacks:  s.log.Piggybacks(),
 		}
 		blob, err := json.Marshal(&st)
 		if err != nil {
 			return nil, err
 		}
-		return &Response{N: uint64(s.pool.Resident()), Data: blob}, nil
+		return &Response{N: uint64(st.Resident), Data: blob}, nil
 
 	case OpReadPages:
 		return s.readPagesBatch(req)
@@ -404,9 +470,55 @@ func (s *Server) handle(req *Request) (*Response, error) {
 	return nil, fmt.Errorf("esm: unknown op %v", req.Op)
 }
 
+// checkpoint flushes all server state to the volume and, when quiescent,
+// truncates the log. The pool flush and catalog write run without mu (both
+// targets carry their own locks); mu is taken only for the quiescence
+// check, which OpBegin cannot race past.
+func (s *Server) checkpoint() error {
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.catVersion++ // force the write: a checkpoint always persists the catalog
+	s.mu.Unlock()
+	if err := s.writeCatalogIfDirty(); err != nil {
+		return err
+	}
+	if err := s.log.Flush(); err != nil {
+		return err
+	}
+	if err := s.fault.Hit(faultinject.PtCheckpointBeforeSync); err != nil {
+		return err
+	}
+	if err := s.vol.Sync(); err != nil {
+		return err
+	}
+	// With every page durable and no transaction in flight, no log
+	// record can be needed again: truncate the log. mu blocks OpBegin,
+	// so no transaction can start between the check and the truncation;
+	// in-flight commits and aborts keep their tx in active until done.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.active) == 0 {
+		if err := s.log.Truncate(); err != nil {
+			return err
+		}
+		// Re-anchor the LSN space. OpenFileLog recovers the base of
+		// a truncated log from the LSNs of surviving records; an
+		// empty file would reopen at base 0 and hand out LSNs that
+		// collide with pageLSNs stamped before the truncation. A
+		// durable checkpoint record carries the base in its own LSN.
+		s.log.Append(wal.Record{Type: wal.RecCheckpoint})
+		if err := s.log.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // readPagesBatch serves one OpReadPages frame: every requested page is
-// returned in request order, taken from the server pool when resident
-// (Lookup, so reference bits stay untouched) and read straight from the
+// returned in request order, copied from the server pool when resident
+// (Snapshot, so reference bits stay untouched) and read straight from the
 // volume otherwise. The server pool is deliberately bypassed for the
 // volume reads: prefetch traffic must not install or evict server frames,
 // both because speculative reads should not pollute the server's working
@@ -425,27 +537,22 @@ func (s *Server) readPagesBatch(req *Request) (*Response, error) {
 		var pidb [4]byte
 		binary.LittleEndian.PutUint32(pidb[:], uint32(pid))
 		out = append(out, pidb[:]...)
-		if idx, ok := s.pool.Lookup(pid); ok {
-			out = append(out, s.pool.Frame(idx).Data...)
-		} else {
-			buf := make([]byte, disk.PageSize)
-			if err := s.vol.ReadPage(pid, buf); err != nil {
+		out = out[:len(out)+disk.PageSize]
+		dst := out[len(out)-disk.PageSize:]
+		if !s.pool.Snapshot(pid, dst) {
+			if err := s.vol.ReadPage(pid, dst); err != nil {
 				return nil, fmt.Errorf("esm: ReadPages(%d): %w", pid, err)
 			}
 			s.clock.Charge(sim.CtrPrefetchDiskRead, 1)
-			out = append(out, buf...)
 		}
-		s.prefetchPages++
+		s.prefetchPages.Add(1)
 	}
 	return &Response{N: req.N, Data: out}, nil
 }
 
 func (s *Server) readPage(pid disk.PageID) (*Response, error) {
-	if i, ok := s.pool.Get(pid); ok {
-		s.clock.Charge(sim.CtrServerBufferHit, 1)
-		return &Response{Page: uint32(pid), Data: append([]byte(nil), s.pool.Frame(i).Data...)}, nil
-	}
-	i, err := s.pool.Put(pid, func(buf []byte) error {
+	out := make([]byte, disk.PageSize)
+	ref, loaded, err := s.pool.Load(pid, func(buf []byte) error {
 		s.clock.Charge(sim.CtrServerDiskRead, 1)
 		s.clock.Charge(sim.CtrServerBufferHit, 1) // network leg of the transfer
 		return s.vol.ReadPage(pid, buf)
@@ -453,20 +560,28 @@ func (s *Server) readPage(pid disk.PageID) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Response{Page: uint32(pid), Data: append([]byte(nil), s.pool.Frame(i).Data...)}, nil
+	if !loaded {
+		// Buffer hit — or a ride on another session's in-flight read of
+		// the same page (the dedup makes it cost the same as a hit).
+		s.clock.Charge(sim.CtrServerBufferHit, 1)
+	}
+	ref.Read(func(data []byte) { copy(out, data) })
+	ref.Release()
+	return &Response{Page: uint32(pid), Data: out}, nil
 }
 
 // installPage places a shipped page image in the server pool, dirty.
 func (s *Server) installPage(pid disk.PageID, data []byte) error {
-	i, err := s.pool.Put(pid, func(buf []byte) error {
+	ref, _, err := s.pool.Load(pid, func(buf []byte) error {
 		copy(buf, data)
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	copy(s.pool.Frame(i).Data, data) // Put skips load when already resident
-	s.pool.MarkDirty(i)
+	ref.Write(func(dst []byte) { copy(dst, data) }) // Load skips the fill when already resident
+	ref.MarkDirty()
+	ref.Release()
 	return nil
 }
 
@@ -478,7 +593,9 @@ func (s *Server) appendLogBatch(tx uint64, data []byte) (wal.LSN, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(data))
 	p := 4
+	s.mu.Lock()
 	last := s.lastTxLSN[tx]
+	s.mu.Unlock()
 	for i := 0; i < count; i++ {
 		if len(data) < p+11 {
 			return 0, errShortMessage
@@ -509,12 +626,15 @@ func (s *Server) appendLogBatch(tx uint64, data []byte) (wal.LSN, error) {
 		p += newLen
 		last = s.log.Append(rec)
 	}
+	s.mu.Lock()
 	s.lastTxLSN[tx] = last
+	s.mu.Unlock()
 	return last, nil
 }
 
 // commit installs the shipped dirty pages (Data = repeated u32 pid + 8K
-// image), appends the commit record, and forces the log.
+// image), appends the commit record, and forces the log through it via the
+// group-commit path: concurrent committers share one physical force.
 func (s *Server) commit(tx uint64, data []byte) error {
 	const rec = 4 + disk.PageSize
 	if len(data)%rec != 0 {
@@ -529,11 +649,14 @@ func (s *Server) commit(tx uint64, data []byte) error {
 	if err := s.fault.Hit(faultinject.PtCommitAfterInstall); err != nil {
 		return err
 	}
-	s.lastTxLSN[tx] = s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecCommit})
+	s.mu.Lock()
+	lsn := s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecCommit})
+	s.lastTxLSN[tx] = lsn
+	s.mu.Unlock()
 	if err := s.fault.Hit(faultinject.PtCommitBeforeFlush); err != nil {
 		return err
 	}
-	if err := s.log.Flush(); err != nil {
+	if err := s.log.FlushCommit(lsn); err != nil {
 		return err
 	}
 	if err := s.fault.Hit(faultinject.PtCommitAfterFlush); err != nil {
@@ -541,12 +664,15 @@ func (s *Server) commit(tx uint64, data []byte) error {
 	}
 	// Catalog changes (files, roots, counters) become durable with the
 	// transaction, not just at checkpoints.
-	if err := s.writeCatalog(); err != nil {
+	if err := s.writeCatalogIfDirty(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	delete(s.active, tx)
 	delete(s.lastTxLSN, tx)
+	s.mu.Unlock()
 	s.locks.ReleaseAll(tx)
+	s.commits.Add(1)
 	return nil
 }
 
@@ -567,30 +693,37 @@ func (s *Server) abort(tx uint64) error {
 			continue
 		}
 		pid := disk.PageID(r.Page)
-		idx, ok := s.pool.Get(pid)
-		if !ok {
-			var err error
-			idx, err = s.pool.Put(pid, func(buf []byte) error {
-				s.clock.Charge(sim.CtrServerDiskRead, 1)
-				return s.vol.ReadPage(pid, buf)
-			})
-			if err != nil {
-				return err
+		ref, _, err := s.pool.Load(pid, func(buf []byte) error {
+			s.clock.Charge(sim.CtrServerDiskRead, 1)
+			return s.vol.ReadPage(pid, buf)
+		})
+		if err != nil {
+			return err
+		}
+		// The undo reads the page LSN and applies the before-image under
+		// one exclusive content latch; the aborting transaction still
+		// holds its page locks, but batch reads may snapshot concurrently.
+		applied := false
+		ref.Write(func(data []byte) {
+			if wal.LSN(pageLSNOf(data)) < r.LSN {
+				return // never applied here
 			}
+			clr := s.log.Append(wal.Record{Tx: tx, Type: wal.RecCLR, Page: r.Page, Off: r.Off, New: append([]byte(nil), r.Old...)})
+			copy(data[int(r.Off):int(r.Off)+len(r.Old)], r.Old)
+			setPageLSN(data, uint64(clr))
+			applied = true
+		})
+		if applied {
+			ref.MarkDirty()
 		}
-		f := s.pool.Frame(idx)
-		if wal.LSN(pageLSNOf(f.Data)) < r.LSN {
-			continue // never applied here
-		}
-		copy(f.Data[int(r.Off):int(r.Off)+len(r.Old)], r.Old)
-		clr := s.log.Append(wal.Record{Tx: tx, Type: wal.RecCLR, Page: r.Page, Off: r.Off, New: append([]byte(nil), r.Old...)})
-		setPageLSN(f.Data, uint64(clr))
-		s.pool.MarkDirty(idx)
+		ref.Release()
 	}
 	if err := s.fault.Hit(faultinject.PtAbortAfterCLR); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecAbort})
+	s.mu.Unlock()
 	if err := s.fault.Hit(faultinject.PtAbortBeforeFlush); err != nil {
 		return err
 	}
@@ -606,8 +739,10 @@ func (s *Server) abort(tx uint64) error {
 	if err := s.fault.Hit(faultinject.PtAbortAfterFlush); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	delete(s.active, tx)
 	delete(s.lastTxLSN, tx)
+	s.mu.Unlock()
 	s.locks.ReleaseAll(tx)
 	return nil
 }
@@ -622,10 +757,9 @@ func (s *Server) Checkpoint() error {
 }
 
 // DropCaches empties the server buffer pool after flushing, making the next
-// reads hit the disk (the harness's "cold" switch).
+// reads hit the disk (the harness's "cold" switch). Callers quiesce the
+// server first.
 func (s *Server) DropCaches() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.pool.FlushAll(); err != nil {
 		return err
 	}

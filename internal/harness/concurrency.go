@@ -1,0 +1,331 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/wal"
+)
+
+// ConcurrencyOpts tunes the multi-client wall-clock benchmark. Unlike the
+// paper experiments (simulated time, deterministic), this bench measures
+// real elapsed time: the point is the server's concurrency machinery —
+// striped pool latches, I/O outside locks, group commit — which only shows
+// up on a wall clock.
+type ConcurrencyOpts struct {
+	MaxClients    int // sweep 1,2,4,... up to here; 0 = 8
+	TxnsPerClient int // committed transactions per client; 0 = 40
+	ReadsPerTxn   int // shared-object reads per transaction; 0 = 16
+	UpdateEvery   int // every n-th transaction also updates; 0 = 4
+	SharedObjects int // shared read working set; 0 = 256 (~64 pages)
+	ServerPool    int // server frames; 0 = 48 (smaller than the working set)
+	ClientPool    int // client frames per session; 0 = 8
+
+	// Injected device latencies. The volume and log live in memory, so
+	// without these every operation is a few microseconds and the bench
+	// would measure Go scheduler noise; the sleeps restore the I/O stalls
+	// that concurrency is supposed to overlap.
+	ReadDelay  time.Duration // per server disk page read; 0 = 120µs
+	FlushDelay time.Duration // per physical log force; 0 = 240µs
+
+	CommitWindow time.Duration // group-commit window; 0 = 1ms
+	NoBigLock    bool          // skip the serialized-dispatch baseline
+}
+
+func (o ConcurrencyOpts) withDefaults() ConcurrencyOpts {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&o.MaxClients, 8)
+	def(&o.TxnsPerClient, 40)
+	def(&o.ReadsPerTxn, 16)
+	def(&o.UpdateEvery, 4)
+	def(&o.SharedObjects, 256)
+	def(&o.ServerPool, 48)
+	def(&o.ClientPool, 8)
+	if o.ReadDelay == 0 {
+		o.ReadDelay = 120 * time.Microsecond
+	}
+	if o.FlushDelay == 0 {
+		o.FlushDelay = 240 * time.Microsecond
+	}
+	if o.CommitWindow == 0 {
+		o.CommitWindow = time.Millisecond
+	}
+	return o
+}
+
+// clientCounts expands MaxClients into the sweep 1, 2, 4, ... MaxClients.
+func (o ConcurrencyOpts) clientCounts() []int {
+	var out []int
+	for c := 1; c < o.MaxClients; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, o.MaxClients)
+}
+
+// ConcurrencyPoint is one measured client count.
+type ConcurrencyPoint struct {
+	Clients          int     `json:"clients"`
+	Ops              int64   `json:"ops"`
+	Seconds          float64 `json:"seconds"`
+	OpsPerSec        float64 `json:"ops_per_sec"`
+	Speedup          float64 `json:"speedup"`             // vs the 1-client point
+	BigLockOpsPerSec float64 `json:"big_lock_ops_per_sec"` // 0 when skipped
+	Commits          int64   `json:"commits"`
+	LogForces        int64   `json:"log_forces"`
+	LogPiggybacks    int64   `json:"log_piggybacks"`
+	DiskReads        int64   `json:"disk_reads"` // pool misses that went to the device
+}
+
+// ForcesPerCommit is the group-commit win: < 1 means commits shared forces.
+func (p ConcurrencyPoint) ForcesPerCommit() float64 {
+	return ratio(float64(p.LogForces), float64(p.Commits))
+}
+
+// readLatencyHook injects a fixed device latency into every page read.
+type readLatencyHook struct{ d time.Duration }
+
+func (h readLatencyHook) BeforeRead(id uint32) error {
+	if h.d > 0 {
+		time.Sleep(h.d)
+	}
+	return nil
+}
+
+func (h readLatencyHook) BeforeWrite(id uint32, pageSize int) (int, error) {
+	return pageSize, nil
+}
+
+// serialTransport reimposes the pre-refactor big lock from the outside:
+// every protocol call — including its disk reads and log forces — holds one
+// shared mutex, exactly as when Server.Handle serialized on a global lock.
+// Comparing against it isolates what breaking the lock bought.
+type serialTransport struct {
+	mu *sync.Mutex
+	t  esm.Transport
+}
+
+func (s serialTransport) Call(req *esm.Request) (*esm.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Call(req)
+}
+
+func (s serialTransport) Close() error { return s.t.Close() }
+
+// concEnv is one benchmark database: shared read-mostly objects plus one
+// private update object per client slot, committed and checkpointed.
+type concEnv struct {
+	srv     *esm.Server
+	shared  []esm.OID
+	private []esm.OID
+}
+
+func buildConcEnv(o ConcurrencyOpts) (*concEnv, error) {
+	vol := disk.WithHook(disk.NewMemVolume(), readLatencyHook{d: o.ReadDelay})
+	logf := wal.NewMemLog()
+	if d := o.FlushDelay; d > 0 {
+		logf.FlushHook = func(pending int) (int, error) {
+			time.Sleep(d)
+			return pending, nil
+		}
+	}
+	srv, err := esm.NewServer(vol, logf, esm.ServerConfig{
+		BufferPages:  o.ServerPool,
+		CommitWindow: o.CommitWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 64})
+	if err := c.Begin(); err != nil {
+		return nil, err
+	}
+	fid, err := c.CreateFile("conc")
+	if err != nil {
+		return nil, err
+	}
+	cl := c.NewCluster(fid)
+	env := &concEnv{srv: srv}
+	for i := 0; i < o.SharedObjects+o.MaxClients; i++ {
+		oid, data, err := c.CreateObject(cl, payloadSize)
+		if err != nil {
+			return nil, err
+		}
+		putValue(data, uint64(i))
+		if i < o.SharedObjects {
+			env.shared = append(env.shared, oid)
+		} else {
+			env.private = append(env.private, oid)
+		}
+	}
+	if err := c.Commit(); err != nil {
+		return nil, err
+	}
+	if err := srv.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// runConcClient is one benchmark session: read-mostly transactions over the
+// shared working set, updating the slot's private object every n-th
+// transaction. The client pool is deliberately smaller than the working set
+// so reads keep faulting to the server, which is the component under test.
+func runConcClient(env *concEnv, tr esm.Transport, slot int, o ConcurrencyOpts, ops *atomic.Int64) error {
+	c := esm.NewClient(tr, esm.ClientConfig{BufferPages: o.ClientPool})
+	rng := rand.New(rand.NewSource(int64(1000 + slot)))
+	for t := 1; t <= o.TxnsPerClient; t++ {
+		if err := c.Begin(); err != nil {
+			return err
+		}
+		for r := 0; r < o.ReadsPerTxn; r++ {
+			oid := env.shared[rng.Intn(len(env.shared))]
+			if _, _, err := c.ReadObject(oid); err != nil {
+				return err
+			}
+			ops.Add(1)
+		}
+		if o.UpdateEvery > 0 && t%o.UpdateEvery == 0 {
+			oid := env.private[slot]
+			data, off, frame, err := c.ReadObjectAt(oid)
+			if err != nil {
+				return err
+			}
+			old := append([]byte(nil), data[:12]...)
+			putValue(data, rng.Uint64())
+			c.Pool().MarkDirty(frame)
+			c.LogUpdate(oid.Page, off, old, append([]byte(nil), data[:12]...))
+			ops.Add(1)
+		}
+		if err := c.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func concStats(srv *esm.Server) (*esm.ServerStats, error) {
+	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 4})
+	return c.ServerStats()
+}
+
+// measureConc runs one client count against a fresh database and returns
+// total ops, elapsed wall time, and the server-stat deltas.
+func measureConc(o ConcurrencyOpts, clients int, bigLock bool) (ConcurrencyPoint, error) {
+	pt := ConcurrencyPoint{Clients: clients}
+	env, err := buildConcEnv(o)
+	if err != nil {
+		return pt, err
+	}
+	before, err := concStats(env.srv)
+	if err != nil {
+		return pt, err
+	}
+	var bigMu sync.Mutex
+	var ops atomic.Int64
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for slot := 0; slot < clients; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			var tr esm.Transport = esm.NewInProcTransport(env.srv)
+			if bigLock {
+				tr = serialTransport{mu: &bigMu, t: tr}
+			}
+			errs[slot] = runConcClient(env, tr, slot, o, &ops)
+		}(slot)
+	}
+	wg.Wait()
+	pt.Seconds = time.Since(start).Seconds()
+	for slot, err := range errs {
+		if err != nil {
+			return pt, fmt.Errorf("client %d: %w", slot, err)
+		}
+	}
+	after, err := concStats(env.srv)
+	if err != nil {
+		return pt, err
+	}
+	pt.Ops = ops.Load()
+	pt.OpsPerSec = ratio(float64(pt.Ops), pt.Seconds)
+	pt.Commits = after.Commits - before.Commits
+	pt.LogForces = after.LogForces - before.LogForces
+	pt.LogPiggybacks = after.LogPiggybacks - before.LogPiggybacks
+	pt.DiskReads = after.PoolMisses - before.PoolMisses
+	return pt, nil
+}
+
+// RunConcurrencyBench sweeps client counts 1..MaxClients over the concurrent
+// server and (unless NoBigLock) over the serialized big-lock baseline,
+// returning one point per client count.
+func RunConcurrencyBench(opts ConcurrencyOpts) ([]ConcurrencyPoint, error) {
+	o := opts.withDefaults()
+	var pts []ConcurrencyPoint
+	for _, clients := range o.clientCounts() {
+		pt, err := measureConc(o, clients, false)
+		if err != nil {
+			return nil, err
+		}
+		if !o.NoBigLock {
+			base, err := measureConc(o, clients, true)
+			if err != nil {
+				return nil, err
+			}
+			pt.BigLockOpsPerSec = base.OpsPerSec
+		}
+		pts = append(pts, pt)
+	}
+	for i := range pts {
+		pts[i].Speedup = ratio(pts[i].OpsPerSec, pts[0].OpsPerSec)
+	}
+	return pts, nil
+}
+
+// ConcurrencyExp ("-exp concurrency", "oo7bench -clients N") runs the
+// multi-client scaling bench and emits its table. It is deliberately not
+// part of "-exp all": it measures wall-clock time, so its numbers vary run
+// to run, while "-exp all" output stays byte-identical to the paper
+// baseline.
+func (s *Suite) ConcurrencyExp(opts ConcurrencyOpts) error {
+	o := opts.withDefaults()
+	pts, err := RunConcurrencyBench(o)
+	if err != nil {
+		return err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Concurrency: multi-client throughput scaling, 1-%d clients (wall clock)",
+			o.MaxClients),
+		Columns: []string{"clients", "ops", "sec", "ops/sec", "speedup",
+			"big-lock ops/sec", "vs big-lock", "commits", "forces", "piggybacks", "forces/commit"},
+	}
+	for _, p := range pts {
+		vsBig := "-"
+		bigCol := "-"
+		if p.BigLockOpsPerSec > 0 {
+			bigCol = ms(p.BigLockOpsPerSec)
+			vsBig = f1(ratio(p.OpsPerSec, p.BigLockOpsPerSec)) + "x"
+		}
+		t.AddRow(d(int64(p.Clients)), d(p.Ops), fmt.Sprintf("%.2f", p.Seconds),
+			ms(p.OpsPerSec), f1(p.Speedup)+"x", bigCol, vsBig,
+			d(p.Commits), d(p.LogForces), d(p.LogPiggybacks),
+			fmt.Sprintf("%.2f", p.ForcesPerCommit()))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("wall-clock bench (not the simulated clock); injected device latency: %v/page read, %v/log force, %v commit window",
+			o.ReadDelay, o.FlushDelay, o.CommitWindow),
+		"big-lock baseline serializes every protocol call through one mutex, emulating the pre-refactor server",
+		"forces/commit < 1 means group commit batched concurrent committers onto shared log forces")
+	s.emit(t)
+	return nil
+}

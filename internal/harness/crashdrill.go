@@ -6,6 +6,9 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"quickstore/internal/disk"
 	"quickstore/internal/esm"
@@ -25,10 +28,17 @@ type DrillOpts struct {
 	ShortFlush bool // the crashing log flush persists only a prefix
 	Transient  int  // transient read faults injected before any crash
 
-	Txns       int    // update transactions to attempt; 0 = 12
+	Txns       int    // update transactions to attempt (per worker); 0 = 12
 	AbortEvery int    // every n-th transaction aborts instead; 0 = never
 	Objects    int    // oracle objects; 0 = 16
 	Dir        string // scratch directory for the volume and log files
+
+	// Workers > 1 runs that many concurrent client sessions against the
+	// server, each updating its own contiguous slice of the oracle objects
+	// (neighbors on boundary pages still collide, exercising the lock
+	// manager). The crash then cuts off up to one in-flight transaction per
+	// worker, and recovery must resolve each one atomically on its own.
+	Workers int
 }
 
 // DrillReport is the outcome of one drill. Violations lists every broken
@@ -51,9 +61,10 @@ func (r *DrillReport) violate(format string, args ...interface{}) {
 // object must hold after recovery.
 type drillObj struct {
 	oid       esm.OID
+	worker    int    // owning workload session (0 for the single-session drill)
 	committed uint64 // last value whose commit was acknowledged
 	inDoubt   uint64 // value proposed by the in-doubt transaction, if any
-	touched   bool   // the in-doubt transaction touched this object
+	touched   bool   // the worker's in-doubt transaction touched this object
 }
 
 // payloadSize is the object size used by the drill: four objects to a
@@ -114,7 +125,18 @@ func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
 	// A two-frame server pool keeps the write-back (steal) path hot: most
 	// installs and reads evict a dirty page to the volume, so the
 	// pool.steal.* and disk.write points fire inside ordinary traffic.
-	srv, err := esm.NewServer(hv, logf, esm.ServerConfig{BufferPages: 2, Fault: plane})
+	scfg := esm.ServerConfig{BufferPages: 2, Fault: plane}
+	if opts.Workers > 1 {
+		// Concurrent drills keep the pool smaller than the working set (the
+		// steal path stays hot) but give the extra sessions a little room,
+		// shorten the lock timeout so cross-worker page conflicts on
+		// boundary pages resolve quickly, and turn on group commit so the
+		// crash points fire inside batched log forces too.
+		scfg.BufferPages = 4
+		scfg.LockTimeout = 300 * time.Millisecond
+		scfg.CommitWindow = 500 * time.Microsecond
+	}
+	srv, err := esm.NewServer(hv, logf, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -162,11 +184,47 @@ func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
 		plane.ArmCrash(opts.Point, opts.HitN)
 	}
 
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// Contiguous partition: worker wk owns objs[wk*per : (wk+1)*per), so
+	// most pages stay within one worker and only boundary pages carry
+	// cross-worker lock conflicts.
+	per := (len(objs) + workers - 1) / workers
+	for i := range objs {
+		objs[i].worker = i / per
+	}
+	var attempts int64
+	if workers > 1 {
+		var retries int64
+		var repMu sync.Mutex
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			lo, hi := wk*per, (wk+1)*per
+			if hi > len(objs) {
+				hi = len(objs)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(wk int, part []*drillObj) {
+				defer wg.Done()
+				drillWorker(srv, part, wk, opts, rep, &repMu, &attempts, &retries)
+			}(wk, objs[lo:hi])
+		}
+		wg.Wait()
+		rep.Crashed = plane.Crashed()
+		rep.Retries = retries
+		rep.Trace = plane.Trace()
+		return drillVerify(opts, rep, objs, workers, attempts, volPath, logPath, vol, logf)
+	}
+
 	w := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{
 		BufferPages: 3, // steal-prone: dirty pages ship mid-transaction
 		Retry:       esm.RetryPolicy{MaxAttempts: 4},
 	})
-	attempts := 0
 workload:
 	for t := 1; t <= opts.Txns; t++ {
 		if err := w.Begin(); err != nil {
@@ -220,7 +278,85 @@ workload:
 	rep.Crashed = plane.Crashed()
 	rep.Retries = w.Retries()
 	rep.Trace = plane.Trace()
+	return drillVerify(opts, rep, objs, workers, attempts, volPath, logPath, vol, logf)
+}
 
+// drillWorker is one concurrent workload session: seeded update
+// transactions over its own object partition until the crash (or an
+// abandoned transaction) stops it. Any error short of a commit ack leaves
+// the transaction for recovery to roll back; a commit cut off mid-protocol
+// marks the worker's objects in doubt.
+func drillWorker(srv *esm.Server, part []*drillObj, wk int, opts DrillOpts,
+	rep *DrillReport, repMu *sync.Mutex, attempts, retries *int64) {
+	rng := rand.New(rand.NewSource(opts.Seed + 7919*int64(wk+1)))
+	w := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{
+		BufferPages: 3, // steal-prone: dirty pages ship mid-transaction
+		Retry:       esm.RetryPolicy{MaxAttempts: 4},
+	})
+	defer func() { atomic.AddInt64(retries, w.Retries()) }()
+	for t := 1; t <= opts.Txns; t++ {
+		if err := w.Begin(); err != nil {
+			return
+		}
+		n := 1 + rng.Intn(3)
+		if n > len(part) {
+			n = len(part)
+		}
+		picked := rng.Perm(len(part))[:n]
+		proposed := map[*drillObj]uint64{}
+		for _, i := range picked {
+			data, off, frame, err := w.ReadObjectAt(part[i].oid)
+			if err != nil {
+				return
+			}
+			old := append([]byte(nil), data[:12]...)
+			v := rng.Uint64()
+			putValue(data, v)
+			w.Pool().MarkDirty(frame)
+			w.LogUpdate(part[i].oid.Page, off, old, append([]byte(nil), data[:12]...))
+			proposed[part[i]] = v
+		}
+		atomic.AddInt64(attempts, 1)
+		if _, err := w.Counter("drill.count", 1); err != nil {
+			return
+		}
+		if opts.AbortEvery > 0 && t%opts.AbortEvery == 0 {
+			// Acked or not, an abort leaves only committed values behind.
+			if err := w.Abort(); err != nil {
+				return
+			}
+			repMu.Lock()
+			rep.Aborted++
+			repMu.Unlock()
+			continue
+		}
+		err := w.Commit()
+		if err == nil {
+			for o, v := range proposed {
+				o.committed = v
+			}
+			repMu.Lock()
+			rep.Committed++
+			repMu.Unlock()
+			continue
+		}
+		// Cut off mid-commit: recovery decides whether this worker's
+		// transaction happened, independently of the other workers'.
+		for o, v := range proposed {
+			o.inDoubt = v
+			o.touched = true
+		}
+		repMu.Lock()
+		rep.InDoubt = true
+		repMu.Unlock()
+		return
+	}
+}
+
+// drillVerify kills the server, reopens the files the way restart would
+// find them, and sweeps every recovery invariant.
+func drillVerify(opts DrillOpts, rep *DrillReport, objs []*drillObj, workers int,
+	attempts int64, volPath, logPath string, vol *disk.FileVolume, logf *wal.Log) (*DrillReport, error) {
 	// Kill the process: no checkpoint, no close, just drop the handles.
 	// Abandon/Close release descriptors without writing anything back.
 	if err := vol.Abandon(); err != nil {
@@ -280,10 +416,15 @@ workload:
 	}
 
 	// Invariant: every object holds its committed value (or, for objects
-	// of the one in-doubt transaction, consistently the proposed value),
-	// with an intact embedded checksum.
-	inDoubtOutcome := 0 // +1 per in-doubt object that committed, -1 per rolled back
+	// of a worker's in-doubt transaction, consistently the proposed value),
+	// with an intact embedded checksum. Each worker contributes at most one
+	// in-doubt transaction, and each must resolve atomically on its own.
+	outcome := map[int]int{} // worker -> +1 per in-doubt object committed, -1 per rolled back
+	touched := map[int]int{}
 	for i, o := range objs {
+		if o.touched {
+			touched[o.worker]++
+		}
 		data, _, err := v.ReadObject(o.oid)
 		if err != nil {
 			rep.violate("object %d unreadable: %v", i, err)
@@ -297,17 +438,21 @@ workload:
 		switch {
 		case got == o.committed && (!o.touched || got != o.inDoubt):
 			if o.touched {
-				inDoubtOutcome--
+				outcome[o.worker]--
 			}
 		case o.touched && got == o.inDoubt:
-			inDoubtOutcome++
+			outcome[o.worker]++
 		default:
 			rep.violate("object %d holds %#x, want %#x%s", i, got, o.committed,
 				inDoubtAlt(o))
 		}
 	}
-	if n := countTouched(objs); n > 0 && inDoubtOutcome != n && inDoubtOutcome != -n {
-		rep.violate("in-doubt transaction applied partially (%d of %d objects)", (inDoubtOutcome+n)/2, n)
+	for wk := 0; wk < workers; wk++ {
+		n := touched[wk]
+		if got := outcome[wk]; n > 0 && got != n && got != -n {
+			rep.violate("worker %d in-doubt transaction applied partially (%d of %d objects)",
+				wk, (got+n)/2, n)
+		}
 	}
 
 	// Invariant: the attempts counter survived within its bounds — every
@@ -315,7 +460,7 @@ workload:
 	// attempted increments.
 	if count, err := v.Counter("drill.count", 0); err != nil {
 		rep.violate("counter lost: %v", err)
-	} else if int(count) < rep.Committed || int(count) > attempts {
+	} else if int64(count) < int64(rep.Committed) || int64(count) > attempts {
 		rep.violate("counter %d outside [%d committed, %d attempted]", count, rep.Committed, attempts)
 	}
 
@@ -342,16 +487,6 @@ workload:
 		_ = v.Commit()
 	}
 	return rep, nil
-}
-
-func countTouched(objs []*drillObj) int {
-	n := 0
-	for _, o := range objs {
-		if o.touched {
-			n++
-		}
-	}
-	return n
 }
 
 func inDoubtAlt(o *drillObj) string {

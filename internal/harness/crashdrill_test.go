@@ -64,6 +64,61 @@ func TestCrashDrill(t *testing.T) {
 	t.Logf("crash drill: %d combinations, %d crashed, %d transactions committed", runs, crashes, committed)
 }
 
+// TestCrashDrillConcurrent runs the drill matrix with four concurrent
+// workload sessions: every named crash point (plus a fault-free control)
+// fires while four clients race reads, steals, group-committed log forces,
+// and cross-worker page locks. Recovery must resolve each worker's in-doubt
+// transaction atomically and independently.
+func TestCrashDrillConcurrent(t *testing.T) {
+	points := append([]string{""}, faultinject.Points...)
+	runs, crashes, committed, inDoubt := 0, 0, 0, 0
+	for _, pt := range points {
+		for _, hitN := range []int{1, 4} {
+			for seed := int64(1); seed <= 2; seed++ {
+				opts := DrillOpts{
+					Seed:       seed*499 + int64(hitN)*17 + int64(len(pt)),
+					Point:      pt,
+					HitN:       hitN,
+					Workers:    4,
+					Txns:       8,
+					AbortEvery: 3,
+					Transient:  int(seed % 2),
+					Dir:        t.TempDir(),
+				}
+				rep, err := RunCrashDrill(opts)
+				if err != nil {
+					t.Fatalf("point=%q hitN=%d seed=%d: %v", pt, hitN, opts.Seed, err)
+				}
+				for _, v := range rep.Violations {
+					t.Errorf("point=%q hitN=%d seed=%d workers=4: %s (trace %v)",
+						pt, hitN, opts.Seed, v, rep.Trace)
+				}
+				runs++
+				if rep.Crashed {
+					crashes++
+				}
+				if rep.InDoubt {
+					inDoubt++
+				}
+				committed += rep.Committed
+			}
+		}
+	}
+	// The concurrent matrix must actually exercise crashes, commits, and
+	// cut-off transactions, or the sweep is vacuous.
+	if crashes < runs/4 {
+		t.Fatalf("only %d of %d concurrent drills crashed; the points are not firing", crashes, runs)
+	}
+	if committed == 0 {
+		t.Fatal("no concurrent drill committed a transaction")
+	}
+	if inDoubt == 0 {
+		t.Fatal("no concurrent drill left a transaction in doubt")
+	}
+	t.Logf("concurrent crash drill: %d combinations, %d crashed, %d committed, %d in doubt",
+		runs, crashes, committed, inDoubt)
+}
+
 // TestCrashDrillDetectsTornPageWrites proves the drill's sensitivity: with
 // sub-page torn writes enabled (breaking the atomic-page-write assumption
 // the recovery protocol depends on), some seed must produce a detected

@@ -36,6 +36,9 @@ var ExperimentNames = []string{
 // configurations the suite also supports. Likewise "prefetch" is not part of
 // "all": it measures the prefetch extension (off by default), so keeping it
 // out preserves byte-identical "-exp all" output against the paper baseline.
+// "concurrency" (also reachable as "oo7bench -clients N") is excluded for the
+// same reason plus one more: it measures wall-clock time, so its numbers are
+// inherently nondeterministic.
 
 // Suite runs experiments, caching generated databases and measurements that
 // several tables share.
@@ -204,6 +207,7 @@ func (s *Suite) dispatch() map[string]func() error {
 		"extras":    s.Extras,
 		"verify":    s.Verify,
 		"prefetch":  s.PrefetchExp,
+		"concurrency": func() error { return s.ConcurrencyExp(ConcurrencyOpts{}) },
 	}
 }
 

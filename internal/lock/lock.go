@@ -4,6 +4,13 @@
 // the services ESM provides in the paper ("locking is provided at the page
 // and file levels").
 //
+// Waiters are granted in strict FIFO order: a new request never overtakes
+// the wait queue, so a stream of compatible readers cannot starve a queued
+// writer (and vice versa). The only requests allowed to barge are upgrades
+// (Shared holder wanting Exclusive), which already hold the resource —
+// queueing an upgrade behind an Exclusive waiter would deadlock it against
+// its own Shared hold.
+//
 // Index pages use short latches outside this manager (the paper's "special
 // non-2PL protocol for index pages"); see internal/btree.
 package lock
@@ -60,15 +67,22 @@ func FileRes(fid uint32) Resource { return Resource{Kind: KindFile, ID: uint64(f
 // the caller should abort the transaction.
 var ErrDeadlock = errors.New("lock: wait timeout (presumed deadlock)")
 
+// waiter is one queued Acquire. ready is closed (under Manager.mu) when
+// the lock has been granted to the waiter.
+type waiter struct {
+	tx    uint64
+	mode  Mode
+	ready chan struct{}
+}
+
 type entry struct {
 	holders map[uint64]Mode // tx -> strongest held mode
-	waiting int
+	queue   []*waiter       // FIFO wait queue
 }
 
 // Manager grants and releases locks. The zero value is not usable; call New.
 type Manager struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	table   map[Resource]*entry
 	held    map[uint64]map[Resource]Mode // tx -> resources
 	timeout time.Duration
@@ -82,13 +96,11 @@ func New(timeout time.Duration) *Manager {
 	if timeout <= 0 {
 		timeout = time.Second
 	}
-	m := &Manager{
+	return &Manager{
 		table:   map[Resource]*entry{},
 		held:    map[uint64]map[Resource]Mode{},
 		timeout: timeout,
 	}
-	m.cond = sync.NewCond(&m.mu)
-	return m
 }
 
 func compatible(e *entry, tx uint64, mode Mode) bool {
@@ -103,53 +115,97 @@ func compatible(e *entry, tx uint64, mode Mode) bool {
 	return true
 }
 
+// grantLocked records the grant; caller holds m.mu.
+func (m *Manager) grantLocked(e *entry, tx uint64, res Resource, mode Mode) {
+	if e.holders[tx] < mode {
+		e.holders[tx] = mode
+	}
+	if m.held[tx] == nil {
+		m.held[tx] = map[Resource]Mode{}
+	}
+	m.held[tx][res] = e.holders[tx]
+	m.grants++
+}
+
+// promoteLocked grants queued waiters strictly in FIFO order, stopping at
+// the first waiter that cannot be granted — later compatible waiters do
+// not barge past it. Caller holds m.mu.
+func (m *Manager) promoteLocked(res Resource, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !compatible(e, w.tx, w.mode) {
+			break
+		}
+		e.queue = e.queue[1:]
+		m.grantLocked(e, w.tx, res, w.mode)
+		close(w.ready)
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.table, res)
+	}
+}
+
 // Acquire obtains res in the given mode for tx, blocking until it is granted
 // or the timeout elapses. Re-acquiring a held lock is a no-op; acquiring
 // Exclusive over a held Shared lock upgrades it.
 func (m *Manager) Acquire(tx uint64, res Resource, mode Mode) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	e := m.table[res]
 	if e == nil {
 		e = &entry{holders: map[uint64]Mode{}}
 		m.table[res] = e
 	}
-	if held, ok := e.holders[tx]; ok && (held == Exclusive || held == mode) {
+	held, holds := e.holders[tx]
+	if holds && (held == Exclusive || held == mode) {
+		m.mu.Unlock()
 		return nil // already strong enough
 	}
-	deadline := time.Now().Add(m.timeout)
-	for !compatible(e, tx, mode) {
-		m.waits++
-		e.waiting++
-		woke := make(chan struct{})
-		timer := time.AfterFunc(time.Until(deadline), func() {
-			m.mu.Lock()
-			close(woke)
-			m.cond.Broadcast()
-			m.mu.Unlock()
-		})
-		m.cond.Wait()
-		timer.Stop()
-		e.waiting--
-		select {
-		case <-woke:
-			if !compatible(e, tx, mode) {
-				return fmt.Errorf("%w: tx %d wants %v on %v", ErrDeadlock, tx, mode, res)
-			}
-		default:
+	// Immediate grant: compatible, and either nothing is queued ahead of
+	// us (FIFO) or we are an upgrade (which may barge; see package doc).
+	if compatible(e, tx, mode) && (holds || len(e.queue) == 0) {
+		m.grantLocked(e, tx, res, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	m.waits++
+	w := &waiter{tx: tx, mode: mode, ready: make(chan struct{})}
+	if holds {
+		// Upgrades queue at the front: they hold Shared, so anything
+		// queued ahead that needs Exclusive can never run first anyway.
+		e.queue = append([]*waiter{w}, e.queue...)
+	} else {
+		e.queue = append(e.queue, w)
+	}
+	m.mu.Unlock()
+
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return nil
+	case <-timer.C:
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil // granted in the race with the timeout
+	default:
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
 		}
 	}
-	e.holders[tx] = mode
-	if m.held[tx] == nil {
-		m.held[tx] = map[Resource]Mode{}
-	}
-	m.held[tx][res] = mode
-	m.grants++
-	return nil
+	// Our departure may unblock waiters that were queued behind us.
+	m.promoteLocked(res, e)
+	return fmt.Errorf("%w: tx %d wants %v on %v", ErrDeadlock, tx, mode, res)
 }
 
 // TryAcquire is Acquire without blocking; it reports whether the lock was
-// granted.
+// granted. Like Acquire, it respects the FIFO queue: it fails when waiters
+// are queued, even if the requested mode is compatible with the holders.
 func (m *Manager) TryAcquire(tx uint64, res Resource, mode Mode) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -158,18 +214,17 @@ func (m *Manager) TryAcquire(tx uint64, res Resource, mode Mode) bool {
 		e = &entry{holders: map[uint64]Mode{}}
 		m.table[res] = e
 	}
-	if held, ok := e.holders[tx]; ok && (held == Exclusive || held == mode) {
+	held, holds := e.holders[tx]
+	if holds && (held == Exclusive || held == mode) {
 		return true
 	}
-	if !compatible(e, tx, mode) {
+	if !compatible(e, tx, mode) || (!holds && len(e.queue) > 0) {
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.table, res)
+		}
 		return false
 	}
-	e.holders[tx] = mode
-	if m.held[tx] == nil {
-		m.held[tx] = map[Resource]Mode{}
-	}
-	m.held[tx][res] = mode
-	m.grants++
+	m.grantLocked(e, tx, res, mode)
 	return true
 }
 
@@ -183,20 +238,18 @@ func (m *Manager) Holds(tx uint64, res Resource) Mode {
 	return 0
 }
 
-// ReleaseAll drops every lock held by tx (transaction end).
+// ReleaseAll drops every lock held by tx (transaction end) and hands each
+// freed resource to its queued waiters in FIFO order.
 func (m *Manager) ReleaseAll(tx uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for res := range m.held[tx] {
 		if e := m.table[res]; e != nil {
 			delete(e.holders, tx)
-			if len(e.holders) == 0 && e.waiting == 0 {
-				delete(m.table, res)
-			}
+			m.promoteLocked(res, e)
 		}
 	}
 	delete(m.held, tx)
-	m.cond.Broadcast()
 }
 
 // Stats reports lifetime grant and wait counts.

@@ -23,8 +23,11 @@
 //     concurrently, then installs the results in issue order (ordered
 //     drain). Goroutine scheduling can change wall-clock overlap but never
 //     the observable pool state or counter totals.
-//   - The server side of OpReadPages never mutates the server buffer pool,
-//     so concurrent batch fetches cannot perturb server state either.
+//   - The server side of OpReadPages never mutates the server buffer pool
+//     (resident pages are copied out via LatchPool.Snapshot, absent ones
+//     read straight from the volume), so concurrent batch fetches — from
+//     this pump's workers or from other client sessions on the concurrent
+//     server — cannot perturb server pool state either.
 //
 // Cost accounting models overlapped I/O: enqueue/batch/background-disk
 // events are counted at zero foreground cost, and a consumed prefetched

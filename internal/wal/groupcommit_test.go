@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlushCommitDurability checks the contract that matters: after
+// FlushCommit(lsn) returns, the log is durable through lsn.
+func TestFlushCommitDurability(t *testing.T) {
+	l, err := CreateFileLog(filepath.Join(t.TempDir(), "gc.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn := l.Append(Record{Tx: 1, Type: RecCommit})
+	if err := l.FlushCommit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FlushedLSN(); got <= lsn {
+		t.Fatalf("FlushedLSN = %d after FlushCommit(%d), want > %d", got, lsn, lsn)
+	}
+	// A second call for the same LSN is a piggyback, not a new force.
+	forces := l.Forces()
+	if err := l.FlushCommit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.Forces() != forces {
+		t.Fatalf("already-durable FlushCommit forced the log (%d -> %d forces)", forces, l.Forces())
+	}
+	if l.Piggybacks() == 0 {
+		t.Fatal("piggyback not counted")
+	}
+}
+
+// TestGroupCommitBatchesConcurrentCommitters runs many committers through
+// a batching window and checks that (a) every committer's record is
+// durable when its FlushCommit returns, and (b) far fewer physical forces
+// than committers were needed — the group-commit win.
+func TestGroupCommitBatchesConcurrentCommitters(t *testing.T) {
+	const committers = 32
+	l := NewMemLog()
+	l.SetCommitWindow(2 * time.Millisecond)
+	var wg sync.WaitGroup
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lsn := l.Append(Record{Tx: uint64(c + 1), Type: RecCommit})
+			if err := l.FlushCommit(lsn); err != nil {
+				t.Errorf("FlushCommit: %v", err)
+				return
+			}
+			if got := l.FlushedLSN(); got <= lsn {
+				t.Errorf("committer %d: FlushedLSN %d <= own lsn %d", c, got, lsn)
+			}
+		}(c)
+	}
+	wg.Wait()
+	forces, piggy := l.Forces(), l.Piggybacks()
+	if forces >= committers {
+		t.Fatalf("%d forces for %d committers: group commit batched nothing", forces, committers)
+	}
+	if forces+piggy < committers {
+		t.Fatalf("forces(%d) + piggybacks(%d) < committers(%d)", forces, piggy, committers)
+	}
+	t.Logf("%d committers -> %d forces, %d piggybacks", committers, forces, piggy)
+}
+
+// TestGroupCommitZeroWindowStillCorrect pins the deterministic default:
+// with no window, a lone committer forces immediately, exactly once.
+func TestGroupCommitZeroWindowStillCorrect(t *testing.T) {
+	l := NewMemLog()
+	for i := 0; i < 5; i++ {
+		lsn := l.Append(Record{Tx: uint64(i + 1), Type: RecCommit})
+		if err := l.FlushCommit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Forces(); got != 5 {
+		t.Fatalf("serial committers forced %d times, want 5", got)
+	}
+}
+
+// TestFlushCommitPropagatesFlushError checks that an injected flush
+// failure reaches the leader and any follower waiting on the same batch.
+func TestFlushCommitPropagatesFlushError(t *testing.T) {
+	boom := errors.New("log device gone")
+	l := NewMemLog()
+	l.SetCommitWindow(5 * time.Millisecond)
+	l.FlushHook = func(pending int) (int, error) { return 0, boom }
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for c := range errs {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lsn := l.Append(Record{Tx: uint64(c + 1), Type: RecCommit})
+			errs[c] = l.FlushCommit(lsn)
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Errorf("committer %d: err = %v, want %v", c, err, boom)
+		}
+	}
+}

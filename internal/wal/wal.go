@@ -16,6 +16,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"time"
 )
 
 // LSN is a log sequence number: the byte offset of a record in the log.
@@ -160,6 +161,24 @@ type Log struct {
 	file    *os.File
 	records int64
 	bytes   int64
+
+	// Group commit (FlushCommit): committers arriving while a leader is
+	// inside its batching window join gcActive instead of forcing the log
+	// themselves; the leader's one force covers every record appended
+	// before it runs. forces counts physical log forces (flushLocked
+	// executions — each is an fsync on a real log device); piggybacks
+	// counts FlushCommit calls satisfied without a force of their own.
+	commitWindow time.Duration
+	gcActive     *gcBatch
+	forces       int64
+	piggybacks   int64
+}
+
+// gcBatch is one group-commit batch: the leader closes done after its
+// force; err is written before the close.
+type gcBatch struct {
+	done chan struct{}
+	err  error
 }
 
 // NewMemLog creates a log with no backing file.
@@ -243,6 +262,7 @@ func (l *Log) Flush() error {
 // torn log tail, possibly ending mid-record, exactly what a crash during
 // a physical log write leaves behind for OpenFileLog to prune.
 func (l *Log) flushLocked(upto int) error {
+	l.forces++
 	if upto > len(l.buf) {
 		upto = len(l.buf)
 	}
@@ -305,6 +325,80 @@ func (l *Log) FlushTo(lsn LSN) error {
 		return l.flushLocked(len(l.buf))
 	}
 	return l.flushLocked(off + n)
+}
+
+// SetCommitWindow sets the group-commit batching window. A committer that
+// becomes batch leader sleeps for the window before forcing, letting
+// concurrent committers append their records and join the batch; one force
+// then covers them all. Zero (the default) forces immediately — correct
+// and deterministic for single-session use, while concurrent committers
+// still piggyback on a force already in progress.
+func (l *Log) SetCommitWindow(d time.Duration) {
+	l.mu.Lock()
+	l.commitWindow = d
+	l.mu.Unlock()
+}
+
+// Forces returns the number of physical log forces performed.
+func (l *Log) Forces() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.forces
+}
+
+// Piggybacks returns the number of FlushCommit calls that found their
+// record already durable or joined another committer's batch — the forces
+// group commit saved.
+func (l *Log) Piggybacks() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.piggybacks
+}
+
+// FlushCommit makes the log durable through lsn (a commit record already
+// appended by the caller), batching concurrent committers into one force.
+// If lsn is already durable the call returns at once; if another committer
+// is leading a batch, the call waits for that batch's force (which covers
+// every record appended before it runs, this one included) and inherits
+// its error; otherwise the caller becomes leader: it sleeps for the commit
+// window, forces the whole log once, and releases its followers.
+func (l *Log) FlushCommit(lsn LSN) error {
+	if lsn == NilLSN {
+		return nil
+	}
+	for {
+		l.mu.Lock()
+		if int(lsn)-1-l.base < l.flushed {
+			l.piggybacks++
+			l.mu.Unlock()
+			return nil
+		}
+		if b := l.gcActive; b != nil {
+			l.piggybacks++
+			l.mu.Unlock()
+			<-b.done
+			if b.err != nil {
+				return b.err
+			}
+			// The leader's force covered our record (it was appended
+			// before FlushCommit was called); loop to verify durability.
+			continue
+		}
+		b := &gcBatch{done: make(chan struct{})}
+		l.gcActive = b
+		window := l.commitWindow
+		l.mu.Unlock()
+		if window > 0 {
+			time.Sleep(window)
+		}
+		l.mu.Lock()
+		err := l.flushLocked(len(l.buf))
+		l.gcActive = nil
+		l.mu.Unlock()
+		b.err = err
+		close(b.done)
+		return err
+	}
 }
 
 // FlushedLSN returns the LSN up to which the log is durable (exclusive).
