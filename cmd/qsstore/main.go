@@ -118,7 +118,7 @@ func crashdrill(point string, seed int64, seeds, hitN int, short, torn bool, dir
 		return nil
 	}
 
-	points := append([]string{""}, faultinject.Points...)
+	points := append([]string{""}, faultinject.AllPoints()...)
 	runs, crashes, violations := 0, 0, 0
 	for _, pt := range points {
 		for _, hit := range []int{1, 3} {

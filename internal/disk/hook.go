@@ -57,6 +57,7 @@ func (v *hookedVolume) WritePage(id PageID, buf []byte) error {
 		torn := make([]byte, PageSize)
 		if rerr := v.inner.ReadPage(id, torn); rerr == nil {
 			copy(torn[:tear], buf[:tear])
+			//qsvet:ignore mustcheck deliberately simulating a torn write mid-crash; the crash error below is the outcome
 			_ = v.inner.WritePage(id, torn)
 		}
 	}

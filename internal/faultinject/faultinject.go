@@ -50,36 +50,9 @@ func IsTransient(err error) bool {
 	return err != nil && (errors.Is(err, ErrTransient) || strings.Contains(err.Error(), ErrTransient.Error()))
 }
 
-// Named fault points. The I/O points are hit by the disk and wal hooks on
-// every operation; the dotted points are hit once per protocol event by
-// the ESM server, named after the instant they precede or follow.
-const (
-	PtDiskRead  = "disk.read"
-	PtDiskWrite = "disk.write"
-	PtLogFlush  = "wal.flush"
-
-	PtCommitAfterInstall = "commit.after-install"   // pages installed, commit record not yet appended
-	PtCommitBeforeFlush  = "commit.before-logflush" // commit record appended, log not forced
-	PtCommitAfterFlush   = "commit.after-logflush"  // log forced, catalog not yet written
-
-	PtAbortAfterCLR    = "abort.after-clr"       // CLRs appended, abort record not yet appended
-	PtAbortBeforeFlush = "abort.before-logflush" // abort record appended, log not forced
-	PtAbortAfterFlush  = "abort.after-logflush"  // abort durable, ack not yet sent
-
-	PtStealBeforeLogFlush = "pool.steal.before-logflush" // dirty page chosen, WAL flush not yet done
-	PtStealAfterLogFlush  = "pool.steal.after-logflush"  // WAL forced, page write not yet done
-
-	PtCheckpointBeforeSync = "checkpoint.before-sync" // pages+log flushed, volume header not yet synced
-)
-
-// Points is the crash-point catalogue the drill matrix iterates over.
-var Points = []string{
-	PtDiskRead, PtDiskWrite, PtLogFlush,
-	PtCommitAfterInstall, PtCommitBeforeFlush, PtCommitAfterFlush,
-	PtAbortAfterCLR, PtAbortBeforeFlush, PtAbortAfterFlush,
-	PtStealBeforeLogFlush, PtStealAfterLogFlush,
-	PtCheckpointBeforeSync,
-}
+// The named fault points (Pt* constants and AllPoints) live in points.go,
+// generated from the registry table in gen/main.go.
+//go:generate go run ./gen
 
 type crashArm struct {
 	remaining int // hits left before the crash fires

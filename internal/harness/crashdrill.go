@@ -216,9 +216,9 @@ func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
 		}
 		wg.Wait()
 		rep.Crashed = plane.Crashed()
-		rep.Retries = retries
+		rep.Retries = atomic.LoadInt64(&retries)
 		rep.Trace = plane.Trace()
-		return drillVerify(opts, rep, objs, workers, attempts, volPath, logPath, vol, logf)
+		return drillVerify(opts, rep, objs, workers, atomic.LoadInt64(&attempts), volPath, logPath, vol, logf)
 	}
 
 	w := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{
@@ -245,7 +245,7 @@ workload:
 			w.LogUpdate(objs[i].oid.Page, off, old, append([]byte(nil), data[:12]...))
 			proposed[i] = v
 		}
-		attempts++
+		atomic.AddInt64(&attempts, 1)
 		if _, err := w.Counter("drill.count", 1); err != nil {
 			break
 		}
@@ -278,7 +278,7 @@ workload:
 	rep.Crashed = plane.Crashed()
 	rep.Retries = w.Retries()
 	rep.Trace = plane.Trace()
-	return drillVerify(opts, rep, objs, workers, attempts, volPath, logPath, vol, logf)
+	return drillVerify(opts, rep, objs, workers, atomic.LoadInt64(&attempts), volPath, logPath, vol, logf)
 }
 
 // drillWorker is one concurrent workload session: seeded update
@@ -484,7 +484,9 @@ func drillVerify(opts DrillOpts, rep *DrillReport, objs []*drillObj, workers int
 		} else if got, ok := getValue(data); !ok || got != 0xD0D0D0D0D0D0D0D0 {
 			rep.violate("post-recovery write lost (%#x, checksum %v)", got, ok)
 		}
-		_ = v.Commit()
+		if err := v.Commit(); err != nil {
+			rep.violate("post-recovery reread commit: %v", err)
+		}
 	}
 	return rep, nil
 }

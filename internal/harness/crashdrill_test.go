@@ -18,7 +18,7 @@ import (
 // aborting transactions. Every combination must recover with zero
 // invariant violations.
 func TestCrashDrill(t *testing.T) {
-	points := append([]string{""}, faultinject.Points...)
+	points := append([]string{""}, faultinject.AllPoints()...)
 	runs, crashes, committed := 0, 0, 0
 	for _, pt := range points {
 		for _, hitN := range []int{1, 3} {
@@ -70,7 +70,7 @@ func TestCrashDrill(t *testing.T) {
 // and cross-worker page locks. Recovery must resolve each worker's in-doubt
 // transaction atomically and independently.
 func TestCrashDrillConcurrent(t *testing.T) {
-	points := append([]string{""}, faultinject.Points...)
+	points := append([]string{""}, faultinject.AllPoints()...)
 	runs, crashes, committed, inDoubt := 0, 0, 0, 0
 	for _, pt := range points {
 		for _, hitN := range []int{1, 4} {

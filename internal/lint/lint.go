@@ -1,0 +1,170 @@
+// Package lint is qsvet's analysis engine: a pure-stdlib (go/ast,
+// go/parser, go/types, go/importer) driver that loads every package in the
+// module and runs project-specific analyzers over the type-checked source.
+//
+// The analyzers enforce the invariants the storage manager's correctness
+// hangs on but no general-purpose tool checks — the documented lock order
+// (DESIGN.md §10: catMu → mu → wal/volume, latches apart from both), the
+// "all disk I/O outside latches" rule, atomic-access discipline on stats
+// counters, unchecked errors on durability-critical calls, and the crash
+// point registry (internal/faultinject/points.go). Each finding is emitted
+// as `file:line: [check] message`; a `//qsvet:ignore check reason`
+// directive on (or immediately above) the flagged line suppresses it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the diagnostic in the driver's one-line output format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Check, d.Message)
+}
+
+// Analyzer is one qsvet check. Run inspects the whole program (analyses
+// like lockorder and latchio follow calls across packages) and reports
+// findings through report.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, report func(pos token.Pos, format string, args ...interface{}))
+}
+
+// Analyzers is the qsvet check suite in output order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerLockOrder(),
+		AnalyzerLatchIO(),
+		AnalyzerAtomicField(),
+		AnalyzerMustCheck(),
+		AnalyzerCrashPoint(),
+	}
+}
+
+// AnalyzerNames returns the names of every registered analyzer.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// RunAnalyzers executes the given analyzers over prog and returns the
+// surviving diagnostics, sorted by position: findings on lines carrying a
+// `//qsvet:ignore` directive naming the check (or `all`) are dropped, as
+// are findings whose preceding line is such a directive comment.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		name := a.Name
+		report := func(pos token.Pos, format string, args ...interface{}) {
+			diags = append(diags, Diagnostic{
+				Pos:     prog.Fset.Position(pos),
+				Check:   name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		a.Run(prog, report)
+	}
+	diags = prog.filterIgnored(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed `//qsvet:ignore check[,check...] reason`
+// comment. Checks holds the named checks ("all" matches every check).
+type ignoreDirective struct {
+	checks []string
+	line   int
+}
+
+func (d *ignoreDirective) matches(check string) bool {
+	for _, c := range d.checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//qsvet:ignore"
+
+// parseIgnoreDirectives scans a file's comments for qsvet:ignore
+// directives, keyed by the line they occupy.
+func parseIgnoreDirectives(fset *token.FileSet, f *ast.File) map[int]*ignoreDirective {
+	var out map[int]*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue // malformed: no check named; directive inert
+			}
+			d := &ignoreDirective{
+				checks: strings.Split(fields[0], ","),
+				line:   fset.Position(c.Pos()).Line,
+			}
+			if out == nil {
+				out = map[int]*ignoreDirective{}
+			}
+			out[d.line] = d
+		}
+	}
+	return out
+}
+
+// filterIgnored drops diagnostics suppressed by an ignore directive on the
+// same line or on the line directly above.
+func (p *Program) filterIgnored(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		dirs := p.ignores[d.Pos.Filename]
+		if dir := dirs[d.Pos.Line]; dir != nil && dir.matches(d.Check) {
+			continue
+		}
+		if dir := dirs[d.Pos.Line-1]; dir != nil && dir.matches(d.Check) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// RelativeTo rewrites diagnostic filenames relative to dir (best effort;
+// unrelatable paths are left absolute).
+func RelativeTo(diags []Diagnostic, dir string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(dir, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+}

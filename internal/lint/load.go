@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path (modulePath + "/" + dir)
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole module: every non-test package, type-checked in
+// dependency order against real stdlib type information (imported from
+// source, so no compiled export data is required).
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Root       string // module root directory
+	Packages   []*Package
+	ByPath     map[string]*Package
+
+	ignores map[string]map[int]*ignoreDirective // filename -> line -> directive
+}
+
+// IsModulePackage reports whether path names a package inside the loaded
+// module.
+func (p *Program) IsModulePackage(path string) bool {
+	return path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// PosString renders pos with the filename relative to the module root, so
+// positions embedded in diagnostic messages are stable across machines.
+func (p *Program) PosString(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	if rel, err := filepath.Rel(p.Root, position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		position.Filename = filepath.ToSlash(rel)
+	}
+	return position.String()
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (which must contain go.mod). Test files, testdata, vendor, and hidden
+// directories are skipped; nested modules (a go.mod below root) are
+// skipped too, so analyzer fixtures never leak into a real run.
+func LoadModule(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		Root:       root,
+		ByPath:     map[string]*Package{},
+		ignores:    map[string]map[int]*ignoreDirective{},
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	// Parse everything first so import edges are known before type-checking.
+	parsed := map[string]*Package{} // import path -> package with Files
+	for _, dir := range dirs {
+		pkg, err := prog.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable non-test Go files
+		}
+		parsed[pkg.Path] = pkg
+	}
+	order, err := topoSort(parsed, modPath)
+	if err != nil {
+		return nil, err
+	}
+	std := importer.ForCompiler(prog.Fset, "source", nil)
+	imp := &progImporter{prog: prog, std: std}
+	for _, path := range order {
+		pkg := parsed[path]
+		if err := prog.check(pkg, imp); err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[pkg.Path] = pkg
+	}
+	return prog, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: not a module root: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks root collecting directories that may hold Go packages.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module (fixtures).
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test Go files of one directory, returning nil if
+// it holds none. Ignore directives are harvested here so the driver can
+// filter findings without re-parsing.
+func (p *Program) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(p.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+		if dirs := parseIgnoreDirectives(p.Fset, f); dirs != nil {
+			p.ignores[full] = dirs
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(p.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := p.ModulePath
+	if rel != "." {
+		path = p.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return &Package{Path: path, Dir: dir, Files: files}, nil
+}
+
+// moduleImports lists pkg's imports that live inside the module.
+func moduleImports(pkg *Package, modPath string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (path == modPath || strings.HasPrefix(path, modPath+"/")) && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort orders the parsed packages so every module-internal import is
+// type-checked before its importer.
+func topoSort(parsed map[string]*Package, modPath string) ([]string, error) {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range moduleImports(parsed[path], modPath) {
+			if _, ok := parsed[dep]; !ok {
+				continue // missing dep surfaces as a type error later
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var paths []string
+	for path := range parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// check type-checks one parsed package, filling Types and Info.
+func (p *Program) check(pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.Path, p.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %v", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// progImporter resolves module-internal imports from the loaded program
+// and everything else (the standard library) from source via go/importer.
+type progImporter struct {
+	prog *Program
+	std  types.Importer
+}
+
+func (i *progImporter) Import(path string) (*types.Package, error) {
+	if i.prog.IsModulePackage(path) {
+		pkg, ok := i.prog.ByPath[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: module package %s not loaded (import order bug?)", path)
+		}
+		return pkg.Types, nil
+	}
+	return i.std.Import(path)
+}

@@ -1,0 +1,518 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockClass is one named lock in the documented hierarchy (DESIGN.md §10).
+// Rank encodes the acquisition order: a lock may only be acquired while
+// every held classified lock has a strictly lower rank. Latches (pool
+// stripe latches and frame content latches) additionally may never be
+// combined with the server's catalog/transaction locks in either order.
+type lockClass struct {
+	name   string
+	rank   int
+	latch  bool // buffer pool stripe or frame content latch
+	server bool // esm.Server.mu / esm.Server.catMu
+}
+
+// lockSpec locates one classified lock field in the module source.
+type lockSpec struct {
+	pkg   string // module-relative package path
+	typ   string // struct type name
+	field string // mutex field name
+	class lockClass
+}
+
+// lockSpecs is the documented lock hierarchy of the storage manager.
+// The ranks encode: catMu → mu → (wal.Log.mu | volume) with the lock
+// manager, cost clock, and fault plane as leaves; pool latches sit apart
+// from the server locks (PR 3: latches are taken with neither mu nor
+// catMu held, and FlushFn under a content latch takes wal/volume, never mu).
+var lockSpecs = []lockSpec{
+	{"internal/esm", "Server", "catMu", lockClass{name: "esm.Server.catMu", rank: 10, server: true}},
+	{"internal/esm", "Server", "mu", lockClass{name: "esm.Server.mu", rank: 20, server: true}},
+	{"internal/buffer", "latchStripe", "mu", lockClass{name: "buffer stripe latch", rank: 22, latch: true}},
+	{"internal/buffer", "latchFrame", "content", lockClass{name: "buffer frame content latch", rank: 24, latch: true}},
+	{"internal/wal", "Log", "mu", lockClass{name: "wal.Log.mu", rank: 30}},
+	{"internal/disk", "volumeCore", "mu", lockClass{name: "disk volume lock", rank: 32}},
+	{"internal/lock", "Manager", "mu", lockClass{name: "lock.Manager.mu", rank: 40}},
+	{"internal/sim", "Clock", "mu", lockClass{name: "sim.Clock.mu", rank: 50}},
+	{"internal/faultinject", "Plane", "mu", lockClass{name: "faultinject.Plane.mu", rank: 52}},
+}
+
+// heldLock is one classified lock held at a program point.
+type heldLock struct {
+	obj   types.Object
+	class *lockClass
+	pos   token.Pos // acquisition site
+}
+
+// acqSite is one direct lock acquisition inside a function.
+type acqSite struct {
+	obj   types.Object
+	class *lockClass
+	pos   token.Pos
+	held  []heldLock // classified locks held at the acquisition
+}
+
+// callSite is one statically resolved call inside a function.
+type callSite struct {
+	callee *types.Func
+	id     string
+	pos    token.Pos
+	held   []heldLock
+}
+
+// funcNode is the per-function summary the interprocedural checks consume.
+type funcNode struct {
+	id       string // types.Func.FullName(); "" for function literals
+	name     string // display name
+	pkg      *Package
+	pos      token.Pos
+	acquires []acqSite
+	calls    []callSite
+}
+
+// summaries is the shared interprocedural state, built once per Program.
+type summaries struct {
+	locks map[types.Object]*lockClass
+	funcs []*funcNode
+	byID  map[string]*funcNode
+}
+
+var summaryCache = map[*Program]*summaries{}
+
+// summarize builds (or returns the cached) function summaries for prog.
+func summarize(prog *Program) *summaries {
+	if s, ok := summaryCache[prog]; ok {
+		return s
+	}
+	s := &summaries{
+		locks: map[types.Object]*lockClass{},
+		byID:  map[string]*funcNode{},
+	}
+	s.resolveLocks(prog)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			s.collectFile(pkg, f)
+		}
+	}
+	summaryCache[prog] = s
+	return s
+}
+
+// resolveLocks maps the lockSpecs onto the loaded module's type objects.
+// Specs whose package or type is absent (partial fixtures) are skipped.
+func (s *summaries) resolveLocks(prog *Program) {
+	for i := range lockSpecs {
+		spec := &lockSpecs[i]
+		pkg := prog.ByPath[prog.ModulePath+"/"+spec.pkg]
+		if pkg == nil {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup(spec.typ)
+		if obj == nil {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for j := 0; j < st.NumFields(); j++ {
+			if f := st.Field(j); f.Name() == spec.field {
+				s.locks[f] = &spec.class
+			}
+		}
+	}
+}
+
+// collectFile walks one file, summarizing every function declaration and
+// function literal. Literals get their own node (empty id: they are not
+// reachable through the static call graph) so their bodies are still
+// checked for direct violations.
+func (s *summaries) collectFile(pkg *Package, f *ast.File) {
+	var lits []*ast.FuncLit
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var id, name string
+		if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			id = obj.FullName()
+			name = obj.Name()
+			if recv := fd.Recv; recv != nil && len(recv.List) > 0 {
+				name = recvString(recv.List[0].Type) + "." + name
+			}
+		}
+		node := &funcNode{id: id, name: name, pkg: pkg, pos: fd.Pos()}
+		lits = append(lits, s.walkBody(pkg, node, fd.Body)...)
+		s.funcs = append(s.funcs, node)
+		if id != "" {
+			s.byID[id] = node
+		}
+	}
+	// Literals may nest; process the work list to a fixed point.
+	for len(lits) > 0 {
+		lit := lits[0]
+		lits = lits[1:]
+		node := &funcNode{name: "func literal", pkg: pkg, pos: lit.Pos()}
+		lits = append(lits, s.walkBody(pkg, node, lit.Body)...)
+		s.funcs = append(s.funcs, node)
+	}
+}
+
+func recvString(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.StarExpr:
+		return recvString(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvString(t.X)
+	}
+	return "?"
+}
+
+// walkBody performs the lock-state walk over one function body:
+// statements are visited in source order, Lock/RLock on a classified lock
+// adds it to the held set, Unlock/RUnlock removes it (a deferred Unlock is
+// ignored, keeping the lock held to the end — the dominant idiom), and
+// every other statically resolved call is recorded with a snapshot of the
+// held set. Nested function literals are returned for separate
+// summarization, not walked in place: their bodies run with their own
+// (unknown) lock context.
+func (s *summaries) walkBody(pkg *Package, node *funcNode, body *ast.BlockStmt) []*ast.FuncLit {
+	w := &bodyWalker{s: s, pkg: pkg, node: node}
+	var held []heldLock
+	w.stmts(body.List, &held)
+	return w.lits
+}
+
+// bodyWalker carries the per-body walk state.
+type bodyWalker struct {
+	s    *summaries
+	pkg  *Package
+	node *funcNode
+	lits []*ast.FuncLit
+}
+
+func cloneHeld(held []heldLock) []heldLock { return append([]heldLock(nil), held...) }
+
+func (w *bodyWalker) stmts(list []ast.Stmt, held *[]heldLock) {
+	for _, st := range list {
+		w.stmt(st, held)
+	}
+}
+
+// stmt updates held in place along straight-line flow. Branch bodies —
+// if/else arms, switch cases, select comms, loop bodies — are walked with a
+// copy of the held set and their effects discarded: each branch is checked
+// under the locks held at entry, and code after the construct sees the
+// entry set again. This matches the codebase's idiom (a case that locks
+// also defer-unlocks or returns) and keeps a lock-per-case switch from
+// leaking one case's locks into the next.
+func (w *bodyWalker) stmt(st ast.Stmt, held *[]heldLock) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.ExprStmt:
+		w.expr(st.X, held, nil)
+	case *ast.DeferStmt:
+		w.expr(st.Call, held, st.Call)
+	case *ast.GoStmt:
+		// The spawned call runs without the caller's locks; only its
+		// argument expressions evaluate inline.
+		for _, arg := range st.Call.Args {
+			w.expr(arg, held, nil)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, held, nil)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, held, nil)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, held, nil)
+		}
+	case *ast.IfStmt:
+		w.stmt(st.Init, held)
+		w.expr(st.Cond, held, nil)
+		bh := cloneHeld(*held)
+		w.stmt(st.Body, &bh)
+		if st.Else != nil {
+			eh := cloneHeld(*held)
+			w.stmt(st.Else, &eh)
+		}
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, held)
+		if st.Tag != nil {
+			w.expr(st.Tag, held, nil)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			ch := cloneHeld(*held)
+			for _, e := range cc.List {
+				w.expr(e, &ch, nil)
+			}
+			w.stmts(cc.Body, &ch)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, held)
+		w.stmt(st.Assign, held)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			ch := cloneHeld(*held)
+			w.stmts(cc.Body, &ch)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			ch := cloneHeld(*held)
+			w.stmt(cc.Comm, &ch)
+			w.stmts(cc.Body, &ch)
+		}
+	case *ast.ForStmt:
+		w.stmt(st.Init, held)
+		if st.Cond != nil {
+			w.expr(st.Cond, held, nil)
+		}
+		bh := cloneHeld(*held)
+		w.stmt(st.Body, &bh)
+		w.stmt(st.Post, &bh)
+	case *ast.RangeStmt:
+		w.expr(st.X, held, nil)
+		bh := cloneHeld(*held)
+		w.stmt(st.Body, &bh)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held, nil)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan, held, nil)
+		w.expr(st.Value, held, nil)
+	case *ast.IncDecStmt:
+		w.expr(st.X, held, nil)
+	}
+	// BranchStmt, EmptyStmt: no lock effects.
+}
+
+// expr records calls (and harvests function literals) inside one
+// expression. deferredCall marks the outer call of a DeferStmt.
+func (w *bodyWalker) expr(e ast.Expr, held *[]heldLock, deferredCall *ast.CallExpr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.CallExpr:
+			w.s.visitCall(w.pkg, w.node, n, held, n == deferredCall)
+		}
+		return true
+	})
+}
+
+// visitCall classifies one call: a lock acquisition, a lock release, or an
+// ordinary call recorded with the current held set.
+func (s *summaries) visitCall(pkg *Package, node *funcNode, call *ast.CallExpr, held *[]heldLock, isDefer bool) {
+	if obj, acquire, ok := s.lockOp(pkg, call); ok {
+		if acquire {
+			if isDefer {
+				return // `defer mu.Lock()` — not a real idiom; ignore
+			}
+			class := s.locks[obj]
+			if class == nil {
+				return // unclassified mutex: outside the hierarchy
+			}
+			node.acquires = append(node.acquires, acqSite{
+				obj:   obj,
+				class: class,
+				pos:   call.Pos(),
+				held:  append([]heldLock(nil), *held...),
+			})
+			*held = append(*held, heldLock{obj: obj, class: class, pos: call.Pos()})
+			return
+		}
+		if isDefer {
+			return // deferred unlock: the lock stays held to function end
+		}
+		for i := len(*held) - 1; i >= 0; i-- {
+			if (*held)[i].obj == obj {
+				*held = append((*held)[:i], (*held)[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	callee := staticCallee(pkg, call)
+	if callee == nil {
+		return
+	}
+	node.calls = append(node.calls, callSite{
+		callee: callee,
+		id:     callee.FullName(),
+		pos:    call.Pos(),
+		held:   append([]heldLock(nil), *held...),
+	})
+}
+
+// lockOp recognizes sync.Mutex/RWMutex Lock/Unlock family calls and
+// resolves the lock's identity (the field or variable object the mutex
+// lives in). ok=false means the call is not a mutex operation.
+func (s *summaries) lockOp(pkg *Package, call *ast.CallExpr) (obj types.Object, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var acq bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return nil, false, false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	return lockIdentity(pkg, sel.X), acq, true
+}
+
+// lockIdentity resolves the expression a mutex method was invoked on to a
+// stable object: a struct field var (`s.mu`) or a plain var (`mu`).
+func lockIdentity(pkg *Package, expr ast.Expr) types.Object {
+	switch expr := expr.(type) {
+	case *ast.SelectorExpr:
+		if selInfo, ok := pkg.Info.Selections[expr]; ok {
+			return selInfo.Obj()
+		}
+		return pkg.Info.Uses[expr.Sel]
+	case *ast.Ident:
+		return pkg.Info.Uses[expr]
+	case *ast.ParenExpr:
+		return lockIdentity(pkg, expr.X)
+	}
+	return nil
+}
+
+// staticCallee resolves a call expression to the *types.Func it invokes,
+// or nil for dynamic calls (function values, parameters, field-held
+// functions like the pool's FlushFn), conversions, and builtins.
+func staticCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// witness records how a transitive property (acquires lock X / reaches
+// I/O) enters a function: through which callee, at which call site.
+type witness struct {
+	via    string // callee display id ("" = the property is direct)
+	pos    token.Pos
+	direct string // for direct sources: what exactly (lock name, callee)
+}
+
+// transitiveAcquires computes, for every function id, the set of lock
+// classes the function may acquire directly or through the static calls it
+// makes, with a witness chain for diagnostics.
+func (s *summaries) transitiveAcquires() map[string]map[*lockClass]*witness {
+	acq := map[string]map[*lockClass]*witness{}
+	add := func(id string, c *lockClass, w *witness) bool {
+		m := acq[id]
+		if m == nil {
+			m = map[*lockClass]*witness{}
+			acq[id] = m
+		}
+		if _, ok := m[c]; ok {
+			return false
+		}
+		m[c] = w
+		return true
+	}
+	for _, fn := range s.funcs {
+		if fn.id == "" {
+			continue
+		}
+		for _, a := range fn.acquires {
+			add(fn.id, a.class, &witness{pos: a.pos, direct: a.class.name})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range s.funcs {
+			if fn.id == "" {
+				continue
+			}
+			for _, cs := range fn.calls {
+				for c := range acq[cs.id] {
+					if add(fn.id, c, &witness{via: cs.id, pos: cs.pos}) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// chain renders the witness path for id's property as "f → g → h".
+func chain(wit map[string]map[*lockClass]*witness, id string, c *lockClass, display func(string) string) string {
+	path := display(id)
+	for i := 0; i < 10; i++ { // bounded: recursion could loop
+		w := wit[id][c]
+		if w == nil || w.via == "" {
+			break
+		}
+		id = w.via
+		path += " → " + display(id)
+	}
+	return path
+}
+
+// displayName shortens a types.Func.FullName for diagnostics:
+// "(*quickstore/internal/wal.Log).Flush" → "(*wal.Log).Flush".
+func displayName(full string) string {
+	out := strings.ReplaceAll(full, "quickstore/internal/", "")
+	return strings.ReplaceAll(out, "quickstore/", "")
+}
+
+// describeHeld names a held-lock set for diagnostics.
+func describeHeld(held []heldLock) string {
+	var names []string
+	for _, h := range held {
+		names = append(names, h.class.name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,50 @@
+// Package stats is an atomicfield fixture: counters accessed both through
+// sync/atomic and with plain loads/stores.
+package stats
+
+import "sync/atomic"
+
+// Counters mixes an atomically-maintained field with a plain one.
+type Counters struct {
+	hits   int64
+	misses int64
+}
+
+// RecordHit makes hits an atomic word.
+func (c *Counters) RecordHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// BadRead reads hits without atomic: a data race with RecordHit.
+func (c *Counters) BadRead() int64 {
+	return c.hits
+}
+
+// GoodRead reads hits atomically: no finding.
+func (c *Counters) GoodRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// AddMiss touches misses, which is only ever accessed plainly: no finding.
+func (c *Counters) AddMiss() {
+	c.misses++
+}
+
+// bump counts through a pointer: callers passing &x make x an atomic word.
+func bump(p *int64) {
+	atomic.AddInt64(p, 1)
+}
+
+var total int64
+
+// BadMixed propagates atomic use through bump, then reads total plainly.
+func BadMixed() int64 {
+	bump(&total)
+	return total
+}
+
+// Snapshot documents a deliberate plain read via the directive.
+func Snapshot() int64 {
+	//qsvet:ignore atomicfield fixture: demonstrating the suppression directive
+	return total
+}

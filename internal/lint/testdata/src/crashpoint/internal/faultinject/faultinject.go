@@ -1,0 +1,18 @@
+// Package faultinject is a crashpoint-fixture mirror of the real fault
+// plane: a Pt* registry plus the Plane methods the analyzer watches.
+package faultinject
+
+// The fixture registry: one live point, one dead one.
+const (
+	PtDiskWrite = "disk.write"
+	PtDead      = "drill.dead"
+)
+
+// Plane is the fault-injection plane.
+type Plane struct{}
+
+// Hit reports a crash point being reached.
+func (p *Plane) Hit(point string) error { return nil }
+
+// ArmCrash schedules a crash at a point.
+func (p *Plane) ArmCrash(point string, after int) {}

@@ -1,0 +1,53 @@
+// Package buffer is a latchio-fixture mirror of the real buffer pool.
+package buffer
+
+import (
+	"sync"
+
+	"quickstore/internal/disk"
+)
+
+type latchFrame struct {
+	content sync.RWMutex
+}
+
+// Pool holds one frame and the backing volume.
+type Pool struct {
+	frame latchFrame
+	vol   *disk.Volume
+}
+
+// badDirect writes a page with the frame content latch held.
+func (p *Pool) badDirect() error {
+	p.frame.content.Lock()
+	defer p.frame.content.Unlock()
+	return p.vol.WritePage(0, nil)
+}
+
+// writeOut is the I/O tail; harmless on its own.
+func (p *Pool) writeOut() error {
+	return p.vol.Sync()
+}
+
+// badTransitive reaches Sync through writeOut with the latch held.
+func (p *Pool) badTransitive() error {
+	p.frame.content.RLock()
+	defer p.frame.content.RUnlock()
+	return p.writeOut()
+}
+
+// good copies under the latch and does I/O only after releasing it.
+func (p *Pool) good(buf []byte) error {
+	p.frame.content.RLock()
+	copy(buf, buf)
+	p.frame.content.RUnlock()
+	return p.vol.WritePage(0, buf)
+}
+
+// suppressed acknowledges a deliberate write under the latch.
+func (p *Pool) suppressed() error {
+	p.frame.content.Lock()
+	defer p.frame.content.Unlock()
+	//qsvet:ignore latchio fixture: demonstrating the suppression directive
+	return p.vol.WritePage(1, nil)
+}

@@ -1,0 +1,12 @@
+// Package disk is a latchio-fixture mirror of the real volume: the
+// analyzer's I/O table keys on this package path and these method names.
+package disk
+
+// Volume is the I/O surface.
+type Volume struct{}
+
+// WritePage is a page write (I/O).
+func (v *Volume) WritePage(id int, b []byte) error { return nil }
+
+// Sync is a durability barrier (I/O).
+func (v *Volume) Sync() error { return nil }

@@ -1,0 +1,25 @@
+// Package buffer is a lockorder-fixture mirror of the real buffer pool:
+// just enough structure for the analyzer's lock-class table to resolve.
+package buffer
+
+import "sync"
+
+type latchStripe struct {
+	mu sync.Mutex
+}
+
+// LatchPool mimics the real pool's striped latches.
+type LatchPool struct {
+	stripes [4]latchStripe
+}
+
+// Acquire takes a stripe latch; per the hierarchy, callers must hold no
+// server locks.
+func (p *LatchPool) Acquire(i int) {
+	p.stripes[i].mu.Lock()
+}
+
+// Release drops a stripe latch.
+func (p *LatchPool) Release(i int) {
+	p.stripes[i].mu.Unlock()
+}

@@ -63,6 +63,7 @@ func (db *qsDB) Begin() error { return db.s.Begin() }
 func (db *qsDB) Commit() error {
 	if db.err != nil {
 		err := db.err
+		//qsvet:ignore mustcheck best-effort rollback; the latched error is what the caller must see
 		_ = db.s.Abort()
 		return fmt.Errorf("oo7/%s: latched error at commit: %w", db.name, err)
 	}

@@ -220,10 +220,12 @@ func (s *Store) Update(fn func(tx *Tx) error) (err error) {
 	defer func() {
 		s.inTx = false
 		if p := recover(); p != nil {
+			//qsvet:ignore mustcheck best-effort rollback while repanicking; the panic is the outcome
 			_ = s.core.Abort()
 			panic(p)
 		}
 		if err != nil {
+			//qsvet:ignore mustcheck best-effort rollback; fn's error is what the caller must see
 			_ = s.core.Abort()
 			return
 		}
