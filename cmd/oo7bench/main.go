@@ -8,7 +8,7 @@
 //	oo7bench [-exp all|table2|fig8|fig9|table5|table6|fig10|fig11|fig12|
 //	          fig13|table7|fig14|fig15|fig16|fig17|ablations|extras|verify|
 //	          prefetch|concurrency]
-//	          [-medium] [-list] [-json] [-clients N]
+//	          [-medium] [-list] [-json] [-clients N] [-net] [-addr host:port]
 //
 // "-exp verify" asserts the paper's headline shape claims programmatically
 // (one PASS/FAIL line each) and exits nonzero if any fails; it requires the
@@ -22,6 +22,12 @@
 // written to BENCH_concurrency.json. ("-exp concurrency" runs the same
 // bench at the default 8 clients, and is not part of "all" because its
 // wall-clock numbers are nondeterministic.)
+//
+// "-net" runs the concurrency bench over TCP instead of in-process
+// transports: all sessions of each point share ONE multiplexed pipelined
+// connection, A/B'd against ONE serial lock-step connection. The table goes
+// to BENCH_net.json. With "-addr host:port" the bench targets an external
+// page server ("qsstore serve") instead of an in-process loopback one.
 //
 // With -json, each experiment's tables are additionally written to
 // BENCH_<exp>.json in the current directory, for tracking results across
@@ -49,6 +55,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonOut := flag.Bool("json", false, "also write each experiment's tables to BENCH_<exp>.json")
 	clients := flag.Int("clients", 0, "run only the concurrency bench, sweeping 1..N clients (writes BENCH_concurrency.json)")
+	netMode := flag.Bool("net", false, "run the concurrency bench over TCP: shared mux connection vs lock-step baseline (writes BENCH_net.json)")
+	addr := flag.String("addr", "", "with -net: benchmark an external page server at host:port instead of an in-process one")
 	flag.Parse()
 
 	if *list {
@@ -58,12 +66,17 @@ func main() {
 		return
 	}
 	suite := harness.NewSuite(os.Stdout, *medium)
-	if *clients > 0 {
-		if err := suite.ConcurrencyExp(harness.ConcurrencyOpts{MaxClients: *clients}); err != nil {
+	if *clients > 0 || *netMode || *addr != "" {
+		opts := harness.ConcurrencyOpts{MaxClients: *clients, Net: *netMode, Addr: *addr}
+		name := "concurrency"
+		if opts.Net || opts.Addr != "" {
+			name = "net"
+		}
+		if err := suite.ConcurrencyExp(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "oo7bench:", err)
 			os.Exit(1)
 		}
-		if err := writeJSON("concurrency", suite.TakeTables()); err != nil {
+		if err := writeJSON(name, suite.TakeTables()); err != nil {
 			fmt.Fprintln(os.Stderr, "oo7bench:", err)
 			os.Exit(1)
 		}

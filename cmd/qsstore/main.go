@@ -6,7 +6,15 @@
 //	qsstore info       -db path.vol
 //	qsstore verify     -db path.vol
 //	qsstore stats      -db path.vol
+//	qsstore serve      -db path.vol -listen host:port
 //	qsstore crashdrill [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]
+//
+// serve opens the volume (running restart recovery if the log demands it)
+// and exposes the page server over TCP: each accepted connection speaks the
+// multiplexed framed protocol, so one socket can carry many pipelined
+// client sessions ("oo7bench -addr" is the matching load generator). The
+// process serves until killed; committed state is durable via the WAL, so
+// no orderly shutdown is required.
 //
 // info prints the volume geometry and the log summary; verify walks every
 // header-bearing page checking slotted-page invariants and, for QuickStore
@@ -24,9 +32,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
 	"quickstore/internal/disk"
+	"quickstore/internal/esm"
 	"quickstore/internal/faultinject"
 	"quickstore/internal/harness"
 	"quickstore/internal/page"
@@ -48,6 +58,7 @@ func main() {
 	short := fs.Bool("short", false, "crashdrill: crashing log flush keeps only a prefix")
 	torn := fs.Bool("torn", false, "crashdrill: sub-page torn page writes (detection mode)")
 	dir := fs.String("dir", "", "crashdrill: scratch directory (default: temp)")
+	listen := fs.String("listen", "127.0.0.1:7707", "serve: TCP address to listen on")
 	fs.Parse(os.Args[2:])
 	if *db == "" && cmd != "crashdrill" {
 		fmt.Fprintln(os.Stderr, "qsstore: -db is required")
@@ -63,6 +74,8 @@ func main() {
 		err = verify(*db)
 	case "stats":
 		err = stats(*db)
+	case "serve":
+		err = serve(*db, *listen)
 	case "crashdrill":
 		err = crashdrill(*point, *seed, *seeds, *hitN, *short, *torn, *dir)
 	default:
@@ -76,8 +89,37 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: qsstore create|info|verify|stats -db <path>")
+	fmt.Fprintln(os.Stderr, "       qsstore serve -db <path> [-listen host:port]")
 	fmt.Fprintln(os.Stderr, "       qsstore crashdrill [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]")
 	os.Exit(2)
+}
+
+// serve exposes a file-backed page server over TCP. Recovery runs at open
+// (esm.OpenServer replays the log), then every accepted connection is
+// multiplexed: requests from any number of pipelined sessions are dispatched
+// to bounded per-connection workers and responses stream back coalesced.
+func serve(path, listen string) error {
+	vol, err := disk.OpenFileVolume(path)
+	if err != nil {
+		return err
+	}
+	defer vol.Close()
+	logf, err := wal.OpenFileLog(path + ".log")
+	if err != nil {
+		return err
+	}
+	defer logf.Close()
+	srv, err := esm.OpenServer(vol, logf, esm.ServerConfig{})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s\n", path, ln.Addr())
+	esm.Serve(ln, srv)
+	return nil
 }
 
 // crashdrill runs one drill (with -point) or sweeps the full crash-point

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"quickstore/internal/disk"
@@ -124,14 +126,11 @@ func diffRegions(old, cur []byte, hdr int) []region {
 	var regs []region
 	i := 0
 	for i < n {
-		if old[i] == cur[i] {
-			i++
-			continue
+		i = skipEqual(old, cur, i, n)
+		if i >= n {
+			break
 		}
-		j := i + 1
-		for j < n && old[j] != cur[j] {
-			j++
-		}
+		j := skipDiff(old, cur, i+1, n)
 		if len(regs) > 0 {
 			last := &regs[len(regs)-1]
 			gap := i - (last.off + last.n)
@@ -149,6 +148,47 @@ func diffRegions(old, cur []byte, hdr int) []region {
 		regs = append(regs, region{off: len(old), n: len(cur) - len(old)})
 	}
 	return regs
+}
+
+// swarOnes has the low bit of every byte lane set; swarHighs the high bit.
+// They drive the classic "does this word contain a zero byte" test:
+// (v - swarOnes) & ^v & swarHighs is nonzero iff some byte of v is zero,
+// and its lowest set bit sits in the word's first zero byte.
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// skipEqual advances i past bytes where old and cur agree, eight at a time:
+// the XOR of two equal words is zero, and when a word finally differs the
+// first mismatching byte is the XOR's lowest nonzero byte.
+func skipEqual(old, cur []byte, i, n int) int {
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(old[i:]) ^ binary.LittleEndian.Uint64(cur[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)>>3
+		}
+	}
+	for i < n && old[i] == cur[i] {
+		i++
+	}
+	return i
+}
+
+// skipDiff advances j past bytes where old and cur differ, eight at a time:
+// a word extends the run iff its XOR has no zero byte, and when a run ends
+// the first agreeing byte is the XOR's first zero byte.
+func skipDiff(old, cur []byte, j, n int) int {
+	for ; j+8 <= n; j += 8 {
+		x := binary.LittleEndian.Uint64(old[j:]) ^ binary.LittleEndian.Uint64(cur[j:])
+		if zeros := (x - swarOnes) & ^x & swarHighs; zeros != 0 {
+			return j + bits.TrailingZeros64(zeros)>>3
+		}
+	}
+	for j < n && old[j] != cur[j] {
+		j++
+	}
+	return j
 }
 
 // logWholePage emits a redo-only record carrying a fresh page's entire
@@ -345,7 +385,13 @@ func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for i := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		if binary.LittleEndian.Uint64(a[i:]) != binary.LittleEndian.Uint64(b[i:]) {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
 		if a[i] != b[i] {
 			return false
 		}

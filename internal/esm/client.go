@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"quickstore/internal/buffer"
@@ -45,14 +46,18 @@ type ClientConfig struct {
 // Client is one application session against the page server. It owns the
 // client buffer pool; pages are accessed in place in pool frames, exactly
 // as ESM clients do in the paper. A Client is not safe for concurrent use:
-// it models one application process.
+// it models one application process. The Transport underneath, however, is
+// shared freely: the prefetch pump's worker goroutines call ReadPagesBatch
+// while the session's main thread faults pages, and several sessions may
+// ride one multiplexed TCP connection — transports pipeline concurrent
+// calls instead of serializing them.
 type Client struct {
 	tr    Transport
 	clock *sim.Clock
 	pool  *buffer.Pool
 
 	retry   RetryPolicy
-	retries int64 // requests re-sent after a transient fault
+	retries atomic.Int64 // requests re-sent after a transient fault (atomic: retryable calls run on prefetch workers too)
 
 	tx      uint64
 	pending []byte // serialized log batch (count in first 4 bytes)
@@ -119,7 +124,7 @@ func (c *Client) call(req *Request) (*Response, error) {
 	var lastErr error
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			c.retries++
+			c.retries.Add(1)
 			if backoff > 0 {
 				time.Sleep(backoff)
 				backoff *= 2
@@ -141,7 +146,7 @@ func (c *Client) call(req *Request) (*Response, error) {
 }
 
 // Retries reports how many requests were re-sent after transient faults.
-func (c *Client) Retries() int64 { return c.retries }
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // Begin starts a transaction.
 func (c *Client) Begin() error {

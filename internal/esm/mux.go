@@ -1,0 +1,408 @@
+package esm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTransportBroken marks a TCP transport whose connection is poisoned: a
+// read or write failed (or timed out, or the peer spoke garbage) mid-call,
+// so the byte stream can no longer be trusted to be aligned on frame
+// boundaries. Every outstanding and future call on the transport fails with
+// an error satisfying errors.Is(err, ErrTransportBroken). The condition is
+// permanent for the connection — callers reconnect rather than retry: it is
+// deliberately NOT a transient fault under the PR 2 retry policy
+// (faultinject.IsTransient), which would re-send into a desynchronized
+// stream.
+var ErrTransportBroken = errors.New("esm: transport broken")
+
+// DefaultCallTimeout bounds one call's network I/O on the TCP transports
+// when the dialer does not choose its own limit.
+const DefaultCallTimeout = 30 * time.Second
+
+// maxCoalesce caps how many queued frames one writer flush gathers. It
+// bounds flush latency under a firehose of small requests; 8K page frames
+// hit the buffer-size flush condition long before the count.
+const maxCoalesce = 64
+
+// MuxStats is a point-in-time snapshot of one multiplexed connection's
+// transport counters.
+type MuxStats struct {
+	Calls      int64 // completed calls
+	InFlightHW int64 // high-water mark of concurrently outstanding calls
+	Flushes    int64 // physical socket writes
+	Frames     int64 // request frames written (Frames/Flushes = coalescing ratio)
+	BytesOut   int64 // request bytes written, including frame headers
+}
+
+// muxResult is what a waiting call receives from the demux loop.
+type muxResult struct {
+	resp *Response
+	err  error
+}
+
+// muxCall is one outstanding request. The channel has capacity 1 and
+// receives exactly one result per registration, so completed calls can be
+// pooled and reused.
+type muxCall struct {
+	done chan muxResult
+}
+
+var muxCallPool = sync.Pool{New: func() interface{} {
+	return &muxCall{done: make(chan muxResult, 1)}
+}}
+
+// muxReq travels from Call to the writer goroutine.
+type muxReq struct {
+	seq uint64
+	req *Request
+}
+
+// MuxTransport is a multiplexed, pipelined connection to a page server: any
+// number of goroutines call concurrently, requests are coalesced into
+// batched socket writes by a dedicated writer goroutine (group commit for
+// the network), and a reader goroutine demultiplexes responses to the
+// waiting calls by sequence number. One socket therefore keeps many
+// requests in flight at once — a prefetch pump's batch reads overlap with
+// foreground page faults, and whole sessions can share the connection —
+// where the lock-step transport would serialize full round trips.
+//
+// Failure semantics: any socket error, malformed inbound frame, or response
+// bearing an unknown/duplicate sequence number poisons the connection (see
+// ErrTransportBroken). Outstanding calls fail immediately; the transport
+// never tries to resynchronize a damaged stream.
+type MuxTransport struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	reqCh chan muxReq
+	quit  chan struct{} // closed exactly once, on poison/close
+
+	mu     sync.Mutex // guards calls, err, quitClosed
+	calls  map[uint64]*muxCall
+	err    error // poison cause; non-nil => broken
+	closed bool
+
+	seq        atomic.Uint64
+	callsDone  atomic.Int64
+	inFlight   atomic.Int64
+	inFlightHW atomic.Int64
+	flushes    atomic.Int64
+	frames     atomic.Int64
+	bytesOut   atomic.Int64
+
+	wg sync.WaitGroup // writer + reader goroutines
+}
+
+// DialTCP connects a multiplexed transport to a Serve-hosted ESM server,
+// with the default call timeout.
+func DialTCP(addr string) (*MuxTransport, error) {
+	return DialTCPTimeout(addr, DefaultCallTimeout)
+}
+
+// DialTCPTimeout is DialTCP with an explicit per-call I/O deadline;
+// timeout <= 0 disables deadlines entirely.
+func DialTCPTimeout(addr string, timeout time.Duration) (*MuxTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewMuxTransport(conn, timeout), nil
+}
+
+// NewMuxTransport runs the multiplexed protocol over an existing
+// connection (tests use net.Pipe). timeout <= 0 disables deadlines.
+func NewMuxTransport(conn net.Conn, timeout time.Duration) *MuxTransport {
+	t := &MuxTransport{
+		conn:    conn,
+		timeout: timeout,
+		reqCh:   make(chan muxReq, maxCoalesce),
+		quit:    make(chan struct{}),
+		calls:   map[uint64]*muxCall{},
+	}
+	t.wg.Add(2)
+	go t.writer()
+	go t.reader()
+	return t
+}
+
+// Stats snapshots the connection's transport counters.
+func (t *MuxTransport) Stats() MuxStats {
+	return MuxStats{
+		Calls:      t.callsDone.Load(),
+		InFlightHW: t.inFlightHW.Load(),
+		Flushes:    t.flushes.Load(),
+		Frames:     t.frames.Load(),
+		BytesOut:   t.bytesOut.Load(),
+	}
+}
+
+// brokenErr wraps the poison cause so errors.Is sees ErrTransportBroken.
+func brokenErr(cause error) error {
+	if cause == nil {
+		return ErrTransportBroken
+	}
+	return fmt.Errorf("%w: %v", ErrTransportBroken, cause)
+}
+
+// poison marks the connection dead, fails every outstanding call, and wakes
+// the writer and reader (closing the socket unblocks both). Safe to call
+// from any goroutine; only the first cause sticks.
+func (t *MuxTransport) poison(cause error) {
+	t.mu.Lock()
+	if t.err != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.err = cause
+	close(t.quit)
+	pending := t.calls
+	t.calls = map[uint64]*muxCall{}
+	t.mu.Unlock()
+	t.conn.Close()
+	for _, c := range pending {
+		c.done <- muxResult{err: brokenErr(cause)}
+	}
+}
+
+// Call implements Transport. It is safe for concurrent use; each call
+// blocks only its own goroutine while the connection pipelines others.
+func (t *MuxTransport) Call(req *Request) (*Response, error) {
+	seq := t.seq.Add(1)
+	c := muxCallPool.Get().(*muxCall)
+
+	t.mu.Lock()
+	if t.err != nil {
+		err := t.err
+		t.mu.Unlock()
+		muxCallPool.Put(c)
+		return nil, brokenErr(err)
+	}
+	t.calls[seq] = c
+	if t.timeout > 0 && len(t.calls) == 1 {
+		// First outstanding call: arm the read deadline. The reader
+		// re-arms it after every frame and disarms when the connection
+		// goes idle, all under mu, so the deadline is live exactly while
+		// a response is owed.
+		t.conn.SetReadDeadline(time.Now().Add(t.timeout))
+	}
+	t.mu.Unlock()
+
+	if n := t.inFlight.Add(1); n > t.inFlightHW.Load() {
+		// Racy max is fine: the high-water mark is advisory telemetry.
+		t.inFlightHW.Store(n)
+	}
+	defer t.inFlight.Add(-1)
+
+	select {
+	case t.reqCh <- muxReq{seq: seq, req: req}:
+	case <-t.quit:
+		// Lost the race with poison. The call was registered before the
+		// quit channel closed, so poison's map snapshot holds it and a
+		// broken-transport result is guaranteed to arrive on c.done;
+		// fall through and wait for it like any other result.
+	}
+
+	res := <-c.done
+	muxCallPool.Put(c)
+	t.callsDone.Add(1)
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.resp, nil
+}
+
+// writer drains queued requests and coalesces them into single socket
+// writes: one flush carries every request that queued while the previous
+// flush was on the wire, mirroring the WAL's group-commit leader/follower
+// batching. The flush buffer is reused across flushes, so the encode path
+// does not allocate in steady state.
+func (t *MuxTransport) writer() {
+	defer t.wg.Done()
+	buf := make([]byte, 0, 64<<10)
+	for {
+		var first muxReq
+		select {
+		case first = <-t.reqCh:
+		case <-t.quit:
+			return
+		}
+		buf = appendRequestFrame(buf[:0], first.seq, first.req)
+		frames := int64(1)
+	coalesce:
+		for frames < maxCoalesce && len(buf) < 1<<20 {
+			select {
+			case m := <-t.reqCh:
+				buf = appendRequestFrame(buf, m.seq, m.req)
+				frames++
+			default:
+				break coalesce
+			}
+		}
+		if t.timeout > 0 {
+			t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+		}
+		if _, err := t.conn.Write(buf); err != nil {
+			t.poison(fmt.Errorf("write: %v", err))
+			return
+		}
+		t.flushes.Add(1)
+		t.frames.Add(frames)
+		t.bytesOut.Add(int64(len(buf)))
+	}
+}
+
+// reader demultiplexes response frames to their waiting calls by sequence
+// number. A frame for an unknown sequence number — never issued, already
+// answered (duplicate), or from a peer that lost framing — poisons the
+// connection: the demux table is the only protection against delivering
+// bytes to the wrong call.
+func (t *MuxTransport) reader() {
+	defer t.wg.Done()
+	rd := bufio.NewReaderSize(t.conn, 64<<10)
+	scratch := getBuf()
+	defer putBuf(scratch)
+	for {
+		seq, body, err := readMuxFrame(rd, scratch)
+		if err != nil {
+			t.poison(fmt.Errorf("read: %v", err))
+			return
+		}
+		resp := new(Response)
+		if err := resp.unmarshal(body, true); err != nil {
+			t.poison(fmt.Errorf("response for seq %d: %v", seq, err))
+			return
+		}
+		t.mu.Lock()
+		c, ok := t.calls[seq]
+		if ok {
+			delete(t.calls, seq)
+		}
+		if t.timeout > 0 && t.err == nil {
+			if len(t.calls) > 0 {
+				t.conn.SetReadDeadline(time.Now().Add(t.timeout))
+			} else {
+				t.conn.SetReadDeadline(time.Time{})
+			}
+		}
+		t.mu.Unlock()
+		if !ok {
+			t.poison(fmt.Errorf("response for unknown or duplicate seq %d", seq))
+			return
+		}
+		c.done <- muxResult{resp: resp}
+	}
+}
+
+// Close implements Transport. Outstanding calls fail with
+// ErrTransportBroken.
+func (t *MuxTransport) Close() error {
+	t.mu.Lock()
+	alreadyClosed := t.closed
+	t.closed = true
+	t.mu.Unlock()
+	if !alreadyClosed {
+		t.poison(errors.New("transport closed"))
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// TCPTransport is the serial lock-step transport: every call holds one
+// mutex across a full write→flush→read round trip, so concurrent callers
+// queue behind each other's network and server latency.
+//
+// It survives only as the A/B baseline for the transport benchmark
+// (harness.RunConcurrencyBench's TCP mode, BENCH_net.json) — it speaks the
+// same seq-framed wire protocol as MuxTransport, against the same server,
+// isolating exactly what pipelining buys. New code should use DialTCP.
+type TCPTransport struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	rd      *bufio.Reader
+	buf     []byte // reused marshal+frame buffer
+	scratch *[]byte
+	seq     uint64
+	err     error // poison cause; non-nil => broken
+	timeout time.Duration
+}
+
+// DialTCPLockstep connects a lock-step transport (benchmark baseline, see
+// TCPTransport) with the default call timeout.
+func DialTCPLockstep(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewLockstepTransport(conn, DefaultCallTimeout), nil
+}
+
+// NewLockstepTransport runs the lock-step protocol over an existing
+// connection. timeout <= 0 disables deadlines.
+func NewLockstepTransport(conn net.Conn, timeout time.Duration) *TCPTransport {
+	return &TCPTransport{
+		conn:    conn,
+		rd:      bufio.NewReaderSize(conn, 64<<10),
+		scratch: getBuf(),
+		timeout: timeout,
+	}
+}
+
+// Call implements Transport. A mid-call I/O failure poisons the
+// connection: the stream may hold half a frame, so resuming would hand the
+// next call some earlier call's bytes. Poisoned transports fail every
+// subsequent call with ErrTransportBroken.
+func (t *TCPTransport) Call(req *Request) (*Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return nil, brokenErr(t.err)
+	}
+	t.seq++
+	t.buf = appendRequestFrame(t.buf[:0], t.seq, req)
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.timeout))
+	}
+	if _, err := t.conn.Write(t.buf); err != nil {
+		return nil, t.poisonLocked(fmt.Errorf("write: %v", err))
+	}
+	seq, body, err := readMuxFrame(t.rd, t.scratch)
+	if err != nil {
+		return nil, t.poisonLocked(fmt.Errorf("read: %v", err))
+	}
+	if seq != t.seq {
+		return nil, t.poisonLocked(fmt.Errorf("response seq %d, want %d", seq, t.seq))
+	}
+	resp := new(Response)
+	if err := resp.unmarshal(body, true); err != nil {
+		return nil, t.poisonLocked(err)
+	}
+	return resp, nil
+}
+
+// poisonLocked records the cause, closes the socket, and returns the
+// broken-transport error for the failing call itself. Callers hold t.mu.
+func (t *TCPTransport) poisonLocked(cause error) error {
+	t.err = cause
+	t.conn.Close()
+	return brokenErr(cause)
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = errors.New("transport closed")
+	}
+	if t.scratch != nil {
+		putBuf(t.scratch)
+		t.scratch = nil
+	}
+	return t.conn.Close()
+}

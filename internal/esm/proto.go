@@ -1,12 +1,10 @@
 package esm
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"sync"
 )
 
@@ -71,125 +69,270 @@ type Response struct {
 	Data []byte
 }
 
-// Transport delivers requests to a server and returns responses. Both the
-// in-process and TCP transports satisfy it.
+// Transport delivers requests to a server and returns responses. The
+// in-process, multiplexed-TCP, and lock-step-TCP transports all satisfy it.
+// A Transport is safe for concurrent use by multiple goroutines (sessions):
+// one socket may carry a prefetch pump's batch reads interleaved with
+// foreground faults, or several whole client sessions.
 type Transport interface {
 	Call(req *Request) (*Response, error)
 	Close() error
 }
 
-// writeFrame emits a length-prefixed frame.
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	const maxFrame = 1 << 30
-	if n > maxFrame {
-		return nil, fmt.Errorf("esm: oversized frame (%d bytes)", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
-}
-
-func (r *Request) marshal() []byte {
-	buf := make([]byte, 0, 32+len(r.Name)+len(r.Data))
-	var tmp [8]byte
-	buf = append(buf, byte(r.Op), r.Mode)
-	binary.LittleEndian.PutUint64(tmp[:], r.Tx)
-	buf = append(buf, tmp[:]...)
-	binary.LittleEndian.PutUint32(tmp[:4], r.Page)
-	buf = append(buf, tmp[:4]...)
-	binary.LittleEndian.PutUint64(tmp[:], r.N)
-	buf = append(buf, tmp[:]...)
-	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Name)))
-	buf = append(buf, tmp[:2]...)
-	buf = append(buf, r.Name...)
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
-	buf = append(buf, tmp[:4]...)
-	buf = append(buf, r.Data...)
-	return buf
-}
+// Wire format. Every message travels in one frame:
+//
+//	u32 n    — little-endian length of the rest of the frame (seq + body)
+//	u64 seq  — multiplexing sequence number, chosen by the client
+//	body     — one marshaled Request (client→server) or Response (reverse)
+//
+// The server echoes the request's seq on its response, and responses may
+// arrive in any order: the client demultiplexes on seq. Sequence numbers
+// are per-connection and never reused while a call is outstanding. A frame
+// that cannot be parsed far enough to recover a seq (runt or oversized
+// length) leaves the stream unsynchronizable, so both sides drop the
+// connection rather than guess.
+const (
+	frameLenSize = 4
+	frameSeqSize = 8
+	frameHdrSize = frameLenSize + frameSeqSize
+	maxFrame     = 1 << 30
+)
 
 var errShortMessage = errors.New("esm: short protocol message")
 
-func unmarshalRequest(buf []byte) (*Request, error) {
-	if len(buf) < 24 {
-		return nil, errShortMessage
+// bufPool recycles frame and marshal buffers across calls and connections
+// (*[]byte, not []byte, so Put does not allocate a slice header). Buffers
+// that grew past a page-batch-sized cap are dropped instead of pooled.
+var bufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(p *[]byte) {
+	if p == nil || cap(*p) > 4<<20 {
+		return
 	}
-	r := &Request{Op: Op(buf[0]), Mode: buf[1]}
+	*p = (*p)[:0]
+	bufPool.Put(p)
+}
+
+// appendFrameHeader reserves the length word, appends seq, and returns the
+// extended buffer plus the offset where the length must be patched once the
+// body is in place.
+func appendFrameHeader(dst []byte, seq uint64) ([]byte, int) {
+	lenAt := len(dst)
+	var hdr [frameHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[frameLenSize:], seq)
+	dst = append(dst, hdr[:]...)
+	return dst, lenAt
+}
+
+func patchFrameLen(dst []byte, lenAt int) {
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-frameLenSize))
+}
+
+// appendRequestFrame appends one complete framed request to dst. It never
+// allocates beyond growing dst, so a reused flush buffer makes the encode
+// path allocation-free in steady state.
+func appendRequestFrame(dst []byte, seq uint64, r *Request) []byte {
+	dst, lenAt := appendFrameHeader(dst, seq)
+	dst = r.appendTo(dst)
+	patchFrameLen(dst, lenAt)
+	return dst
+}
+
+// appendResponseFrame appends one complete framed response to dst.
+func appendResponseFrame(dst []byte, seq uint64, r *Response) []byte {
+	dst, lenAt := appendFrameHeader(dst, seq)
+	dst = r.appendTo(dst)
+	patchFrameLen(dst, lenAt)
+	return dst
+}
+
+// readMuxFrame reads one frame from r. The returned body aliases *scratch
+// and is valid only until the next call that reuses the same scratch
+// buffer; callers that hand the body to another goroutine must pass a
+// dedicated (pooled) scratch instead.
+func readMuxFrame(r io.Reader, scratch *[]byte) (seq uint64, body []byte, err error) {
+	// The frame header is staged in the scratch buffer, not a local array:
+	// a local would escape through the io.Reader interface and cost an
+	// allocation per frame.
+	buf := *scratch
+	if cap(buf) < frameHdrSize {
+		buf = make([]byte, 0, 16<<10)
+		*scratch = buf
+	}
+	hdr := buf[:frameHdrSize]
+	if _, err := io.ReadFull(r, hdr[:frameLenSize]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:frameLenSize])
+	if n < frameSeqSize {
+		return 0, nil, fmt.Errorf("esm: runt frame (%d bytes, need at least the %d-byte seq)", n, frameSeqSize)
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("esm: oversized frame (%d bytes)", n)
+	}
+	if _, err := io.ReadFull(r, hdr[frameLenSize:]); err != nil {
+		return 0, nil, err
+	}
+	seq = binary.LittleEndian.Uint64(hdr[frameLenSize:])
+	bodyLen := int(n) - frameSeqSize
+	if cap(buf) >= bodyLen {
+		buf = buf[:bodyLen]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return 0, nil, err
+		}
+		return seq, buf, nil
+	}
+	// The buffer must grow. Grow it as bytes actually arrive, in bounded
+	// steps, rather than trusting the length prefix up front: a 12-byte
+	// header claiming a 1GB body must not commit a 1GB allocation before
+	// the peer has sent anything (the stream usually ends long before).
+	const growStep = 1 << 20
+	buf = buf[:0]
+	for len(buf) < bodyLen {
+		chunk := bodyLen - len(buf)
+		if chunk > growStep {
+			chunk = growStep
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, chunk)...)
+		*scratch = buf
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	return seq, buf, nil
+}
+
+// appendTo marshals the request body (no frame header) onto dst.
+func (r *Request) appendTo(dst []byte) []byte {
+	var tmp [8]byte
+	dst = append(dst, byte(r.Op), r.Mode)
+	binary.LittleEndian.PutUint64(tmp[:], r.Tx)
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], r.Page)
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], r.N)
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Name)))
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, r.Name...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
+	dst = append(dst, tmp[:4]...)
+	dst = append(dst, r.Data...)
+	return dst
+}
+
+func (r *Request) marshal() []byte { return r.appendTo(make([]byte, 0, 32+len(r.Name)+len(r.Data))) }
+
+// unmarshal decodes buf into r. With copyData false, r.Data aliases buf:
+// the caller owns buf for the lifetime of r (the server's per-request
+// frame buffers rely on this — handlers never retain request data past
+// the call).
+func (r *Request) unmarshal(buf []byte, copyData bool) error {
+	if len(buf) < 24 {
+		return errShortMessage
+	}
+	r.Op = Op(buf[0])
+	r.Mode = buf[1]
 	r.Tx = binary.LittleEndian.Uint64(buf[2:])
 	r.Page = binary.LittleEndian.Uint32(buf[10:])
 	r.N = binary.LittleEndian.Uint64(buf[14:])
 	nameLen := int(binary.LittleEndian.Uint16(buf[22:]))
 	p := 24
 	if len(buf) < p+nameLen+4 {
-		return nil, errShortMessage
+		return errShortMessage
 	}
-	r.Name = string(buf[p : p+nameLen])
+	if nameLen > 0 {
+		r.Name = string(buf[p : p+nameLen])
+	} else {
+		r.Name = ""
+	}
 	p += nameLen
 	dataLen := int(binary.LittleEndian.Uint32(buf[p:]))
 	p += 4
 	if len(buf) < p+dataLen {
-		return nil, errShortMessage
+		return errShortMessage
 	}
-	if dataLen > 0 {
+	switch {
+	case dataLen == 0:
+		r.Data = nil
+	case copyData:
 		r.Data = append([]byte(nil), buf[p:p+dataLen]...)
+	default:
+		r.Data = buf[p : p+dataLen : p+dataLen]
+	}
+	return nil
+}
+
+func unmarshalRequest(buf []byte) (*Request, error) {
+	r := new(Request)
+	if err := r.unmarshal(buf, true); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
 
-func (r *Response) marshal() []byte {
-	buf := make([]byte, 0, 20+len(r.Err)+len(r.Data))
+// appendTo marshals the response body (no frame header) onto dst.
+func (r *Response) appendTo(dst []byte) []byte {
 	var tmp [8]byte
 	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(r.Err)))
-	buf = append(buf, tmp[:2]...)
-	buf = append(buf, r.Err...)
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, r.Err...)
 	binary.LittleEndian.PutUint32(tmp[:4], r.Page)
-	buf = append(buf, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.LittleEndian.PutUint64(tmp[:], r.N)
-	buf = append(buf, tmp[:]...)
+	dst = append(dst, tmp[:]...)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
-	buf = append(buf, tmp[:4]...)
-	buf = append(buf, r.Data...)
-	return buf
+	dst = append(dst, tmp[:4]...)
+	dst = append(dst, r.Data...)
+	return dst
 }
 
-func unmarshalResponse(buf []byte) (*Response, error) {
+func (r *Response) marshal() []byte { return r.appendTo(make([]byte, 0, 20+len(r.Err)+len(r.Data))) }
+
+// unmarshal decodes buf into r. With copyData false, r.Data aliases buf.
+func (r *Response) unmarshal(buf []byte, copyData bool) error {
 	if len(buf) < 2 {
-		return nil, errShortMessage
+		return errShortMessage
 	}
 	errLen := int(binary.LittleEndian.Uint16(buf[0:]))
 	p := 2
 	if len(buf) < p+errLen+16 {
-		return nil, errShortMessage
+		return errShortMessage
 	}
-	r := &Response{Err: string(buf[p : p+errLen])}
+	if errLen > 0 {
+		r.Err = string(buf[p : p+errLen])
+	} else {
+		r.Err = ""
+	}
 	p += errLen
 	r.Page = binary.LittleEndian.Uint32(buf[p:])
 	r.N = binary.LittleEndian.Uint64(buf[p+4:])
 	dataLen := int(binary.LittleEndian.Uint32(buf[p+12:]))
 	p += 16
 	if len(buf) < p+dataLen {
-		return nil, errShortMessage
+		return errShortMessage
 	}
-	if dataLen > 0 {
+	switch {
+	case dataLen == 0:
+		r.Data = nil
+	case copyData:
 		r.Data = append([]byte(nil), buf[p:p+dataLen]...)
+	default:
+		r.Data = buf[p : p+dataLen : p+dataLen]
+	}
+	return nil
+}
+
+func unmarshalResponse(buf []byte) (*Response, error) {
+	r := new(Response)
+	if err := r.unmarshal(buf, true); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -211,77 +354,3 @@ func (t *InProcTransport) Call(req *Request) (*Response, error) {
 
 // Close implements Transport.
 func (t *InProcTransport) Close() error { return nil }
-
-// TCPTransport speaks the framed binary protocol over a socket. One
-// connection carries one client session's requests sequentially, mirroring
-// the paper's one-client-process model.
-type TCPTransport struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rd   *bufio.Reader
-	wr   *bufio.Writer
-}
-
-// DialTCP connects to a Listener-served ESM server.
-func DialTCP(addr string) (*TCPTransport, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &TCPTransport{conn: conn, rd: bufio.NewReaderSize(conn, 64<<10), wr: bufio.NewWriterSize(conn, 64<<10)}, nil
-}
-
-// Call implements Transport.
-func (t *TCPTransport) Call(req *Request) (*Response, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := writeFrame(t.wr, req.marshal()); err != nil {
-		return nil, err
-	}
-	if err := t.wr.Flush(); err != nil {
-		return nil, err
-	}
-	frame, err := readFrame(t.rd)
-	if err != nil {
-		return nil, err
-	}
-	return unmarshalResponse(frame)
-}
-
-// Close implements Transport.
-func (t *TCPTransport) Close() error { return t.conn.Close() }
-
-// Serve accepts connections on l and dispatches their requests to srv until
-// l is closed. It is intended to run in its own goroutine.
-func Serve(l net.Listener, srv *Server) {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return
-		}
-		go func(conn net.Conn) {
-			defer conn.Close()
-			rd := bufio.NewReaderSize(conn, 64<<10)
-			wr := bufio.NewWriterSize(conn, 64<<10)
-			for {
-				frame, err := readFrame(rd)
-				if err != nil {
-					return
-				}
-				req, err := unmarshalRequest(frame)
-				var resp *Response
-				if err != nil {
-					resp = &Response{Err: err.Error()}
-				} else {
-					resp = srv.Handle(req)
-				}
-				if err := writeFrame(wr, resp.marshal()); err != nil {
-					return
-				}
-				if err := wr.Flush(); err != nil {
-					return
-				}
-			}
-		}(conn)
-	}
-}

@@ -2,6 +2,7 @@ package esm
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"reflect"
 	"strings"
@@ -124,47 +125,153 @@ func TestUnmarshalLyingLengths(t *testing.T) {
 	}
 }
 
-func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{7}, 100000)}
-	for _, p := range payloads {
-		if err := writeFrame(&buf, p); err != nil {
-			t.Fatal(err)
-		}
+func TestMuxFrameRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpBegin},
+		{Op: OpReadPage, Tx: 9, Page: 77},
+		{Op: OpWritePage, Tx: 1, Page: 3, Data: bytes.Repeat([]byte{0x5C}, 8192)},
+		{Op: OpSetRoot, Name: "root", N: 2, Data: []byte{1, 2, 3}},
 	}
-	for i, p := range payloads {
-		got, err := readFrame(&buf)
+	var wire []byte
+	for i, r := range reqs {
+		wire = appendRequestFrame(wire, uint64(1000+i), &r)
+	}
+	rd := bytes.NewReader(wire)
+	scratch := getBuf()
+	defer putBuf(scratch)
+	for i := range reqs {
+		seq, body, err := readMuxFrame(rd, scratch)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if !bytes.Equal(got, p) {
-			t.Errorf("frame %d: got %d bytes, want %d", i, len(got), len(p))
+		if seq != uint64(1000+i) {
+			t.Fatalf("frame %d: seq = %d, want %d", i, seq, 1000+i)
 		}
+		got, err := unmarshalRequest(body)
+		if err != nil {
+			t.Fatalf("frame %d: unmarshal: %v", i, err)
+		}
+		want := reqs[i]
+		if len(want.Data) == 0 {
+			want.Data = nil
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Errorf("frame %d round trip mismatch:\n got %+v\nwant %+v", i, *got, want)
+		}
+	}
+	if _, _, err := readMuxFrame(rd, scratch); err != io.EOF {
+		t.Errorf("stream end: err = %v, want io.EOF", err)
+	}
+
+	// Responses take the same framing.
+	resp := Response{Err: "e", Page: 4, N: 5, Data: []byte{6, 7}}
+	rd = bytes.NewReader(appendResponseFrame(nil, 42, &resp))
+	seq, body, err := readMuxFrame(rd, scratch)
+	if err != nil || seq != 42 {
+		t.Fatalf("response frame: seq=%d err=%v", seq, err)
+	}
+	got, err := unmarshalResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, resp) {
+		t.Errorf("response round trip mismatch:\n got %+v\nwant %+v", *got, resp)
 	}
 }
 
-func TestReadFrameTruncated(t *testing.T) {
-	var buf bytes.Buffer
-	if err := writeFrame(&buf, []byte("hello frame")); err != nil {
-		t.Fatal(err)
-	}
-	whole := buf.Bytes()
+func TestMuxFrameTruncated(t *testing.T) {
+	whole := appendRequestFrame(nil, 7, &Request{Op: OpGetRoot, Name: "abc"})
+	scratch := getBuf()
+	defer putBuf(scratch)
 	for n := 0; n < len(whole); n++ {
-		if _, err := readFrame(bytes.NewReader(whole[:n])); err == nil {
+		if _, _, err := readMuxFrame(bytes.NewReader(whole[:n]), scratch); err == nil {
 			t.Errorf("frame truncated to %d bytes read successfully", n)
 		}
 	}
-	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+	if _, _, err := readMuxFrame(bytes.NewReader(nil), scratch); err != io.EOF {
 		t.Errorf("empty stream: err = %v, want io.EOF", err)
 	}
 }
 
-func TestReadFrameOversizedHeader(t *testing.T) {
-	// Header declares 2 GiB; readFrame must refuse before allocating.
-	hdr := []byte{0, 0, 0, 0x80}
-	if _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+func TestMuxFrameBadLengths(t *testing.T) {
+	scratch := getBuf()
+	defer putBuf(scratch)
+	// Header declares 2 GiB; readMuxFrame must refuse before allocating.
+	over := []byte{0, 0, 0, 0x80}
+	if _, _, err := readMuxFrame(bytes.NewReader(over), scratch); err == nil {
 		t.Error("oversized frame accepted")
 	}
+	// Runt frames: length too small to even hold the seq word.
+	for n := uint32(0); n < frameSeqSize; n++ {
+		var hdr [frameLenSize]byte
+		binary.LittleEndian.PutUint32(hdr[:], n)
+		runt := append(hdr[:], make([]byte, 16)...)
+		if _, _, err := readMuxFrame(bytes.NewReader(runt), scratch); err == nil {
+			t.Errorf("runt frame (len %d) accepted", n)
+		}
+	}
+}
+
+// FuzzMuxFrameStream throws arbitrary byte streams at the frame reader and
+// body decoders: whatever happens, no panic, and every frame it accepts
+// must survive an encode round trip at both the request and the response
+// interpretation of its body.
+func FuzzMuxFrameStream(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRequestFrame(nil, 1, &Request{Op: OpBegin}))
+	f.Add(appendResponseFrame(nil, 99, &Response{Err: "x", Data: []byte{1}}))
+	f.Add(appendRequestFrame(appendRequestFrame(nil, 1, &Request{Op: OpReadPage, Page: 5}), 2, &Request{Op: OpCommit}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{8, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}) // empty body, seq only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := bytes.NewReader(data)
+		scratch := getBuf()
+		defer putBuf(scratch)
+		for i := 0; i < 64; i++ {
+			seq, body, err := readMuxFrame(rd, scratch)
+			if err != nil {
+				return
+			}
+			if req, err := unmarshalRequest(body); err == nil {
+				again, _, err2 := readMuxFrame(bytes.NewReader(appendRequestFrame(nil, seq, req)), new([]byte))
+				if err2 != nil || again != seq {
+					t.Fatalf("re-framed request lost seq: %v (seq %d vs %d)", err2, again, seq)
+				}
+			}
+			if resp, err := unmarshalResponse(body); err == nil {
+				reEnc := appendResponseFrame(nil, seq, resp)
+				_, body2, err2 := readMuxFrame(bytes.NewReader(reEnc), new([]byte))
+				if err2 != nil {
+					t.Fatalf("re-framed response unreadable: %v", err2)
+				}
+				resp2, err2 := unmarshalResponse(body2)
+				if err2 != nil || !reflect.DeepEqual(resp, resp2) {
+					t.Fatalf("response round trip drifted: %v\n got %+v\nwant %+v", err2, resp2, resp)
+				}
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalResponse mirrors FuzzUnmarshalRequest for the response
+// decoder the client demux loop runs on every inbound frame.
+func FuzzUnmarshalResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Response{}).marshal())
+	f.Add((&Response{Err: "seed", Page: 1, N: 2, Data: []byte{3}}).marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := unmarshalResponse(data)
+		if err != nil {
+			return
+		}
+		again, err := unmarshalResponse(resp.marshal())
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if !reflect.DeepEqual(resp, again) {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v", again, resp)
+		}
+	})
 }
 
 // FuzzUnmarshalRequest throws arbitrary bytes at the request decoder, and

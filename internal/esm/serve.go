@@ -1,0 +1,129 @@
+package esm
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// serveWorkers bounds how many requests one connection processes
+// concurrently. Workers exist so a slow request (a cold page read waiting
+// on the disk) never head-of-line-blocks the requests queued behind it on
+// the same socket — a commit pipelined behind a page fetch completes the
+// moment the log force does.
+const serveWorkers = 32
+
+// Serve accepts connections on l and dispatches their requests to srv until
+// l is closed. It is intended to run in its own goroutine.
+//
+// Each connection runs the multiplexed protocol: a reader goroutine decodes
+// frames and hands each request to a worker goroutine (at most serveWorkers
+// in flight per connection), and a writer goroutine coalesces completed
+// responses into single writev-style socket flushes. Responses are sent as
+// workers finish — out of request order when a fast request overtakes a
+// slow one — and the client's demux matches them back up by seq.
+func Serve(l net.Listener, srv *Server) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv *Server) {
+	defer conn.Close()
+
+	// respCh carries framed, pooled response buffers from workers to the
+	// writer. Buffered so a worker finishing mid-flush does not block.
+	respCh := make(chan *[]byte, serveWorkers)
+	writerDone := make(chan struct{})
+	go serveWriter(conn, srv, respCh, writerDone)
+
+	var workers sync.WaitGroup
+	sem := make(chan struct{}, serveWorkers)
+	rd := bufio.NewReaderSize(conn, 256<<10)
+	for {
+		// Each frame gets its own pooled buffer: the worker decodes the
+		// request in place (no-copy unmarshal) and owns the buffer until
+		// its response is framed.
+		frame := getBuf()
+		seq, body, err := readMuxFrame(rd, frame)
+		if err != nil {
+			putBuf(frame)
+			break
+		}
+		srv.noteNetRequest()
+		sem <- struct{}{}
+		workers.Add(1)
+		go func(seq uint64, frame *[]byte, body []byte) {
+			defer workers.Done()
+			defer func() { <-sem }()
+			defer srv.doneNetRequest()
+			var resp *Response
+			var req Request
+			if err := req.unmarshal(body, false); err != nil {
+				resp = &Response{Err: err.Error()}
+			} else {
+				resp = srv.Handle(&req)
+			}
+			out := getBuf()
+			*out = appendResponseFrame((*out)[:0], seq, resp)
+			putBuf(frame) // handlers never retain request data past Handle
+			select {
+			case respCh <- out:
+			case <-writerDone:
+				putBuf(out)
+			}
+		}(seq, frame, body)
+	}
+	workers.Wait()
+	close(respCh)
+	<-writerDone
+}
+
+// serveWriter drains framed responses and coalesces everything queued into
+// one vectored socket write (net.Buffers uses writev on TCP). If a write
+// fails, the connection is closed — which unblocks the reader — and the
+// writer keeps draining so no worker is left stuck on respCh.
+func serveWriter(conn net.Conn, srv *Server, respCh <-chan *[]byte, done chan<- struct{}) {
+	defer close(done)
+	vecs := make(net.Buffers, 0, serveWorkers)
+	used := make([]*[]byte, 0, serveWorkers)
+	broken := false
+	for first := range respCh {
+		vecs = vecs[:0]
+		used = used[:0]
+		vecs = append(vecs, *first)
+		used = append(used, first)
+	coalesce:
+		for len(used) < serveWorkers {
+			select {
+			case b, ok := <-respCh:
+				if !ok {
+					break coalesce
+				}
+				vecs = append(vecs, *b)
+				used = append(used, b)
+			default:
+				break coalesce
+			}
+		}
+		if !broken {
+			var bytes int64
+			for _, v := range vecs {
+				bytes += int64(len(v))
+			}
+			if _, err := vecs.WriteTo(conn); err != nil {
+				broken = true
+				conn.Close()
+			} else {
+				srv.noteNetFlush(int64(len(used)), bytes)
+			}
+		}
+		for _, b := range used {
+			putBuf(b)
+		}
+	}
+}

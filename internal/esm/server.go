@@ -107,6 +107,35 @@ type Server struct {
 	// concurrent ops by design.
 	prefetchPages atomic.Int64
 	commits       atomic.Int64
+
+	// Transport-layer counters, maintained by Serve across every TCP
+	// connection (the in-proc transport never touches them). Atomics for
+	// the same reason as above.
+	netInFlight   atomic.Int64
+	netInFlightHW atomic.Int64
+	netFlushes    atomic.Int64
+	netFrames     atomic.Int64
+	netBytesOut   atomic.Int64
+}
+
+// noteNetRequest tracks a decoded request entering server-side dispatch.
+// The high-water store is racy by design: the mark is advisory telemetry,
+// and a lost update can only under-report by the width of the race.
+func (s *Server) noteNetRequest() {
+	if n := s.netInFlight.Add(1); n > s.netInFlightHW.Load() {
+		s.netInFlightHW.Store(n)
+	}
+}
+
+// doneNetRequest balances noteNetRequest when the worker finishes.
+func (s *Server) doneNetRequest() { s.netInFlight.Add(-1) }
+
+// noteNetFlush records one coalesced response flush of `frames` frames and
+// `bytes` total bytes.
+func (s *Server) noteNetFlush(frames, bytes int64) {
+	s.netFlushes.Add(1)
+	s.netFrames.Add(frames)
+	s.netBytesOut.Add(bytes)
 }
 
 // ServerStats is the JSON payload returned in OpStats responses; it backs
@@ -127,6 +156,14 @@ type ServerStats struct {
 	Commits        int64 `json:"commits"`
 	LogForces      int64 `json:"log_forces"`
 	LogPiggybacks  int64 `json:"log_piggybacks"`
+
+	// Transport-layer counters, nonzero only when clients arrive over TCP
+	// (Serve). NetFrames/NetFlushes is the response coalescing ratio;
+	// NetBytesOut/NetFrames is the mean response frame size.
+	NetInFlightHW int64 `json:"net_inflight_hw"`
+	NetFlushes    int64 `json:"net_flushes"`
+	NetFrames     int64 `json:"net_frames"`
+	NetBytesOut   int64 `json:"net_bytes_out"`
 }
 
 // NewServer creates a server over a fresh volume: the catalog page is
@@ -457,6 +494,10 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			Commits:        s.commits.Load(),
 			LogForces:      s.log.Forces(),
 			LogPiggybacks:  s.log.Piggybacks(),
+			NetInFlightHW:  s.netInFlightHW.Load(),
+			NetFlushes:     s.netFlushes.Load(),
+			NetFrames:      s.netFrames.Load(),
+			NetBytesOut:    s.netBytesOut.Load(),
 		}
 		blob, err := json.Marshal(&st)
 		if err != nil {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,19 @@ type ConcurrencyOpts struct {
 
 	CommitWindow time.Duration // group-commit window; 0 = 1ms
 	NoBigLock    bool          // skip the serialized-dispatch baseline
+
+	// Net runs every session over TCP: all sessions of a client count share
+	// ONE multiplexed connection (esm.DialTCP), pipelining their requests
+	// through it, and the baseline shares ONE serial lock-step connection
+	// (esm.DialTCPLockstep) where each call holds the socket for its full
+	// round trip. The A/B isolates what multiplexing bought. Unless Addr is
+	// set, the server runs in-process behind a loopback listener.
+	Net bool
+
+	// Addr points the bench at an external page server ("qsstore serve")
+	// instead of an in-process one. Implies Net. The database is built over
+	// the wire; server stats come from OpStats on the same connection.
+	Addr string
 }
 
 func (o ConcurrencyOpts) withDefaults() ConcurrencyOpts {
@@ -58,6 +72,9 @@ func (o ConcurrencyOpts) withDefaults() ConcurrencyOpts {
 	}
 	if o.CommitWindow == 0 {
 		o.CommitWindow = time.Millisecond
+	}
+	if o.Addr != "" {
+		o.Net = true
 	}
 	return o
 }
@@ -83,11 +100,32 @@ type ConcurrencyPoint struct {
 	LogForces        int64   `json:"log_forces"`
 	LogPiggybacks    int64   `json:"log_piggybacks"`
 	DiskReads        int64   `json:"disk_reads"` // pool misses that went to the device
+
+	// Net-mode extras (zero in in-proc mode). LockstepOpsPerSec is the
+	// serial lock-step TCPTransport baseline sharing one connection; the
+	// remaining fields are server-side transport-stat deltas for the
+	// multiplexed measurement.
+	LockstepOpsPerSec float64 `json:"lockstep_ops_per_sec,omitempty"`
+	NetInFlightHW     int64   `json:"net_inflight_hw,omitempty"` // peak concurrent requests in the server
+	NetFlushes        int64   `json:"net_flushes,omitempty"`     // coalesced response writes (writev calls)
+	NetFrames         int64   `json:"net_frames,omitempty"`      // response frames written
+	NetBytesOut       int64   `json:"net_bytes_out,omitempty"`
 }
 
 // ForcesPerCommit is the group-commit win: < 1 means commits shared forces.
 func (p ConcurrencyPoint) ForcesPerCommit() float64 {
 	return ratio(float64(p.LogForces), float64(p.Commits))
+}
+
+// FramesPerFlush is the response-coalescing win: > 1 means the server's
+// connection writer batched multiple response frames into one writev.
+func (p ConcurrencyPoint) FramesPerFlush() float64 {
+	return ratio(float64(p.NetFrames), float64(p.NetFlushes))
+}
+
+// BytesPerFrame is the mean response frame size on the wire.
+func (p ConcurrencyPoint) BytesPerFrame() float64 {
+	return ratio(float64(p.NetBytesOut), float64(p.NetFrames))
 }
 
 // readLatencyHook injects a fixed device latency into every page read.
@@ -122,42 +160,81 @@ func (s serialTransport) Call(req *esm.Request) (*esm.Response, error) {
 func (s serialTransport) Close() error { return s.t.Close() }
 
 // concEnv is one benchmark database: shared read-mostly objects plus one
-// private update object per client slot, committed and checkpointed.
+// private update object per client slot, committed and checkpointed. In net
+// mode it also owns the loopback listener (or the dialed connection to an
+// external server) and the transport used for setup and stats.
 type concEnv struct {
-	srv     *esm.Server
+	srv     *esm.Server // nil when the server is external (Addr)
+	addr    string      // dial target in net mode
+	ln      net.Listener
+	setup   esm.Transport
 	shared  []esm.OID
 	private []esm.OID
 }
 
+func (e *concEnv) close() {
+	if e.setup != nil {
+		e.setup.Close()
+	}
+	if e.ln != nil {
+		e.ln.Close()
+	}
+}
+
+// concEnvSeq makes database file names unique so repeated env builds against
+// one long-lived external server don't collide in its catalog.
+var concEnvSeq atomic.Int64
+
 func buildConcEnv(o ConcurrencyOpts) (*concEnv, error) {
-	vol := disk.WithHook(disk.NewMemVolume(), readLatencyHook{d: o.ReadDelay})
-	logf := wal.NewMemLog()
-	if d := o.FlushDelay; d > 0 {
-		logf.FlushHook = func(pending int) (int, error) {
-			time.Sleep(d)
-			return pending, nil
+	env := &concEnv{}
+	if o.Addr != "" {
+		tr, err := esm.DialTCP(o.Addr)
+		if err != nil {
+			return nil, err
+		}
+		env.addr, env.setup = o.Addr, tr
+	} else {
+		vol := disk.WithHook(disk.NewMemVolume(), readLatencyHook{d: o.ReadDelay})
+		logf := wal.NewMemLog()
+		if d := o.FlushDelay; d > 0 {
+			logf.FlushHook = func(pending int) (int, error) {
+				time.Sleep(d)
+				return pending, nil
+			}
+		}
+		srv, err := esm.NewServer(vol, logf, esm.ServerConfig{
+			BufferPages:  o.ServerPool,
+			CommitWindow: o.CommitWindow,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env.srv = srv
+		env.setup = esm.NewInProcTransport(srv)
+		if o.Net {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			go esm.Serve(ln, srv)
+			env.ln, env.addr = ln, ln.Addr().String()
 		}
 	}
-	srv, err := esm.NewServer(vol, logf, esm.ServerConfig{
-		BufferPages:  o.ServerPool,
-		CommitWindow: o.CommitWindow,
-	})
-	if err != nil {
-		return nil, err
-	}
-	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 64})
+	c := esm.NewClient(env.setup, esm.ClientConfig{BufferPages: 64})
 	if err := c.Begin(); err != nil {
+		env.close()
 		return nil, err
 	}
-	fid, err := c.CreateFile("conc")
+	fid, err := c.CreateFile(fmt.Sprintf("conc%d", concEnvSeq.Add(1)))
 	if err != nil {
+		env.close()
 		return nil, err
 	}
 	cl := c.NewCluster(fid)
-	env := &concEnv{srv: srv}
 	for i := 0; i < o.SharedObjects+o.MaxClients; i++ {
 		oid, data, err := c.CreateObject(cl, payloadSize)
 		if err != nil {
+			env.close()
 			return nil, err
 		}
 		putValue(data, uint64(i))
@@ -168,9 +245,11 @@ func buildConcEnv(o ConcurrencyOpts) (*concEnv, error) {
 		}
 	}
 	if err := c.Commit(); err != nil {
+		env.close()
 		return nil, err
 	}
-	if err := srv.Checkpoint(); err != nil {
+	if err := c.Checkpoint(); err != nil {
+		env.close()
 		return nil, err
 	}
 	return env, nil
@@ -213,23 +292,51 @@ func runConcClient(env *concEnv, tr esm.Transport, slot int, o ConcurrencyOpts, 
 	return nil
 }
 
-func concStats(srv *esm.Server) (*esm.ServerStats, error) {
-	c := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 4})
+func (e *concEnv) stats() (*esm.ServerStats, error) {
+	c := esm.NewClient(e.setup, esm.ClientConfig{BufferPages: 4})
 	return c.ServerStats()
 }
 
+// concMode selects the transport arrangement for one measurement.
+type concMode int
+
+const (
+	modeInProc   concMode = iota // one InProcTransport per session
+	modeBigLock                  // in-proc, every call through one shared mutex
+	modeMux                      // all sessions share ONE multiplexed TCP connection
+	modeLockstep                 // all sessions share ONE serial lock-step TCP connection
+)
+
 // measureConc runs one client count against a fresh database and returns
 // total ops, elapsed wall time, and the server-stat deltas.
-func measureConc(o ConcurrencyOpts, clients int, bigLock bool) (ConcurrencyPoint, error) {
+func measureConc(o ConcurrencyOpts, clients int, mode concMode) (ConcurrencyPoint, error) {
 	pt := ConcurrencyPoint{Clients: clients}
 	env, err := buildConcEnv(o)
 	if err != nil {
 		return pt, err
 	}
-	before, err := concStats(env.srv)
+	defer env.close()
+	before, err := env.stats()
 	if err != nil {
 		return pt, err
 	}
+
+	// In net modes every session shares the one connection under test.
+	var shared esm.Transport
+	switch mode {
+	case modeMux:
+		if shared, err = esm.DialTCP(env.addr); err != nil {
+			return pt, err
+		}
+	case modeLockstep:
+		if shared, err = esm.DialTCPLockstep(env.addr); err != nil {
+			return pt, err
+		}
+	}
+	if shared != nil {
+		defer shared.Close()
+	}
+
 	var bigMu sync.Mutex
 	var ops atomic.Int64
 	errs := make([]error, clients)
@@ -239,9 +346,12 @@ func measureConc(o ConcurrencyOpts, clients int, bigLock bool) (ConcurrencyPoint
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			var tr esm.Transport = esm.NewInProcTransport(env.srv)
-			if bigLock {
-				tr = serialTransport{mu: &bigMu, t: tr}
+			tr := shared
+			if tr == nil {
+				tr = esm.NewInProcTransport(env.srv)
+				if mode == modeBigLock {
+					tr = serialTransport{mu: &bigMu, t: tr}
+				}
 			}
 			errs[slot] = runConcClient(env, tr, slot, o, &ops)
 		}(slot)
@@ -253,7 +363,7 @@ func measureConc(o ConcurrencyOpts, clients int, bigLock bool) (ConcurrencyPoint
 			return pt, fmt.Errorf("client %d: %w", slot, err)
 		}
 	}
-	after, err := concStats(env.srv)
+	after, err := env.stats()
 	if err != nil {
 		return pt, err
 	}
@@ -263,26 +373,43 @@ func measureConc(o ConcurrencyOpts, clients int, bigLock bool) (ConcurrencyPoint
 	pt.LogForces = after.LogForces - before.LogForces
 	pt.LogPiggybacks = after.LogPiggybacks - before.LogPiggybacks
 	pt.DiskReads = after.PoolMisses - before.PoolMisses
+	if mode == modeMux {
+		pt.NetInFlightHW = after.NetInFlightHW
+		pt.NetFlushes = after.NetFlushes - before.NetFlushes
+		pt.NetFrames = after.NetFrames - before.NetFrames
+		pt.NetBytesOut = after.NetBytesOut - before.NetBytesOut
+	}
 	return pt, nil
 }
 
 // RunConcurrencyBench sweeps client counts 1..MaxClients over the concurrent
-// server and (unless NoBigLock) over the serialized big-lock baseline,
-// returning one point per client count.
+// server and a serialized baseline, returning one point per client count. In
+// the default in-process mode the baseline is the big-lock transport; in net
+// mode (Net or Addr) the sessions of each point pipeline over ONE shared
+// multiplexed TCP connection and the baseline runs them over ONE shared
+// serial lock-step connection. NoBigLock skips the baseline in both modes.
 func RunConcurrencyBench(opts ConcurrencyOpts) ([]ConcurrencyPoint, error) {
 	o := opts.withDefaults()
+	main, base := modeInProc, modeBigLock
+	if o.Net {
+		main, base = modeMux, modeLockstep
+	}
 	var pts []ConcurrencyPoint
 	for _, clients := range o.clientCounts() {
-		pt, err := measureConc(o, clients, false)
+		pt, err := measureConc(o, clients, main)
 		if err != nil {
 			return nil, err
 		}
 		if !o.NoBigLock {
-			base, err := measureConc(o, clients, true)
+			b, err := measureConc(o, clients, base)
 			if err != nil {
 				return nil, err
 			}
-			pt.BigLockOpsPerSec = base.OpsPerSec
+			if o.Net {
+				pt.LockstepOpsPerSec = b.OpsPerSec
+			} else {
+				pt.BigLockOpsPerSec = b.OpsPerSec
+			}
 		}
 		pts = append(pts, pt)
 	}
@@ -302,6 +429,9 @@ func (s *Suite) ConcurrencyExp(opts ConcurrencyOpts) error {
 	pts, err := RunConcurrencyBench(o)
 	if err != nil {
 		return err
+	}
+	if o.Net {
+		return s.emitNetTable(o, pts)
 	}
 	t := Table{
 		Title: fmt.Sprintf("Concurrency: multi-client throughput scaling, 1-%d clients (wall clock)",
@@ -326,6 +456,42 @@ func (s *Suite) ConcurrencyExp(opts ConcurrencyOpts) error {
 			o.ReadDelay, o.FlushDelay, o.CommitWindow),
 		"big-lock baseline serializes every protocol call through one mutex, emulating the pre-refactor server",
 		"forces/commit < 1 means group commit batched concurrent committers onto shared log forces")
+	s.emit(t)
+	return nil
+}
+
+// emitNetTable renders the TCP-mode sweep: pipelined shared-mux sessions
+// against the serial lock-step connection, with the transport counters that
+// show where the win comes from.
+func (s *Suite) emitNetTable(o ConcurrencyOpts, pts []ConcurrencyPoint) error {
+	server := fmt.Sprintf("in-process loopback server; injected device latency: %v/page read, %v/log force",
+		o.ReadDelay, o.FlushDelay)
+	if o.Addr != "" {
+		server = "external server at " + o.Addr + " (its own device latencies apply)"
+	}
+	t := Table{
+		Title: fmt.Sprintf("Concurrency/TCP: %d sessions pipelined over one multiplexed connection vs one lock-step connection",
+			o.MaxClients),
+		Columns: []string{"clients", "ops", "sec", "mux ops/sec", "speedup",
+			"lockstep ops/sec", "vs lockstep", "inflight hw", "frames/flush", "bytes/frame",
+			"commits", "forces/commit"},
+	}
+	for _, p := range pts {
+		lockCol, vsLock := "-", "-"
+		if p.LockstepOpsPerSec > 0 {
+			lockCol = ms(p.LockstepOpsPerSec)
+			vsLock = f1(ratio(p.OpsPerSec, p.LockstepOpsPerSec)) + "x"
+		}
+		t.AddRow(d(int64(p.Clients)), d(p.Ops), fmt.Sprintf("%.2f", p.Seconds),
+			ms(p.OpsPerSec), f1(p.Speedup)+"x", lockCol, vsLock,
+			d(p.NetInFlightHW), fmt.Sprintf("%.2f", p.FramesPerFlush()),
+			fmt.Sprintf("%.0f", p.BytesPerFrame()),
+			d(p.Commits), fmt.Sprintf("%.2f", p.ForcesPerCommit()))
+	}
+	t.Notes = append(t.Notes,
+		server+"; every session of a point shares ONE TCP connection",
+		"lock-step baseline holds the socket for each call's full round trip (the pre-multiplexing transport)",
+		"inflight hw = peak requests concurrently inside the server off one connection; frames/flush > 1 = response writes coalesced into shared writev calls")
 	s.emit(t)
 	return nil
 }

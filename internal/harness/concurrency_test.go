@@ -117,3 +117,69 @@ func TestConcurrencyExpEmitsTable(t *testing.T) {
 		t.Fatalf("report output missing the concurrency table:\n%s", out.String())
 	}
 }
+
+// TestConcurrencyBenchNet runs the TCP mode end to end: sessions pipelined
+// over one shared multiplexed connection against the serial lock-step
+// baseline. The structural checks are exact; the mux-beats-lockstep check is
+// soft (>=, not the 3x acceptance bar) because CI runs it under -race.
+func TestConcurrencyBenchNet(t *testing.T) {
+	o := shortConcOpts(4)
+	o.Net = true
+	pts, err := RunConcurrencyBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // 1, 2, 4
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for _, p := range pts {
+		if got := int64(p.Clients * o.TxnsPerClient); p.Commits != got {
+			t.Errorf("%d clients: commits = %d, want %d", p.Clients, p.Commits, got)
+		}
+		if p.LockstepOpsPerSec <= 0 {
+			t.Errorf("%d clients: lock-step baseline missing", p.Clients)
+		}
+		if p.BigLockOpsPerSec != 0 {
+			t.Errorf("%d clients: big-lock column set in net mode", p.Clients)
+		}
+		if p.NetFrames <= 0 || p.NetFlushes <= 0 || p.NetBytesOut <= 0 {
+			t.Errorf("%d clients: transport counters missing: frames=%d flushes=%d bytes=%d",
+				p.Clients, p.NetFrames, p.NetFlushes, p.NetBytesOut)
+		}
+		if p.NetFrames < p.NetFlushes {
+			t.Errorf("%d clients: %d frames < %d flushes", p.Clients, p.NetFrames, p.NetFlushes)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.NetInFlightHW < 2 {
+		t.Errorf("%d clients: in-flight high-water = %d, want >= 2 (no pipelining happened)",
+			last.Clients, last.NetInFlightHW)
+	}
+	if testing.Short() {
+		return
+	}
+	if last.OpsPerSec < last.LockstepOpsPerSec {
+		t.Errorf("shared mux (%.0f ops/sec) slower than shared lock-step connection (%.0f ops/sec)",
+			last.OpsPerSec, last.LockstepOpsPerSec)
+	}
+}
+
+// TestConcurrencyExpNetTable checks the net-mode table wiring for the
+// oo7bench -net JSON output.
+func TestConcurrencyExpNetTable(t *testing.T) {
+	var out strings.Builder
+	s := NewSuite(&out, false)
+	o := shortConcOpts(2)
+	o.Net = true
+	o.NoBigLock = true
+	if err := s.ConcurrencyExp(o); err != nil {
+		t.Fatal(err)
+	}
+	tables := s.TakeTables()
+	if len(tables) != 1 {
+		t.Fatalf("emitted %d tables, want 1", len(tables))
+	}
+	if !strings.Contains(out.String(), "Concurrency/TCP") {
+		t.Fatalf("report output missing the TCP-mode table:\n%s", out.String())
+	}
+}

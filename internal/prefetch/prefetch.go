@@ -22,7 +22,11 @@
 //     blocks while a fixed fan-out of worker goroutines fetch the batches
 //     concurrently, then installs the results in issue order (ordered
 //     drain). Goroutine scheduling can change wall-clock overlap but never
-//     the observable pool state or counter totals.
+//     the observable pool state or counter totals. The concurrent fetches
+//     ride whatever Transport the session uses: in-process they call the
+//     server directly; over TCP they pipeline through the session's shared
+//     multiplexed connection (DESIGN.md §13), so a pump's batches coalesce
+//     into shared frames-in-flight rather than serializing on the socket.
 //   - The server side of OpReadPages never mutates the server buffer pool
 //     (resident pages are copied out via LatchPool.Snapshot, absent ones
 //     read straight from the volume), so concurrent batch fetches — from
