@@ -5,9 +5,10 @@
 //	qsstore create     -db path.vol
 //	qsstore info       -db path.vol
 //	qsstore verify     -db path.vol
-//	qsstore stats      -db path.vol
-//	qsstore serve      -db path.vol -listen host:port
-//	qsstore crashdrill [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]
+//	qsstore stats      -db path.vol | -addr host:port
+//	qsstore serve      -db path.vol -listen host:port [-node-id name [-replica-of host:port] [-quorum n]]
+//	qsstore crashdrill [-repl] [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]
+//	qsstore replbench  [-out path]
 //
 // serve opens the volume (running restart recovery if the log demands it)
 // and exposes the page server over TCP: each accepted connection speaks the
@@ -16,30 +17,53 @@
 // process serves until killed; committed state is durable via the WAL, so
 // no orderly shutdown is required.
 //
+// With -node-id the server joins a replication cluster (DESIGN.md §14).
+// Without -replica-of it serves as the leader: commits are acked only
+// after a quorum of replicas (-quorum; 0 = majority) holds them durable.
+// With -replica-of it serves as a follower: it registers with the leader,
+// receives the shipped log (snapshot first if it is behind the leader's
+// truncation point), and campaigns for the leadership if the leader goes
+// silent. -listen doubles as the node's advertised address, so it must be
+// a host:port the other nodes can dial.
+//
 // info prints the volume geometry and the log summary; verify walks every
 // header-bearing page checking slotted-page invariants and, for QuickStore
 // data pages, the meta-object and its mapping/bitmap references; stats
 // opens the store and prints the page server's statistics snapshot
-// (OpStats), including the prefetch service and group-commit counters.
+// (OpStats), including the prefetch service, group-commit, and — when the
+// server is a replication leader — quorum-commit and election counters.
+// With -addr it queries a running server over TCP instead of opening a
+// local volume, which is how cluster replication lag is observed live.
 //
 // crashdrill runs the deterministic fault-injection drill (DESIGN.md §9)
 // on scratch volumes: seeded update workloads killed at named crash
 // points, restarted, and checked against the recovery invariants. With no
 // -point it sweeps every named point; with -point it runs one drill and
 // prints its report. The exit status is non-zero if any invariant broke.
+// With -repl the drill runs against a 3-node replication cluster instead
+// (DESIGN.md §14): the leader is killed at the armed point, a follower is
+// elected, and every quorum-acked commit must survive the failover.
+//
+// replbench measures quorum-commit throughput against a single-node
+// baseline at 1, 2, and 4 sessions and writes the sweep to
+// BENCH_repl.json; it exits non-zero if replication costs more than half
+// the baseline throughput at any point.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"quickstore/internal/disk"
 	"quickstore/internal/esm"
 	"quickstore/internal/faultinject"
 	"quickstore/internal/harness"
 	"quickstore/internal/page"
+	"quickstore/internal/repl"
 	"quickstore/internal/wal"
 	"quickstore/quickstore"
 )
@@ -58,9 +82,15 @@ func main() {
 	short := fs.Bool("short", false, "crashdrill: crashing log flush keeps only a prefix")
 	torn := fs.Bool("torn", false, "crashdrill: sub-page torn page writes (detection mode)")
 	dir := fs.String("dir", "", "crashdrill: scratch directory (default: temp)")
-	listen := fs.String("listen", "127.0.0.1:7707", "serve: TCP address to listen on")
+	replDrillFlag := fs.Bool("repl", false, "crashdrill: drill a 3-node replication cluster (leader kill + failover)")
+	listen := fs.String("listen", "127.0.0.1:7707", "serve: TCP address to listen on (and advertise to cluster peers)")
+	nodeID := fs.String("node-id", "", "serve: join a replication cluster under this node name")
+	replicaOf := fs.String("replica-of", "", "serve: follow the leader at this address (requires -node-id)")
+	quorum := fs.Int("quorum", 0, "serve: replicas that must hold a commit durable before ack (0 = majority)")
+	addr := fs.String("addr", "", "stats: query a running server at host:port instead of opening -db")
+	out := fs.String("out", "BENCH_repl.json", "replbench: output path for the sweep")
 	fs.Parse(os.Args[2:])
-	if *db == "" && cmd != "crashdrill" {
+	if *db == "" && *addr == "" && cmd != "crashdrill" && cmd != "replbench" {
 		fmt.Fprintln(os.Stderr, "qsstore: -db is required")
 		os.Exit(2)
 	}
@@ -73,11 +103,17 @@ func main() {
 	case "verify":
 		err = verify(*db)
 	case "stats":
-		err = stats(*db)
+		err = stats(*db, *addr)
 	case "serve":
-		err = serve(*db, *listen)
+		err = serve(*db, *listen, *nodeID, *replicaOf, *quorum)
 	case "crashdrill":
-		err = crashdrill(*point, *seed, *seeds, *hitN, *short, *torn, *dir)
+		if *replDrillFlag {
+			err = replDrill(*point, *seed, *seeds, *hitN)
+		} else {
+			err = crashdrill(*point, *seed, *seeds, *hitN, *short, *torn, *dir)
+		}
+	case "replbench":
+		err = replBench(*out)
 	default:
 		usage()
 	}
@@ -89,8 +125,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: qsstore create|info|verify|stats -db <path>")
-	fmt.Fprintln(os.Stderr, "       qsstore serve -db <path> [-listen host:port]")
-	fmt.Fprintln(os.Stderr, "       qsstore crashdrill [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]")
+	fmt.Fprintln(os.Stderr, "       qsstore stats -addr host:port")
+	fmt.Fprintln(os.Stderr, "       qsstore serve -db <path> [-listen host:port] [-node-id name [-replica-of host:port] [-quorum n]]")
+	fmt.Fprintln(os.Stderr, "       qsstore crashdrill [-repl] [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]")
+	fmt.Fprintln(os.Stderr, "       qsstore replbench [-out path]")
 	os.Exit(2)
 }
 
@@ -98,7 +136,16 @@ func usage() {
 // (esm.OpenServer replays the log), then every accepted connection is
 // multiplexed: requests from any number of pipelined sessions are dispatched
 // to bounded per-connection workers and responses stream back coalesced.
-func serve(path, listen string) error {
+//
+// With a node ID the listener fronts a replication node instead of the bare
+// server: a leader acks commits only after quorum, a follower consumes the
+// shipped log and stands for election if the leader goes silent. The same
+// listener keeps serving across a promotion — repl.Node swaps the inner
+// server underneath it.
+func serve(path, listen, nodeID, replicaOf string, quorum int) error {
+	if replicaOf != "" && nodeID == "" {
+		return fmt.Errorf("-replica-of requires -node-id")
+	}
 	vol, err := disk.OpenFileVolume(path)
 	if err != nil {
 		return err
@@ -109,17 +156,72 @@ func serve(path, listen string) error {
 		return err
 	}
 	defer logf.Close()
-	srv, err := esm.OpenServer(vol, logf, esm.ServerConfig{})
-	if err != nil {
-		return err
-	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %s on %s\n", path, ln.Addr())
-	esm.Serve(ln, srv)
+
+	if nodeID == "" {
+		srv, err := esm.OpenServer(vol, logf, esm.ServerConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving %s on %s\n", path, ln.Addr())
+		esm.Serve(ln, srv)
+		return nil
+	}
+
+	cfg := repl.Config{
+		ID:              nodeID,
+		Addr:            listen,
+		Quorum:          quorum,
+		ElectionTimeout: 2 * time.Second,
+		Dial: func(addr string) (esm.Transport, error) {
+			return esm.DialTCPTimeout(addr, 5*time.Second)
+		},
+	}
+	var node *repl.Node
+	if replicaOf == "" {
+		srv, err := esm.OpenServer(vol, logf, esm.ServerConfig{})
+		if err != nil {
+			return err
+		}
+		node = repl.NewLeader(srv, cfg)
+		fmt.Printf("serving %s on %s as replication leader %q (quorum %d; 0 = majority)\n",
+			path, ln.Addr(), nodeID, quorum)
+	} else {
+		// The follower's volume and log start from whatever state they
+		// hold; the leader ships the delta, or a full snapshot if the
+		// follower is behind the leader's log truncation point.
+		node = repl.NewFollower(vol, logf, cfg)
+		fmt.Printf("serving %s on %s as follower %q of %s\n", path, ln.Addr(), nodeID, replicaOf)
+		go registerWithLeader(node, replicaOf, cfg.Dial)
+	}
+	defer node.Close()
+	esm.Serve(ln, node)
 	return nil
+}
+
+// registerWithLeader announces a follower to the leader, retrying until it
+// answers: cluster nodes are typically started in arbitrary order, so the
+// leader may not be up yet. The leader dials back the follower's advertised
+// address and starts shipping.
+func registerWithLeader(node *repl.Node, leaderAddr string, dial func(string) (esm.Transport, error)) {
+	for attempt := 1; ; attempt++ {
+		tr, err := dial(leaderAddr)
+		if err == nil {
+			err = node.RegisterWith(tr)
+			_ = tr.Close()
+			if err == nil {
+				fmt.Printf("registered with leader at %s\n", leaderAddr)
+				return
+			}
+		}
+		if attempt == 1 || attempt%15 == 0 {
+			fmt.Printf("leader at %s not answering (%v); retrying\n", leaderAddr, err)
+		}
+		time.Sleep(2 * time.Second)
+	}
 }
 
 // crashdrill runs one drill (with -point) or sweeps the full crash-point
@@ -195,6 +297,107 @@ func crashdrill(point string, seed int64, seeds, hitN int, short, torn bool, dir
 	return nil
 }
 
+// replDrill runs the replicated leader-kill drill (DESIGN.md §14): a
+// 3-node in-memory cluster whose leader is killed at the armed crash point,
+// after which a follower must win the election holding every quorum-acked
+// commit. With no -point it sweeps the full crash-point catalogue.
+func replDrill(point string, seed int64, seeds, hitN int) error {
+	if point != "" {
+		rep, err := harness.RunReplDrill(harness.ReplDrillOpts{Seed: seed, Point: point, HitN: hitN})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("point:      %s (hit %d, seed %d)\n", point, hitN, seed)
+		fmt.Printf("crashed:    %v (forced kill: %v)\n", rep.Crashed, rep.ForcedKill)
+		fmt.Printf("committed:  %d quorum-acked transactions, in-doubt=%v\n", rep.Committed, rep.InDoubt)
+		fmt.Printf("failover:   elected=%v leader=%q term=%d\n", rep.FailedOver, rep.NewLeader, rep.Term)
+		if len(rep.Trace) > 0 {
+			fmt.Printf("trace:      %v\n", rep.Trace)
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("VIOLATION:  %s\n", v)
+		}
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("%d replication invariants violated", len(rep.Violations))
+		}
+		fmt.Println("all replication invariants held")
+		return nil
+	}
+
+	points := append([]string{""}, faultinject.AllPoints()...)
+	runs, crashes, failovers, violations := 0, 0, 0, 0
+	for _, pt := range points {
+		for _, hit := range []int{1, 2} {
+			if pt == "" && hit > 1 {
+				continue // the quiescent kill has no point to re-hit
+			}
+			for s := int64(0); s < int64(seeds); s++ {
+				rep, err := harness.RunReplDrill(harness.ReplDrillOpts{
+					Seed: seed + s*997 + int64(hit), Point: pt, HitN: hit,
+				})
+				if err != nil {
+					return err
+				}
+				runs++
+				if rep.Crashed {
+					crashes++
+				}
+				if rep.FailedOver {
+					failovers++
+				}
+				for _, v := range rep.Violations {
+					violations++
+					name := pt
+					if name == "" {
+						name = "(quiescent kill)"
+					}
+					fmt.Printf("VIOLATION [%s hit=%d seed=%d]: %s\n", name, hit, seed+s*997+int64(hit), v)
+				}
+			}
+		}
+	}
+	fmt.Printf("replicated crash drill: %d runs, %d crashed at armed points, %d failovers, %d violations\n",
+		runs, crashes, failovers, violations)
+	if violations > 0 {
+		return fmt.Errorf("%d replication invariants violated", violations)
+	}
+	return nil
+}
+
+// replBench sweeps quorum-commit throughput against the single-node
+// baseline and writes the result where CI archives it. The 2x acceptance
+// floor is the replication design's budget: batched shipping and the
+// piggybacked quorum wait must keep the protocol overhead within one
+// doubling of the commit path.
+func replBench(out string) error {
+	rep, err := harness.RunReplBench(harness.ReplBenchOpts{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %14s %14s %8s %12s %14s\n",
+		"sessions", "single ops/s", "quorum ops/s", "ratio", "ship rounds", "quorum wait")
+	bad := 0
+	for _, p := range rep.Points {
+		fmt.Printf("%-10d %14.0f %14.0f %8.2f %12d %12.1fms\n",
+			p.Sessions, p.SingleOpsPerSec, p.QuorumOpsPerSec, p.Ratio, p.ShipRounds, p.QuorumWaitMs)
+		if p.Ratio < 0.5 {
+			bad++
+		}
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if bad > 0 {
+		return fmt.Errorf("%d session counts fell below half the single-node throughput", bad)
+	}
+	return nil
+}
+
 func createStore(path string) error {
 	st, err := quickstore.Create(path, quickstore.Options{})
 	if err != nil {
@@ -238,8 +441,13 @@ func info(path string) error {
 
 // stats opens the store (running restart recovery if the log demands it)
 // and prints the server's OpStats snapshot, with the prefetch hit/wasted
-// ratio an operator tuning the prefetcher needs.
-func stats(path string) error {
+// ratio an operator tuning the prefetcher needs. With addr it queries a
+// running server over TCP instead — the only way to see live replication
+// state, since a local open never has a cluster attached.
+func stats(path, addr string) error {
+	if addr != "" {
+		return statsRemote(addr)
+	}
 	st, err := quickstore.Open(path, quickstore.Options{})
 	if err != nil {
 		return err
@@ -249,6 +457,44 @@ func stats(path string) error {
 	if err != nil {
 		return err
 	}
+	printServerStats(ss)
+
+	cs := st.Stats()
+	fmt.Printf("session:        %d prefetches issued, %d hits, %d wasted", cs.PrefetchIssued, cs.PrefetchHits, cs.PrefetchWasted)
+	if cs.PrefetchIssued > 0 {
+		fmt.Printf(" (%.1f%% hit, %.1f%% wasted)",
+			100*float64(cs.PrefetchHits)/float64(cs.PrefetchIssued),
+			100*float64(cs.PrefetchWasted)/float64(cs.PrefetchIssued))
+	}
+	fmt.Println()
+	return nil
+}
+
+// statsRemote fetches the OpStats snapshot from a running server. Pointing
+// it at a replication follower reports the leader's address instead (the
+// follower redirects client ops).
+func statsRemote(addr string) error {
+	tr, err := esm.DialTCPTimeout(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	resp, err := tr.Call(&esm.Request{Op: esm.OpStats})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	var ss esm.ServerStats
+	if err := json.Unmarshal(resp.Data, &ss); err != nil {
+		return err
+	}
+	printServerStats(&ss)
+	return nil
+}
+
+func printServerStats(ss *esm.ServerStats) {
 	fmt.Printf("server buffer:  %d/%d pages resident\n", ss.Resident, ss.BufferPages)
 	fmt.Printf("pool:           %d hits, %d misses, %d evicted", ss.PoolHits, ss.PoolMisses, ss.PoolEvicted)
 	if total := ss.PoolHits + ss.PoolMisses; total > 0 {
@@ -265,16 +511,19 @@ func stats(path string) error {
 		fmt.Printf(" (%.2f forces/commit)", float64(ss.LogForces)/float64(ss.Commits))
 	}
 	fmt.Println()
-
-	cs := st.Stats()
-	fmt.Printf("session:        %d prefetches issued, %d hits, %d wasted", cs.PrefetchIssued, cs.PrefetchHits, cs.PrefetchWasted)
-	if cs.PrefetchIssued > 0 {
-		fmt.Printf(" (%.1f%% hit, %.1f%% wasted)",
-			100*float64(cs.PrefetchHits)/float64(cs.PrefetchIssued),
-			100*float64(cs.PrefetchWasted)/float64(cs.PrefetchIssued))
+	if r := ss.Repl; r != nil {
+		fmt.Printf("replication:    %s, term %d, leader %q, %d followers, quorum %d\n",
+			r.Role, r.Term, r.Leader, r.Followers, r.Quorum)
+		fmt.Printf("  quorum:       %d commits gated, %.1fms total wait", r.QuorumCommits, float64(r.QuorumWaitNs)/1e6)
+		if r.QuorumCommits > 0 {
+			fmt.Printf(" (%.2fms/commit)", float64(r.QuorumWaitNs)/1e6/float64(r.QuorumCommits))
+		}
+		fmt.Println()
+		fmt.Printf("  shipping:     %d rounds, %d bytes, %d snapshots\n", r.ShipRounds, r.ShipBytes, r.SnapshotsSent)
+		fmt.Printf("  lag:          durable lsn %d, quorum lsn %d, laggiest follower %d bytes behind\n",
+			r.DurableLSN, r.QuorumLSN, r.MaxFollowerGap)
+		fmt.Printf("  elections:    %d\n", r.Elections)
 	}
-	fmt.Println()
-	return nil
 }
 
 func verify(path string) error {

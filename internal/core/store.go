@@ -209,6 +209,11 @@ func newStore(c *esm.Client, cfg Config) (*Store, error) {
 		pool.SetPolicy(s.policy)
 	}
 	c.BeforeSteal = s.beforeSteal
+	// QuickStore's diff logging covers mapped data pages only; the client
+	// must log the metadata-file structure it writes itself (bitmap and
+	// mapping object slots), or a redo-only restart — and every replication
+	// follower at promotion — recovers slotless metadata pages.
+	c.LogStructure = true
 	s.pf = prefetch.New(prefetch.Config{
 		Enabled:   cfg.Prefetch,
 		Depth:     cfg.PrefetchDepth,

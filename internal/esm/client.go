@@ -73,6 +73,15 @@ type Client struct {
 	// server mid-transaction (buffer-pool steal). QuickStore hooks this to
 	// diff the page and emit its log records first, preserving WAL order.
 	BeforeSteal func(pid disk.PageID, data []byte) error
+
+	// LogStructure makes the client WAL-log its own structural page edits —
+	// the headers and slot directories it writes in CreateObject,
+	// DeleteObject, and cluster-page formatting. Callers that log by
+	// diffing mapped data pages (QuickStore) never see these bytes, and a
+	// session that redoes the log onto a cold store — restart recovery, a
+	// replication follower at promotion — finds slotless pages without
+	// them. Sessions that checkpoint instead can leave this off.
+	LogStructure bool
 }
 
 // NewClient opens a session over tr.
@@ -110,6 +119,12 @@ func retryable(op Op) bool {
 	}
 	return false
 }
+
+// RetryableOp reports whether op may be re-sent verbatim after a transport
+// failure, per the same no-server-side-effects rule the client's own retry
+// uses. The replication Director consults it when failing over between
+// cluster nodes.
+func RetryableOp(op Op) bool { return retryable(op) }
 
 // call sends a request and surfaces server errors as Go errors. Idempotent
 // requests that fail with a transient fault are retried under the
@@ -333,6 +348,46 @@ func (c *Client) appendLogRec(typ wal.RecType, pid disk.PageID, off int, old, ne
 
 // PendingLogRecords reports the number of buffered, unshipped log records.
 func (c *Client) PendingLogRecords() int { return int(c.nrecs) }
+
+// structBefore copies the frame's current bytes when structural logging is
+// on, so the mutation about to happen can be diffed against them.
+func (c *Client) structBefore(idx int) []byte {
+	if !c.LogStructure {
+		return nil
+	}
+	return append([]byte(nil), c.PageData(idx)...)
+}
+
+// logStructDiff emits update records for every byte run where the frame now
+// differs from before. Nearby runs are merged so one slot-directory edit
+// (header counters at the front, a slot entry at the back) costs two small
+// records, not a spray of one-byte ones.
+func (c *Client) logStructDiff(pid disk.PageID, before []byte, idx int) {
+	if !c.LogStructure || before == nil {
+		return
+	}
+	cur := c.PageData(idx)
+	const mergeGap = 16
+	for i := 0; i < len(cur); {
+		for i < len(cur) && cur[i] == before[i] {
+			i++
+		}
+		if i == len(cur) {
+			return
+		}
+		// Extend the run until mergeGap equal bytes in a row end it.
+		end, equal := i+1, 0
+		for j := i + 1; j < len(cur) && equal < mergeGap; j++ {
+			if cur[j] != before[j] {
+				end, equal = j+1, 0
+			} else {
+				equal++
+			}
+		}
+		c.LogUpdate(pid, i, before[i:end], cur[i:end])
+		i = end
+	}
+}
 
 // FlushLog ships buffered log records to the server and records the last
 // assigned log sequence number (used to stamp shipped pages).

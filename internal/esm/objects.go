@@ -71,11 +71,13 @@ func (c *Client) CreateObject(cl *Cluster, size int) (OID, []byte, error) {
 			cl.pid = disk.InvalidPage // full or invalid; retry on a fresh page
 			continue
 		}
+		before := c.structBefore(idx)
 		slot, _, err := p.Insert(size)
 		if err != nil {
 			return NilOID, nil, err
 		}
 		c.pool.MarkDirty(idx)
+		c.logStructDiff(cl.pid, before, idx)
 		u, err := c.nextUnique()
 		if err != nil {
 			return NilOID, nil, err
@@ -106,14 +108,22 @@ func (c *Client) newClusterPage(cl *Cluster) error {
 	p := page.Init(c.PageData(idx), page.TypeSlotted)
 	p.SetFileID(cl.file)
 	c.pool.MarkDirty(idx)
+	if c.LogStructure {
+		// Diff against an all-zero page, not the prior frame bytes: a
+		// redo-only replica materializes this page from zeros, and Init
+		// just zeroed everything the header doesn't cover.
+		c.logStructDiff(pid, make([]byte, disk.PageSize), idx)
+	}
 	if cl.last != disk.InvalidPage {
 		lidx, err := c.FetchPage(cl.last)
 		if err != nil {
 			return err
 		}
+		before := c.structBefore(lidx)
 		lp := page.MustWrap(c.PageData(lidx))
 		lp.SetNextPage(uint32(pid))
 		c.pool.MarkDirty(lidx)
+		c.logStructDiff(cl.last, before, lidx)
 	}
 	cl.pid = pid
 	cl.last = pid
@@ -175,10 +185,12 @@ func (c *Client) DeleteObject(oid OID) error {
 		return err
 	}
 	p := page.MustWrap(c.PageData(idx))
+	before := c.structBefore(idx)
 	if err := p.Delete(int(oid.Slot)); err != nil {
 		return err
 	}
 	c.pool.MarkDirty(idx)
+	c.logStructDiff(oid.Page, before, idx)
 	return nil
 }
 
@@ -335,9 +347,11 @@ func (c *Client) deleteLarge(large OID) error {
 		return err
 	}
 	p := page.MustWrap(c.PageData(idx))
+	before := c.structBefore(idx)
 	if err := p.Delete(int(d.Slot)); err != nil {
 		return err
 	}
 	c.pool.MarkDirty(idx)
+	c.logStructDiff(d.Page, before, idx)
 	return nil
 }

@@ -37,13 +37,24 @@ const (
 	// server buffer pool, so a client speculating on future accesses never
 	// changes what a non-speculating client would observe.
 	OpReadPages
+	// Replication ops (internal/repl). OpReplAppend ships a durable WAL
+	// byte chunk (Tx = leader term, N = start LSN, Data = ship payload)
+	// from the leader to a follower; the response's N is the follower's
+	// durable LSN after splice+flush. OpReplAck is the control plane:
+	// status probes, vote requests, and follower registration, selected by
+	// Mode. OpReplSnapshot seeds a follower wholesale (log bytes plus
+	// volume page images) when incremental shipping cannot reach it.
+	OpReplAppend
+	OpReplAck
+	OpReplSnapshot
 )
 
 // String names the operation for diagnostics.
 func (o Op) String() string {
 	names := [...]string{"", "BEGIN", "COMMIT", "ABORT", "READ", "WRITE", "ALLOC",
 		"FREE", "LOCK", "LOG", "CREATEFILE", "OPENFILE", "GETROOT", "SETROOT",
-		"COUNTER", "CHECKPOINT", "STATS", "READPAGES"}
+		"COUNTER", "CHECKPOINT", "STATS", "READPAGES",
+		"REPLAPPEND", "REPLACK", "REPLSNAPSHOT"}
 	if int(o) < len(names) {
 		return names[o]
 	}

@@ -13,7 +13,29 @@ import (
 // moment the log force does.
 const serveWorkers = 32
 
-// Serve accepts connections on l and dispatches their requests to srv until
+// Handler answers one protocol request. *Server is the canonical
+// implementation; repl.Node satisfies it too, interposing replication
+// control (op dispatch, leader fencing) in front of a swappable inner
+// server — which is how one listener keeps serving across a promotion.
+type Handler interface {
+	Handle(req *Request) *Response
+}
+
+// netStatsServer resolves the *Server whose transport counters a handler's
+// traffic should feed: the handler itself, or — for wrappers like
+// repl.Node — whatever current server it exposes. May be nil (counters are
+// then skipped; the note methods are nil-receiver-safe).
+func netStatsServer(h Handler) *Server {
+	switch v := h.(type) {
+	case *Server:
+		return v
+	case interface{ CurrentServer() *Server }:
+		return v.CurrentServer()
+	}
+	return nil
+}
+
+// Serve accepts connections on l and dispatches their requests to h until
 // l is closed. It is intended to run in its own goroutine.
 //
 // Each connection runs the multiplexed protocol: a reader goroutine decodes
@@ -22,18 +44,19 @@ const serveWorkers = 32
 // responses into single writev-style socket flushes. Responses are sent as
 // workers finish — out of request order when a fast request overtakes a
 // slow one — and the client's demux matches them back up by seq.
-func Serve(l net.Listener, srv *Server) {
+func Serve(l net.Listener, h Handler) {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return
 		}
-		go serveConn(conn, srv)
+		go serveConn(conn, h)
 	}
 }
 
-func serveConn(conn net.Conn, srv *Server) {
+func serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
+	srv := netStatsServer(h)
 
 	// respCh carries framed, pooled response buffers from workers to the
 	// writer. Buffered so a worker finishing mid-flush does not block.
@@ -66,7 +89,7 @@ func serveConn(conn net.Conn, srv *Server) {
 			if err := req.unmarshal(body, false); err != nil {
 				resp = &Response{Err: err.Error()}
 			} else {
-				resp = srv.Handle(&req)
+				resp = h.Handle(&req)
 			}
 			out := getBuf()
 			*out = appendResponseFrame((*out)[:0], seq, resp)

@@ -20,8 +20,11 @@ import (
 // DefaultServerBufferPages matches the paper's 36MB server pool.
 const DefaultServerBufferPages = 4608
 
-// catalogPage is the fixed page holding the serialized catalog.
-const catalogPage disk.PageID = 1
+// CatalogPage is the fixed page holding the serialized catalog. Exported
+// for internal/repl: the catalog is written straight to the volume rather
+// than WAL-logged, so replication must ship its page image out of band
+// (piggybacked on ship frames) and install it at the same place.
+const CatalogPage disk.PageID = 1
 
 // catalog is the server's persistent name service: named roots (OID plus an
 // auxiliary word, which QuickStore uses for the root's virtual address),
@@ -95,6 +98,10 @@ type Server struct {
 	lastTxLSN map[uint64]wal.LSN
 	active    map[uint64]bool
 
+	// repl, when non-nil, gates every commit ack on a replication quorum
+	// (set via SetRepl; read under mu).
+	repl QuorumWaiter
+
 	// catVersion (under mu) counts catalog mutations; catWritten (under
 	// catMu) is the highest version written to the catalog page. Commits
 	// skip the catalog write when nothing changed since the last one.
@@ -120,22 +127,106 @@ type Server struct {
 
 // noteNetRequest tracks a decoded request entering server-side dispatch.
 // The high-water store is racy by design: the mark is advisory telemetry,
-// and a lost update can only under-report by the width of the race.
+// and a lost update can only under-report by the width of the race. The
+// nil-receiver guards let Serve run handlers that expose no stats server
+// (a follower repl.Node before promotion).
 func (s *Server) noteNetRequest() {
+	if s == nil {
+		return
+	}
 	if n := s.netInFlight.Add(1); n > s.netInFlightHW.Load() {
 		s.netInFlightHW.Store(n)
 	}
 }
 
 // doneNetRequest balances noteNetRequest when the worker finishes.
-func (s *Server) doneNetRequest() { s.netInFlight.Add(-1) }
+func (s *Server) doneNetRequest() {
+	if s == nil {
+		return
+	}
+	s.netInFlight.Add(-1)
+}
 
 // noteNetFlush records one coalesced response flush of `frames` frames and
 // `bytes` total bytes.
 func (s *Server) noteNetFlush(frames, bytes int64) {
+	if s == nil {
+		return
+	}
 	s.netFlushes.Add(1)
 	s.netFrames.Add(frames)
 	s.netBytesOut.Add(bytes)
+}
+
+// ReplStats is the replication slice of ServerStats, produced by the
+// attached QuorumWaiter (internal/repl). Defined here so the stats payload
+// marshals from one package without an esm→repl import cycle.
+type ReplStats struct {
+	Role           string `json:"role"`
+	Term           uint64 `json:"term"`
+	Leader         string `json:"leader"`
+	Quorum         int    `json:"quorum"`
+	Followers      int    `json:"followers"`
+	Elections      int64  `json:"elections"`
+	QuorumCommits  int64  `json:"quorum_commits"`
+	QuorumWaitNs   int64  `json:"quorum_wait_ns"`
+	ShipRounds     int64  `json:"ship_rounds"`
+	ShipBytes      int64  `json:"ship_bytes"`
+	SnapshotsSent  int64  `json:"snapshots_sent"`
+	DurableLSN     uint64 `json:"durable_lsn"`
+	QuorumLSN      uint64 `json:"quorum_lsn"`
+	MaxFollowerGap uint64 `json:"max_follower_gap"` // LSN bytes the laggiest follower trails the leader's durable prefix
+}
+
+// QuorumWaiter gates commit acknowledgements on replication. WaitQuorum
+// returns once the log is durable through lsn AND the catalog is installed
+// at version catVersion or newer on the configured quorum of replicas
+// (counting the local one) — the catalog is a direct volume-page write,
+// never WAL-logged, so it is quorum-tracked by version rather than by LSN.
+// A WaitQuorum error means the commit must NOT be acked — the caller's
+// client sees the transaction as in doubt. Implemented by internal/repl's
+// Node; wired with SetRepl.
+type QuorumWaiter interface {
+	WaitQuorum(lsn wal.LSN, catVersion uint64) error
+	ReplStats() *ReplStats
+}
+
+// SetRepl attaches the replication quorum gate. Call before the server
+// serves traffic (or from the repl node's own promotion path, which owns
+// the server exclusively until it publishes it).
+func (s *Server) SetRepl(q QuorumWaiter) {
+	s.mu.Lock()
+	s.repl = q
+	s.mu.Unlock()
+}
+
+func (s *Server) replWaiter() QuorumWaiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl
+}
+
+// CatalogBlob returns the catalog's current version and serialization.
+// The replication shipper piggybacks it on ship frames when the version
+// moved: catalog durability is a direct volume-page write, not a WAL
+// record, so followers cannot recover it from shipped log bytes alone.
+func (s *Server) CatalogBlob() (uint64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blob, err := json.Marshal(&s.cat)
+	return s.catVersion, blob, err
+}
+
+// SetCatalogVersionFloor raises the catalog version counter to at least v.
+// The counter restarts at zero on every open; a promoted replication
+// follower carries the cluster's version lineage forward through it so
+// cross-term version comparisons stay monotone.
+func (s *Server) SetCatalogVersionFloor(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.catVersion < v {
+		s.catVersion = v
+	}
 }
 
 // ServerStats is the JSON payload returned in OpStats responses; it backs
@@ -164,6 +255,10 @@ type ServerStats struct {
 	NetFlushes    int64 `json:"net_flushes"`
 	NetFrames     int64 `json:"net_frames"`
 	NetBytesOut   int64 `json:"net_bytes_out"`
+
+	// Repl is present only when the server runs under internal/repl:
+	// quorum-commit, shipping, and election telemetry.
+	Repl *ReplStats `json:"repl,omitempty"`
 }
 
 // NewServer creates a server over a fresh volume: the catalog page is
@@ -177,8 +272,8 @@ func NewServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error)
 	if err != nil {
 		return nil, err
 	}
-	if pid != catalogPage {
-		return nil, fmt.Errorf("esm: catalog page allocated at %d, want %d", pid, catalogPage)
+	if pid != CatalogPage {
+		return nil, fmt.Errorf("esm: catalog page allocated at %d, want %d", pid, CatalogPage)
 	}
 	s.cat = catalog{
 		Roots:    map[string]rootEntry{},
@@ -199,7 +294,7 @@ func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error
 		return nil, err
 	}
 	buf := make([]byte, disk.PageSize)
-	if err := vol.ReadPage(catalogPage, buf); err != nil {
+	if err := vol.ReadPage(CatalogPage, buf); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(buf[:4])
@@ -317,7 +412,7 @@ func (s *Server) writeCatalogLocked() error {
 	}
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(blob)))
 	copy(buf[4:], blob)
-	return s.vol.WritePage(catalogPage, buf)
+	return s.vol.WritePage(CatalogPage, buf)
 }
 
 // writeCatalogIfDirty makes catalog changes durable if any happened since
@@ -347,7 +442,7 @@ func (s *Server) writeCatalogIfDirty() error {
 	}
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(blob)))
 	copy(buf[4:], blob)
-	if err := s.vol.WritePage(catalogPage, buf); err != nil {
+	if err := s.vol.WritePage(CatalogPage, buf); err != nil {
 		return err
 	}
 	s.catWritten = v
@@ -498,6 +593,9 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			NetFlushes:     s.netFlushes.Load(),
 			NetFrames:      s.netFrames.Load(),
 			NetBytesOut:    s.netBytesOut.Load(),
+		}
+		if q := s.replWaiter(); q != nil {
+			st.Repl = q.ReplStats()
 		}
 		blob, err := json.Marshal(&st)
 		if err != nil {
@@ -704,9 +802,32 @@ func (s *Server) commit(tx uint64, data []byte) error {
 		return err
 	}
 	// Catalog changes (files, roots, counters) become durable with the
-	// transaction, not just at checkpoints.
+	// transaction, not just at checkpoints — and before the quorum gate
+	// below, so the replicated ack covers them too.
 	if err := s.writeCatalogIfDirty(); err != nil {
 		return err
+	}
+	// Quorum-before-ack: with replication attached, local durability is not
+	// commit durability — the ack waits until a quorum of replicas reports
+	// the log durable through this commit's LSN and the catalog installed
+	// at this commit's version (the catalog is a direct volume-page write,
+	// never WAL-logged, so it ships out of band and is tracked by version).
+	// The wait piggybacks on the shipper's batching the same way
+	// FlushCommit piggybacks on group commit: a burst of commits costs one
+	// replication round-trip.
+	if q := s.replWaiter(); q != nil {
+		s.mu.Lock()
+		catV := s.catVersion
+		s.mu.Unlock()
+		if err := s.fault.Hit(faultinject.PtReplBeforeQuorum); err != nil {
+			return err
+		}
+		if err := q.WaitQuorum(lsn, catV); err != nil {
+			return err
+		}
+		if err := s.fault.Hit(faultinject.PtReplAfterQuorum); err != nil {
+			return err
+		}
 	}
 	s.mu.Lock()
 	delete(s.active, tx)
@@ -807,6 +928,11 @@ func (s *Server) DropCaches() error {
 	s.pool.DropAll()
 	return nil
 }
+
+// FlushPool writes every dirty buffered page to the volume. Replication
+// snapshots need it: raw large-object pages are written whole and never
+// WAL-logged, so only the volume — not the log — carries their content.
+func (s *Server) FlushPool() error { return s.pool.FlushAll() }
 
 // Volume exposes the underlying volume (read-only use: sizing, verification).
 func (s *Server) Volume() disk.Volume { return s.vol }

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"quickstore/internal/faultinject"
+)
+
+// TestReplDrillQuiescentKill is the base case: no armed point, the leader
+// killed after a clean workload, every acked commit on the new leader.
+func TestReplDrillQuiescentKill(t *testing.T) {
+	rep, err := RunReplDrill(ReplDrillOpts{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v\ntrace: %v", rep.Violations, rep.Trace)
+	}
+	if !rep.ForcedKill || !rep.FailedOver {
+		t.Fatalf("drill did not fail over: %+v", rep)
+	}
+	if rep.Committed != 12 {
+		t.Fatalf("clean workload committed %d of 12", rep.Committed)
+	}
+}
+
+// TestReplDrillCrashPoints kills the leader at the commit-protocol and
+// replication points most likely to split an acked commit from its quorum.
+// The full registry matrix runs from the CLI (qsstore crashdrill -repl).
+func TestReplDrillCrashPoints(t *testing.T) {
+	points := []string{
+		faultinject.PtCommitBeforeFlush,
+		faultinject.PtCommitAfterFlush,
+		faultinject.PtReplBeforeQuorum,
+		faultinject.PtReplAfterQuorum,
+		faultinject.PtReplShip,
+	}
+	for _, pt := range points {
+		for seed := int64(1); seed <= 3; seed++ {
+			rep, err := RunReplDrill(ReplDrillOpts{Seed: seed, Point: pt, HitN: 2})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pt, seed, err)
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("%s seed %d: violations %v\ntrace: %v", pt, seed, rep.Violations, rep.Trace)
+			}
+			if !rep.FailedOver {
+				t.Fatalf("%s seed %d: no failover: %+v", pt, seed, rep)
+			}
+		}
+	}
+}
+
+// TestReplBenchSmoke exercises the throughput comparison end to end with a
+// tiny workload; the acceptance ratio is checked by the CI bench run, not
+// here, where the numbers are noise.
+func TestReplBenchSmoke(t *testing.T) {
+	rep, err := RunReplBench(ReplBenchOpts{
+		Sessions:       []int{1, 2},
+		TxnsPerSession: 5,
+		FlushDelay:     50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.SingleOpsPerSec <= 0 || p.QuorumOpsPerSec <= 0 {
+			t.Fatalf("degenerate measurement: %+v", p)
+		}
+		if p.ShipRounds == 0 {
+			t.Fatalf("replicated run shipped nothing: %+v", p)
+		}
+	}
+}

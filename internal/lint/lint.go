@@ -6,8 +6,10 @@
 // hangs on but no general-purpose tool checks — the documented lock order
 // (DESIGN.md §10: catMu → mu → wal/volume, latches apart from both), the
 // "all disk I/O outside latches" rule, atomic-access discipline on stats
-// counters, unchecked errors on durability-critical calls, and the crash
-// point registry (internal/faultinject/points.go). Each finding is emitted
+// counters, unchecked errors on durability-critical calls, the crash
+// point registry (internal/faultinject/points.go), and the replicated
+// commit path's quorum-before-ack rule (DESIGN.md §14). Each finding is
+// emitted
 // as `file:line: [check] message`; a `//qsvet:ignore check reason`
 // directive on (or immediately above) the flagged line suppresses it.
 package lint
@@ -51,6 +53,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerAtomicField(),
 		AnalyzerMustCheck(),
 		AnalyzerCrashPoint(),
+		AnalyzerQuorumAck(),
 	}
 }
 

@@ -59,6 +59,7 @@ func TestGoldenFixtures(t *testing.T) {
 		"atomicfield": AnalyzerAtomicField(),
 		"mustcheck":   AnalyzerMustCheck(),
 		"crashpoint":  AnalyzerCrashPoint(),
+		"quorumack":   AnalyzerQuorumAck(),
 	}
 	for fixture, analyzer := range fixtures {
 		t.Run(fixture, func(t *testing.T) {

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerQuorumAck enforces the replicated commit's quorum-before-ack
+// discipline (DESIGN.md §14): with replication attached, local durability
+// is not commit durability, so every path that acks OpCommit success must
+// pass through the QuorumWaiter gate — a call to WaitQuorum — first. A
+// success return the gate does not dominate acks a commit a leader crash
+// can lose: the client believes it durable while no follower holds it.
+//
+// The check walks every `case OpCommit:` dispatch clause and the commit
+// implementations it tail-returns (`return nil, s.commit(...)`, followed
+// transitively through same-package tail calls), and flags any literal
+// nil-error return not preceded — in an enclosing statement sequence — by
+// a statement containing a WaitQuorum call. The gate legitimately hides
+// behind a `replWaiter() != nil` guard (single-node mode skips it by
+// design), so the analyzer checks gate dominance in the statement
+// structure, not path feasibility through the guard.
+func AnalyzerQuorumAck() *Analyzer {
+	return &Analyzer{
+		Name: "quorumack",
+		Doc:  "OpCommit success paths must be dominated by a WaitQuorum gate: acks before quorum are lost on failover",
+		Run:  runQuorumAck,
+	}
+}
+
+func runQuorumAck(prog *Program, report func(pos token.Pos, format string, args ...interface{})) {
+	for _, pkg := range prog.Packages {
+		decls := packageFuncDecls(pkg)
+		checked := map[*ast.FuncDecl]bool{}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					cc, ok := n.(*ast.CaseClause)
+					if !ok || !clauseNamesOpCommit(pkg, cc) {
+						return true
+					}
+					// Inline acks in the dispatch clause itself.
+					if funcLastResultIsError(pkg, fd) {
+						quorumScan(pkg, cc.Body, false, func(pos token.Pos) {
+							report(pos, "OpCommit acked without a WaitQuorum gate: a commit acknowledged here can be lost on failover")
+						})
+					}
+					// The implementations the clause delegates the ack
+					// to: same-package functions whose error is returned
+					// as the clause's (tail position), followed through
+					// their own tail calls.
+					work := tailCallees(pkg, decls, cc.Body)
+					for len(work) > 0 {
+						impl := work[0]
+						work = work[1:]
+						if checked[impl] {
+							continue
+						}
+						checked[impl] = true
+						if !funcLastResultIsError(pkg, impl) {
+							continue
+						}
+						quorumScan(pkg, impl.Body.List, false, func(pos token.Pos) {
+							report(pos, "commit success path is not dominated by a WaitQuorum gate: the ack can outrun quorum durability and be lost on failover")
+						})
+						work = append(work, tailCallees(pkg, decls, impl.Body.List)...)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// packageFuncDecls maps each function object declared in pkg to its decl,
+// so dispatch targets can be resolved to bodies.
+func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// clauseNamesOpCommit reports whether the case clause matches on a
+// constant named OpCommit.
+func clauseNamesOpCommit(pkg *Package, cc *ast.CaseClause) bool {
+	for _, e := range cc.List {
+		var obj types.Object
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj = pkg.Info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = pkg.Info.Uses[e.Sel]
+		}
+		if c, ok := obj.(*types.Const); ok && c.Name() == "OpCommit" {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLastResultIsError reports whether fd's final result is error — the
+// slot whose literal nil is a success ack.
+func funcLastResultIsError(pkg *Package, fd *ast.FuncDecl) bool {
+	fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// tailCallees collects the same-package functions whose error a return in
+// stmts forwards directly (`return ..., s.commit(...)`): the ack the
+// client sees is whatever those functions return, so they inherit the
+// gate obligation.
+func tailCallees(pkg *Package, decls map[*types.Func]*ast.FuncDecl, stmts []ast.Stmt) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				return true
+			}
+			call, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pkg, call)
+			if fn == nil || fn.Pkg() != pkg.Types {
+				return true
+			}
+			if fd := decls[fn]; fd != nil {
+				out = append(out, fd)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// quorumScan walks a statement sequence in order, flagging every literal
+// nil-error return (success ack) no earlier statement containing a
+// WaitQuorum call dominates. seen carries gates established by enclosing
+// sequences; the updated value is returned so siblings after a nested
+// gate see it. Function literals are skipped: their returns are not the
+// commit path's.
+func quorumScan(pkg *Package, stmts []ast.Stmt, seen bool, flag func(pos token.Pos)) bool {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.ReturnStmt:
+			if !seen && returnsNilError(pkg, st) {
+				flag(st.Pos())
+			}
+		case *ast.BlockStmt:
+			quorumScan(pkg, st.List, seen, flag)
+		case *ast.IfStmt:
+			// A gate in the init or condition (`if err :=
+			// q.WaitQuorum(...); err == nil`) dominates both branches.
+			inner := seen
+			if (st.Init != nil && containsWaitQuorum(pkg, st.Init)) || containsWaitQuorum(pkg, st.Cond) {
+				inner = true
+			}
+			quorumScan(pkg, st.Body.List, inner, flag)
+			if st.Else != nil {
+				quorumScan(pkg, []ast.Stmt{st.Else}, inner, flag)
+			}
+		case *ast.ForStmt:
+			quorumScan(pkg, st.Body.List, seen, flag)
+		case *ast.RangeStmt:
+			quorumScan(pkg, st.Body.List, seen, flag)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					quorumScan(pkg, cc.Body, seen, flag)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					quorumScan(pkg, cc.Body, seen, flag)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					quorumScan(pkg, cc.Body, seen, flag)
+				}
+			}
+		case *ast.LabeledStmt:
+			quorumScan(pkg, []ast.Stmt{st.Stmt}, seen, flag)
+		}
+		if containsWaitQuorum(pkg, st) {
+			seen = true
+		}
+	}
+	return seen
+}
+
+// returnsNilError reports whether ret's final result — assumed the error
+// slot, per funcLastResultIsError on the enclosing function — is the
+// predeclared nil.
+func returnsNilError(pkg *Package, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	tv, ok := pkg.Info.Types[ret.Results[len(ret.Results)-1]]
+	return ok && tv.IsNil()
+}
+
+// containsWaitQuorum reports whether n's subtree calls a method named
+// WaitQuorum — the quorum gate, whether through the QuorumWaiter
+// interface or a concrete node.
+func containsWaitQuorum(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := staticCallee(pkg, call); fn != nil && fn.Name() == "WaitQuorum" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

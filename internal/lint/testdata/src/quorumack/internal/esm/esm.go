@@ -1,0 +1,88 @@
+// Package esm is the quorumack fixture: a commit dispatch with gated,
+// ungated, early-ack, and deliberately suppressed ack paths.
+package esm
+
+type Op int
+
+const (
+	OpBegin Op = iota
+	OpCommit
+)
+
+type Request struct {
+	Op Op
+	Tx uint64
+}
+
+type Response struct{ N uint64 }
+
+// QuorumWaiter mirrors the real gate interface: WaitQuorum blocks until a
+// quorum of replicas holds the commit durable.
+type QuorumWaiter interface {
+	WaitQuorum(lsn, catVersion uint64) error
+}
+
+type Server struct {
+	repl QuorumWaiter
+	lsn  uint64
+}
+
+func (s *Server) handle(req *Request) (*Response, error) {
+	switch req.Op {
+	case OpBegin:
+		return &Response{N: req.Tx}, nil // not a commit ack: clean
+	case OpCommit:
+		if req.Tx == 0 {
+			return &Response{}, nil // inline ack, no gate: violation
+		}
+		if req.Tx == 1 {
+			return nil, s.commitUngated(req)
+		}
+		if req.Tx == 2 {
+			return nil, s.commitEarly(req)
+		}
+		if req.Tx == 3 {
+			return nil, s.commitMaint(req)
+		}
+		return nil, s.commitGated(req)
+	}
+	return nil, nil
+}
+
+// commitGated acks only behind the quorum gate (which legitimately hides
+// behind the nil-waiter guard — single-node mode): clean.
+func (s *Server) commitGated(req *Request) error {
+	s.lsn++
+	if q := s.repl; q != nil {
+		if err := q.WaitQuorum(s.lsn, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitUngated acks with no gate anywhere: violation.
+func (s *Server) commitUngated(req *Request) error {
+	s.lsn++
+	return nil
+}
+
+// commitEarly has the gate but leaks a success return before it.
+func (s *Server) commitEarly(req *Request) error {
+	s.lsn++
+	if req.Tx%2 == 0 {
+		return nil // acked before the gate below: violation
+	}
+	if err := s.repl.WaitQuorum(s.lsn, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// commitMaint is a deliberate pre-replication maintenance path; the
+// directive keeps it out of the findings.
+func (s *Server) commitMaint(req *Request) error {
+	s.lsn++
+	//qsvet:ignore quorumack maintenance path runs before replication attaches
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package repl replicates the page server: the leader ships its WAL byte
+// stream to follower nodes over the esm protocol, gates every commit ack on
+// a configurable quorum of durable replicas, and promotes a follower via a
+// raft-lite election (term + highest-durable-LSN wins) when the leader
+// dies. See DESIGN.md §14 for the model.
+package repl
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"quickstore/internal/esm"
+	"quickstore/internal/wal"
+)
+
+// OpReplAck modes (Request.Mode).
+const (
+	// ModeStatus probes a node: the response Data is a JSON Status.
+	ModeStatus = iota
+	// ModeVote requests a vote: Tx = candidate term, N = candidate durable
+	// LSN, Name = candidate id. Response N is 1 when granted; Data carries
+	// the voter's term as a little-endian u64 either way.
+	ModeVote
+	// ModeRegister announces a follower to the leader: Name = "id\x00addr".
+	// The leader dials addr back and starts shipping (snapshot first).
+	ModeRegister
+)
+
+// Status is the JSON payload answering an OpReplAck status probe.
+type Status struct {
+	ID      string `json:"id"`
+	Role    string `json:"role"`
+	Term    uint64 `json:"term"`
+	Durable uint64 `json:"durable_lsn"`
+	Leader  string `json:"leader"`
+}
+
+// Member is one cluster node as carried in ship and snapshot frames, so
+// followers learn the full membership (and can campaign against it) without
+// a separate configuration channel.
+type Member struct {
+	ID   string
+	Addr string // dialable address; "" for in-process members
+}
+
+// shipPayload is the body of an OpReplAppend request. The log chunk starts
+// at the LSN in the request's N field; Catalog, when non-nil, is the
+// leader's serialized catalog (the catalog is a direct volume-page write on
+// the leader, never WAL-logged, so it must ride out of band).
+type shipPayload struct {
+	LeaderDurable wal.LSN
+	CatVersion    uint64
+	Log           []byte
+	Catalog       []byte
+	Members       []Member
+}
+
+// snapPayload is the body of an OpReplSnapshot request: the leader's full
+// durable log from LogStart plus every volume page image, replacing the
+// follower's state wholesale.
+type snapPayload struct {
+	LogStart   wal.LSN
+	CatVersion uint64
+	Log        []byte
+	NumPages   uint32 // leader volume geometry; follower pages beyond this are zeroed
+	Pages      []pageImage
+	Members    []Member
+}
+
+type pageImage struct {
+	ID   uint32
+	Data []byte // exactly pageSize bytes
+}
+
+var errShortPayload = errors.New("repl: truncated payload")
+
+func appendU32(dst []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func appendMembers(dst []byte, ms []Member) []byte {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], uint16(len(ms)))
+	dst = append(dst, tmp[:]...)
+	for _, m := range ms {
+		binary.LittleEndian.PutUint16(tmp[:], uint16(len(m.ID)))
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, m.ID...)
+		binary.LittleEndian.PutUint16(tmp[:], uint16(len(m.Addr)))
+		dst = append(dst, tmp[:]...)
+		dst = append(dst, m.Addr...)
+	}
+	return dst
+}
+
+// cursor is a bounds-checked reader over a payload; every take fails
+// cleanly on truncation instead of slicing past the end (the fuzzers feed
+// arbitrary prefixes of valid frames).
+type cursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.buf)-c.off < n {
+		c.err = errShortPayload
+		return nil
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	return c.take(int(n))
+}
+
+func (c *cursor) members() []Member {
+	n := int(c.u16())
+	var ms []Member
+	for i := 0; i < n; i++ {
+		id := string(c.take(int(c.u16())))
+		addr := string(c.take(int(c.u16())))
+		if c.err != nil {
+			return nil
+		}
+		ms = append(ms, Member{ID: id, Addr: addr})
+	}
+	return ms
+}
+
+func (p *shipPayload) marshal() []byte {
+	dst := make([]byte, 0, 32+len(p.Log)+len(p.Catalog))
+	dst = appendU64(dst, uint64(p.LeaderDurable))
+	dst = appendU64(dst, p.CatVersion)
+	dst = appendBytes(dst, p.Log)
+	dst = appendBytes(dst, p.Catalog)
+	return appendMembers(dst, p.Members)
+}
+
+func parseShip(buf []byte) (*shipPayload, error) {
+	c := cursor{buf: buf}
+	p := &shipPayload{
+		LeaderDurable: wal.LSN(c.u64()),
+		CatVersion:    c.u64(),
+		Log:           c.bytes(),
+		Catalog:       c.bytes(),
+	}
+	p.Members = c.members()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return p, nil
+}
+
+func (p *snapPayload) marshal(pageSize int) []byte {
+	dst := make([]byte, 0, 32+len(p.Log)+len(p.Pages)*(4+pageSize))
+	dst = appendU64(dst, uint64(p.LogStart))
+	dst = appendU64(dst, p.CatVersion)
+	dst = appendBytes(dst, p.Log)
+	dst = appendU32(dst, p.NumPages)
+	dst = appendU32(dst, uint32(len(p.Pages)))
+	for _, pg := range p.Pages {
+		dst = appendU32(dst, pg.ID)
+		dst = append(dst, pg.Data...)
+	}
+	return appendMembers(dst, p.Members)
+}
+
+func parseSnap(buf []byte, pageSize int) (*snapPayload, error) {
+	c := cursor{buf: buf}
+	p := &snapPayload{
+		LogStart:   wal.LSN(c.u64()),
+		CatVersion: c.u64(),
+		Log:        c.bytes(),
+	}
+	p.NumPages = c.u32()
+	n := int(c.u32())
+	for i := 0; i < n; i++ {
+		id := c.u32()
+		data := c.take(pageSize)
+		if c.err != nil {
+			return nil, c.err
+		}
+		p.Pages = append(p.Pages, pageImage{ID: id, Data: data})
+	}
+	p.Members = c.members()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return p, nil
+}
+
+// Fencing and redirect errors travel the protocol as strings; the prefixes
+// below are the contract the Director and the shipper parse.
+const (
+	staleTermPrefix = "repl: stale term"
+	notLeaderPrefix = "repl: not leader"
+)
+
+func staleTermError(got, current uint64) string {
+	return fmt.Sprintf("%s %d (current term %d)", staleTermPrefix, got, current)
+}
+
+func notLeaderError(leaderID, leaderAddr string) string {
+	if leaderID == "" {
+		return notLeaderPrefix + "; no leader known (election pending)"
+	}
+	return fmt.Sprintf("%s; leader=%s addr=%s", notLeaderPrefix, leaderID, leaderAddr)
+}
+
+// IsNotLeader reports whether a Response.Err is a leader redirect.
+func IsNotLeader(errStr string) bool { return strings.HasPrefix(errStr, notLeaderPrefix) }
+
+// IsStaleTerm reports whether a Response.Err is a term fence.
+func IsStaleTerm(errStr string) bool { return strings.HasPrefix(errStr, staleTermPrefix) }
+
+// leaderAddrFrom extracts the redirect target from a not-leader error;
+// empty when the rejecting node knew no leader.
+func leaderAddrFrom(errStr string) string {
+	i := strings.Index(errStr, "addr=")
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSpace(errStr[i+len("addr="):])
+}
+
+// statusJSON marshals a Status; the inverse of ParseStatus.
+func statusJSON(st *Status) []byte {
+	b, _ := json.Marshal(st)
+	return b
+}
+
+// ParseStatus decodes an OpReplAck status response payload.
+func ParseStatus(data []byte) (*Status, error) {
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("repl: bad status payload: %w", err)
+	}
+	return &st, nil
+}
+
+// StatusOf probes a node through tr.
+func StatusOf(tr esm.Transport) (*Status, error) {
+	resp, err := tr.Call(&esm.Request{Op: esm.OpReplAck, Mode: ModeStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return ParseStatus(resp.Data)
+}

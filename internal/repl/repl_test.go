@@ -1,0 +1,402 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"quickstore/internal/core"
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/faultinject"
+	"quickstore/internal/wal"
+)
+
+// testNode bundles one cluster member's storage with its repl node.
+type testNode struct {
+	vol   *disk.MemVolume
+	log   *wal.Log
+	plane *faultinject.Plane
+	node  *Node
+}
+
+func testCfg(id string, quorum int, plane *faultinject.Plane) Config {
+	return Config{
+		ID:                id,
+		Quorum:            quorum,
+		HeartbeatInterval: 10 * time.Millisecond,
+		QuorumTimeout:     5 * time.Second,
+		Server:            esm.ServerConfig{BufferPages: 64},
+		Fault:             plane,
+	}
+}
+
+// newCluster builds a leader plus followers-1 follower nodes, fully wired
+// with in-process transports.
+func newCluster(t *testing.T, n, quorum int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		tn := &testNode{
+			vol:   disk.NewMemVolume(),
+			log:   wal.NewMemLog(),
+			plane: faultinject.New(int64(i + 1)),
+		}
+		id := fmt.Sprintf("n%d", i+1)
+		cfg := testCfg(id, quorum, tn.plane)
+		if i == 0 {
+			scfg := cfg.Server
+			scfg.Fault = tn.plane
+			srv, err := esm.NewServer(tn.vol, tn.log, scfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tn.node = NewLeader(srv, cfg)
+		} else {
+			tn.node = NewFollower(tn.vol, tn.log, cfg)
+		}
+		nodes[i] = tn
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.node.AddPeer(b.node.ID(), "", b.node.Transport())
+			}
+		}
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.node.Close()
+		}
+	})
+	return nodes
+}
+
+// waitConverged blocks until every node's durable LSN matches the
+// leader's (nodes[0]).
+func waitConverged(t *testing.T, nodes []*testNode) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		target := nodes[0].node.DurableLSN()
+		ok := true
+		for _, tn := range nodes[1:] {
+			if tn.log.FlushedLSN() != target {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster never converged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func kill(tn *testNode) {
+	tn.plane.ArmCrash("test.kill", 1)
+	tn.plane.Hit("test.kill")
+}
+
+// openStore attaches a full QuickStore session through tr; the core layer's
+// diff-based commit logs every changed page byte, which is exactly what log
+// shipping needs for followers to reconstruct pages at promotion.
+func openStore(t *testing.T, tr esm.Transport) *core.Store {
+	t.Helper()
+	c := esm.NewClient(tr, esm.ClientConfig{BufferPages: 64})
+	s, err := core.Open(c, core.Config{})
+	if err != nil {
+		s, err = core.New(c, core.Config{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// putValue commits one named object through tr.
+func putValue(t *testing.T, tr esm.Transport, name, value string) {
+	t.Helper()
+	s := openStore(t, tr)
+	if err := s.Begin(); err != nil {
+		t.Fatalf("put %s: begin: %v", name, err)
+	}
+	cl := s.NewCluster()
+	ref, err := s.Alloc(cl, 72, nil)
+	if err != nil {
+		t.Fatalf("put %s: alloc: %v", name, err)
+	}
+	buf := make([]byte, 72)
+	buf[0] = byte(len(value))
+	copy(buf[1:], value)
+	if err := s.Space().WriteBytes(ref, buf); err != nil {
+		t.Fatalf("put %s: write: %v", name, err)
+	}
+	if err := s.SetRoot(name, ref); err != nil {
+		t.Fatalf("put %s: set root: %v", name, err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("put %s: commit: %v", name, err)
+	}
+}
+
+// getValue reads a named object back through tr.
+func getValue(t *testing.T, tr esm.Transport, name string) (string, error) {
+	t.Helper()
+	s := openStore(t, tr)
+	if err := s.Begin(); err != nil {
+		return "", err
+	}
+	defer s.Abort()
+	ref, err := s.Root(name)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, 72)
+	if err := s.Space().ReadInto(ref, buf); err != nil {
+		return "", err
+	}
+	n := int(buf[0])
+	if n > 71 {
+		return "", fmt.Errorf("corrupt payload length %d", n)
+	}
+	return string(buf[1 : 1+n]), nil
+}
+
+func TestQuorumCommitReplicates(t *testing.T) {
+	nodes := newCluster(t, 3, 2)
+	leader := nodes[0].node
+	putValue(t, leader.Transport(), "a", "alpha")
+	putValue(t, leader.Transport(), "b", "beta")
+
+	st := leader.ReplStats()
+	if st.QuorumCommits < 2 {
+		t.Fatalf("quorum commits = %d, want >= 2", st.QuorumCommits)
+	}
+	// With quorum 2 of 3, at least one follower is durable through the
+	// last commit at ack time; the heartbeat catches the other up. Wait
+	// for full convergence, then check byte-for-byte log equality.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if nodes[1].log.FlushedLSN() == leader.DurableLSN() &&
+			nodes[2].log.FlushedLSN() == leader.DurableLSN() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never converged: leader=%d f1=%d f2=%d",
+				leader.DurableLSN(), nodes[1].log.FlushedLSN(), nodes[2].log.FlushedLSN())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, err := getValue(t, leader.Transport(), "a"); err != nil || v != "alpha" {
+		t.Fatalf("read a = %q, %v", v, err)
+	}
+}
+
+func TestFollowerRedirectsClients(t *testing.T) {
+	nodes := newCluster(t, 3, 2)
+	follower := nodes[1].node
+	resp := follower.Handle(&esm.Request{Op: esm.OpBegin})
+	if !IsNotLeader(resp.Err) {
+		t.Fatalf("follower answered a client op: %+v", resp)
+	}
+	// A Director pointed at the follower first still lands on the leader.
+	d := NewDirector([]Endpoint{
+		{ID: "n2", Tr: nodes[1].node.Transport()},
+		{ID: "n3", Tr: nodes[2].node.Transport()},
+		{ID: "n1", Tr: nodes[0].node.Transport()},
+	}, DirectorConfig{})
+	putValue(t, d, "r", "routed")
+	if v, err := getValue(t, d, "r"); err != nil || v != "routed" {
+		t.Fatalf("read via director = %q, %v", v, err)
+	}
+}
+
+func TestFailoverPreservesAckedCommits(t *testing.T) {
+	nodes := newCluster(t, 3, 2)
+	leader := nodes[0].node
+	for i := 0; i < 8; i++ {
+		putValue(t, leader.Transport(), fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	kill(nodes[0])
+
+	// Elect the follower with the longest durable log; with quorum 2 it is
+	// guaranteed to hold every acked commit. It may still be denied when
+	// the OTHER follower holds a newer catalog (the catalog ships out of
+	// band) — then that one must win instead.
+	best, other := nodes[1], nodes[2]
+	if other.log.FlushedLSN() > best.log.FlushedLSN() {
+		best, other = other, best
+	}
+	if err := best.node.Campaign(); err != nil {
+		t.Logf("campaign on %s denied (%v); trying %s", best.node.ID(), err, other.node.ID())
+		best = other
+		if err := best.node.Campaign(); err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+	}
+	if best.node.Role() != RoleLeader {
+		t.Fatalf("campaign won but role = %v", best.node.Role())
+	}
+	if best.node.Term() < 2 {
+		t.Fatalf("term after failover = %d, want >= 2", best.node.Term())
+	}
+
+	// Clients re-dial through the Director and find the new leader.
+	d := NewDirector([]Endpoint{
+		{ID: "n1", Tr: nodes[0].node.Transport()},
+		{ID: "n2", Tr: nodes[1].node.Transport()},
+		{ID: "n3", Tr: nodes[2].node.Transport()},
+	}, DirectorConfig{})
+	for i := 0; i < 8; i++ {
+		v, err := getValue(t, d, fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatalf("k%d lost after failover: %v", i, err)
+		}
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q after failover", i, v)
+		}
+	}
+	// And the new leader still reaches quorum (itself + the other
+	// follower) for fresh commits.
+	putValue(t, d, "post", "failover")
+	if v, err := getValue(t, d, "post"); err != nil || v != "failover" {
+		t.Fatalf("post-failover write = %q, %v", v, err)
+	}
+	if st := best.node.ReplStats(); st.Elections != 1 {
+		t.Fatalf("elections = %d, want 1", st.Elections)
+	}
+}
+
+func TestStaleLeaderIsFenced(t *testing.T) {
+	nodes := newCluster(t, 3, 2)
+	oldLeader := nodes[0].node
+	putValue(t, oldLeader.Transport(), "pre", "one")
+	waitConverged(t, nodes)
+
+	// Promote n2 while n1 is still alive: n1 must step down on the vote
+	// (term 2 > term 1) and refuse client work afterwards.
+	if err := nodes[1].node.Campaign(); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for oldLeader.Role() == RoleLeader {
+		if time.Now().After(deadline) {
+			t.Fatal("old leader never stepped down")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp := oldLeader.Handle(&esm.Request{Op: esm.OpBegin})
+	if !IsNotLeader(resp.Err) {
+		t.Fatalf("deposed leader still serving: %+v", resp)
+	}
+	// A ship frame stamped with the dead term is fenced.
+	resp = nodes[2].node.Handle(&esm.Request{Op: esm.OpReplAppend, Tx: 1, N: 1, Name: "n1", Data: (&shipPayload{}).marshal()})
+	if !IsStaleTerm(resp.Err) {
+		t.Fatalf("stale-term append accepted: %+v", resp)
+	}
+	// Data written under term 1 survives under term 2.
+	if v, err := getValue(t, nodes[1].node.Transport(), "pre"); err != nil || v != "one" {
+		t.Fatalf("pre-failover data = %q, %v", v, err)
+	}
+}
+
+func TestQuorumTimeoutWhenFollowersUnreachable(t *testing.T) {
+	vol := disk.NewMemVolume()
+	logf := wal.NewMemLog()
+	srv, err := esm.NewServer(vol, logf, esm.ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg("n1", 2, nil)
+	cfg.QuorumTimeout = 200 * time.Millisecond
+	leader := NewLeader(srv, cfg)
+	defer leader.Close()
+	// The only follower is dead from the start: quorum 2 is unreachable.
+	dead := &testNode{plane: faultinject.New(1)}
+	deadVol, deadLog := disk.NewMemVolume(), wal.NewMemLog()
+	dead.node = NewFollower(deadVol, deadLog, testCfg("n2", 2, dead.plane))
+	defer dead.node.Close()
+	kill(dead)
+	leader.AddPeer("n2", "", dead.node.Transport())
+
+	c := esm.NewClient(leader.Transport(), esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Commit()
+	if err == nil {
+		t.Fatal("commit acked without quorum")
+	}
+	if !strings.Contains(err.Error(), ErrQuorumTimeout.Error()) {
+		t.Fatalf("commit error = %v, want quorum timeout", err)
+	}
+}
+
+func TestLateFollowerCatchesUpBySnapshot(t *testing.T) {
+	nodes := newCluster(t, 1, 1)
+	leader := nodes[0].node
+	putValue(t, leader.Transport(), "old", "data")
+	// Checkpoint truncates the log: a follower attaching now cannot be
+	// served by log shipping alone.
+	if err := leader.CurrentServer().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if leader.log.StartLSN() == 1 {
+		t.Fatal("setup: checkpoint did not truncate the log")
+	}
+
+	fVol, fLog := disk.NewMemVolume(), wal.NewMemLog()
+	f := NewFollower(fVol, fLog, testCfg("n2", 1, nil))
+	defer f.Close()
+	f.AddPeer("n1", "", leader.Transport())
+	leader.AddPeer("n2", "", f.Transport())
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fLog.FlushedLSN() != leader.DurableLSN() || f.Role() != RoleFollower {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: leader=%d follower=%d",
+				leader.DurableLSN(), fLog.FlushedLSN())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := leader.ReplStats(); st.SnapshotsSent < 1 {
+		t.Fatalf("snapshots sent = %d, want >= 1", st.SnapshotsSent)
+	}
+	// Promote the snapshot-fed follower and read the data back from it.
+	if err := f.Campaign(); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if v, err := getValue(t, f.Transport(), "old"); err != nil || v != "data" {
+		t.Fatalf("snapshot data on promoted follower = %q, %v", v, err)
+	}
+}
+
+func TestWaitQuorumFencedOnStepDown(t *testing.T) {
+	nodes := newCluster(t, 3, 3) // quorum 3: unreachable once a follower dies
+	leader := nodes[0].node
+	kill(nodes[2])
+	done := make(chan error, 1)
+	go func() {
+		done <- leader.WaitQuorum(leader.DurableLSN(), 0)
+	}()
+	// A campaign from n2 deposes the leader; the in-flight wait must
+	// resolve to a fence, not hang until timeout.
+	time.Sleep(20 * time.Millisecond)
+	_ = nodes[1].node.Campaign() // may fail for lack of majority; the vote alone deposes n1
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("WaitQuorum = %v, want ErrFenced", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("WaitQuorum hung after step-down")
+	}
+}

@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file is the replication face of the log: a subscription cursor over
+// the durable byte stream (what a leader ships), raw record splicing (what
+// a follower applies), and wholesale snapshot installation (how a follower
+// is seeded when its cursor has fallen off the retained generation).
+//
+// The shipping contract is byte identity: a follower's log holds exactly
+// the leader's serialized bytes at exactly the same LSNs, so "durable
+// through LSN x" means the same thing on every replica and a promoted
+// follower can run ordinary restart recovery over its local copy.
+
+// ErrCompacted reports a replication cursor that points below the log's
+// retained generation: a checkpoint truncated those records away, so the
+// consumer must be re-seeded from a snapshot rather than a byte-range ship.
+var ErrCompacted = errors.New("wal: cursor predates retained log (snapshot required)")
+
+// ErrDiverged reports shipped bytes that disagree with the local log at the
+// same LSNs — two logs that stopped being byte-identical (a fenced leader's
+// stale tail, typically). The shipper's recovery is a snapshot reset.
+var ErrDiverged = errors.New("wal: shipped bytes diverge from local log")
+
+// StartLSN returns the first LSN of the retained generation. Cursors below
+// it are compacted.
+func (l *Log) StartLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LSN(1 + l.base)
+}
+
+// End returns the LSN the next appended record will receive (exclusive end
+// of the log's LSN space, durable or not).
+func (l *Log) End() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.endLocked()
+}
+
+func (l *Log) endLocked() LSN { return LSN(1 + l.base + len(l.buf)) }
+
+// durableCondLocked lazily creates the durability broadcast condition; the
+// log has no constructor that could do it eagerly (NewMemLog is a literal).
+func (l *Log) durableCondLocked() *sync.Cond {
+	if l.durable == nil {
+		l.durable = sync.NewCond(&l.mu)
+	}
+	return l.durable
+}
+
+// signalDurableLocked wakes subscription waiters and notify channels after
+// the durable prefix (or the retained generation) changed.
+func (l *Log) signalDurableLocked() {
+	if l.durable != nil {
+		l.durable.Broadcast()
+	}
+	for ch := range l.notify {
+		select {
+		case ch <- struct{}{}:
+		default: // already signaled; the receiver will see the latest state
+		}
+	}
+}
+
+// NotifyDurable registers ch for a non-blocking signal whenever the durable
+// prefix advances, the log truncates, or the log closes. A buffered channel
+// of capacity one never misses an edge; the receiver re-reads log state
+// rather than counting signals. Composes with select, unlike Wait.
+func (l *Log) NotifyDurable(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.notify == nil {
+		l.notify = make(map[chan struct{}]struct{})
+	}
+	l.notify[ch] = struct{}{}
+}
+
+// StopNotify removes a channel registered with NotifyDurable.
+func (l *Log) StopNotify(ch chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.notify, ch)
+}
+
+// Subscription is a cursor over the log's durable byte stream. It is owned
+// by one consumer goroutine; the log it reads is shared.
+type Subscription struct {
+	l   *Log
+	pos LSN
+}
+
+// Subscribe opens a cursor positioned at from (NilLSN means the beginning
+// of LSN space). Whether the position is still retained is discovered at
+// the first Next — a cursor below StartLSN reports ErrCompacted.
+func (l *Log) Subscribe(from LSN) *Subscription {
+	if from == NilLSN {
+		from = 1
+	}
+	return &Subscription{l: l, pos: from}
+}
+
+// Pos returns the cursor position: the LSN of the next byte Next will return.
+func (s *Subscription) Pos() LSN { return s.pos }
+
+// Next returns the next durable chunk at the cursor — whole records only,
+// at most max bytes (0 = unlimited) — and advances past it. A nil chunk
+// means the cursor has caught up with the durable prefix. ErrCompacted
+// means the position was truncated away and the consumer needs a snapshot.
+func (s *Subscription) Next(max int) ([]byte, error) {
+	chunk, err := s.l.DurableFrom(s.pos, max)
+	if err != nil {
+		return nil, err
+	}
+	s.pos += LSN(len(chunk))
+	if len(chunk) == 0 {
+		return nil, nil
+	}
+	return chunk, nil
+}
+
+// Wait blocks until the log has durable content past the cursor (or the
+// cursor's position has been compacted — either way Next has something to
+// say). It returns false once the log is closed.
+func (s *Subscription) Wait() bool {
+	l := s.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed {
+			return false
+		}
+		if s.pos < LSN(1+l.base) {
+			return true // compacted: Next reports ErrCompacted
+		}
+		if s.pos < LSN(1+l.base+l.flushed) {
+			return true
+		}
+		l.durableCondLocked().Wait()
+	}
+}
+
+// DurableFrom copies durable log content beginning at the record boundary
+// from, limited to max bytes (0 = unlimited) and always ending on a record
+// boundary, so the chunk can be CRC-verified and spliced by AppendRaw. A
+// nil chunk means nothing durable lies past from.
+func (l *Log) DurableFrom(from LSN, max int) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := LSN(1 + l.base)
+	if from < start {
+		return nil, ErrCompacted
+	}
+	off := int(from - start)
+	if off >= l.flushed {
+		return nil, nil
+	}
+	avail := l.buf[off:l.flushed]
+	// Walk record boundaries: the durable prefix can end mid-record after
+	// an injected torn flush, and a capped chunk must not split a record.
+	end := 0
+	for end < len(avail) {
+		_, n, err := unmarshal(avail[end:])
+		if err != nil {
+			break // torn durable tail: ship only what parses
+		}
+		if max > 0 && end+n > max {
+			break
+		}
+		end += n
+	}
+	if end == 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), avail[:end]...), nil
+}
+
+// AppendRaw splices pre-serialized records — shipped from a peer log whose
+// bytes this log mirrors — whose first record sits at start. Retransmits
+// are idempotent: bytes already present are verified, not re-appended. The
+// records are CRC-checked and must carry exactly the LSNs their offsets
+// imply; a start beyond End is a gap (the shipper must back up); content
+// that disagrees with bytes already present is ErrDiverged (the shipper
+// must snapshot-reset). The splice is buffered, not durable — the caller
+// flushes before acknowledging.
+func (l *Log) AppendRaw(start LSN, chunk []byte) error {
+	if len(chunk) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if start < LSN(1+l.base) {
+		return ErrCompacted
+	}
+	end := l.endLocked()
+	if start > end {
+		return fmt.Errorf("wal: ship gap: chunk starts at %d, log ends at %d", uint64(start), uint64(end))
+	}
+	overlap := int(end - start)
+	// Validate every record before mutating: parse + CRC via unmarshal,
+	// contiguous LSNs, and the overlap boundary landing on a record edge.
+	pos := start
+	recs := int64(0)
+	boundaryOK := overlap == 0
+	for off := 0; off < len(chunk); {
+		rec, n, err := unmarshal(chunk[off:])
+		if err != nil {
+			return fmt.Errorf("wal: shipped chunk at %d: %w", uint64(pos), err)
+		}
+		if rec.LSN != pos {
+			return fmt.Errorf("wal: shipped record carries LSN %d at position %d", uint64(rec.LSN), uint64(pos))
+		}
+		if off == overlap {
+			boundaryOK = true
+		}
+		if off >= overlap {
+			recs++
+		}
+		off += n
+		pos += LSN(n)
+	}
+	if overlap >= len(chunk) {
+		// Full retransmit: nothing new, but the bytes must agree.
+		off := int(start - LSN(1+l.base))
+		if !bytes.Equal(l.buf[off:off+len(chunk)], chunk) {
+			return ErrDiverged
+		}
+		return nil
+	}
+	if !boundaryOK {
+		return ErrDiverged // our tail ends inside one of the shipped records
+	}
+	if overlap > 0 {
+		off := int(start - LSN(1+l.base))
+		if !bytes.Equal(l.buf[off:off+overlap], chunk[:overlap]) {
+			return ErrDiverged
+		}
+	}
+	l.buf = append(l.buf, chunk[overlap:]...)
+	l.records += recs
+	l.bytes += int64(len(chunk) - overlap)
+	return nil
+}
+
+// LoadSnapshot replaces the log's retained content wholesale: generations
+// before start are considered truncated (never to be reused, exactly as
+// Truncate guarantees), and content becomes the retained bytes, flushed to
+// the backing file. This is how a follower is seeded when incremental
+// shipping cannot reach it (fresh replica, or its cursor was compacted).
+func (l *Log) LoadSnapshot(start LSN, content []byte) error {
+	if start == NilLSN {
+		return fmt.Errorf("wal: snapshot start at nil LSN")
+	}
+	pos := start
+	recs := int64(0)
+	for off := 0; off < len(content); {
+		rec, n, err := unmarshal(content[off:])
+		if err != nil {
+			return fmt.Errorf("wal: snapshot content at %d: %w", uint64(pos), err)
+		}
+		if rec.LSN != pos {
+			return fmt.Errorf("wal: snapshot record carries LSN %d at position %d", uint64(rec.LSN), uint64(pos))
+		}
+		off += n
+		pos += LSN(n)
+		recs++
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	l.base = int(start) - 1
+	l.buf = append(l.buf[:0], content...)
+	l.flushed = 0
+	l.records = recs
+	l.bytes = int64(len(content))
+	if l.file != nil {
+		if err := l.file.Truncate(0); err != nil {
+			return err
+		}
+	}
+	if err := l.flushLocked(len(l.buf)); err != nil {
+		return err
+	}
+	l.signalDurableLocked()
+	return nil
+}

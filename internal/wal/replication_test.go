@@ -1,0 +1,316 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func appendUpdate(l *Log, tx uint64, page uint32, payload byte) LSN {
+	return l.Append(Record{Tx: tx, Type: RecUpdate, Page: page, New: bytes.Repeat([]byte{payload}, 16)})
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	if err := l.Iterate(func(r Record) bool { recs = append(recs, r); return true }); err != nil {
+		t.Fatalf("iterate: %v", err)
+	}
+	return recs
+}
+
+// A follower that splices every shipped chunk ends up with a byte-identical
+// log: same records, same LSNs, retransmits ignored.
+func TestSubscribeShipAppendRaw(t *testing.T) {
+	leader := NewMemLog()
+	follower := NewMemLog()
+	sub := leader.Subscribe(NilLSN)
+
+	for i := 0; i < 5; i++ {
+		appendUpdate(leader, uint64(i+1), uint32(i), byte(i))
+	}
+	if err := leader.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chunk, err := sub.Next(0)
+	if err != nil || chunk == nil {
+		t.Fatalf("Next: chunk=%v err=%v", chunk, err)
+	}
+	if err := follower.AppendRaw(1, chunk); err != nil {
+		t.Fatalf("AppendRaw: %v", err)
+	}
+	// Retransmit of the same chunk is a verified no-op.
+	if err := follower.AppendRaw(1, chunk); err != nil {
+		t.Fatalf("retransmit: %v", err)
+	}
+	if err := follower.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	appendUpdate(leader, 9, 9, 0xAA)
+	if err := leader.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	start := sub.Pos()
+	chunk, err = sub.Next(0)
+	if err != nil || chunk == nil {
+		t.Fatalf("Next tail: chunk=%v err=%v", chunk, err)
+	}
+	if err := follower.AppendRaw(start, chunk); err != nil {
+		t.Fatalf("AppendRaw tail: %v", err)
+	}
+
+	lr, fr := collect(t, leader), collect(t, follower)
+	if len(lr) != len(fr) || len(lr) != 6 {
+		t.Fatalf("record counts: leader %d follower %d", len(lr), len(fr))
+	}
+	for i := range lr {
+		if lr[i].LSN != fr[i].LSN || lr[i].Tx != fr[i].Tx {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, lr[i], fr[i])
+		}
+	}
+	if follower.End() != leader.End() {
+		t.Fatalf("ends differ: %d vs %d", follower.End(), leader.End())
+	}
+	// Caught up: nothing more durable.
+	if chunk, err := sub.Next(0); err != nil || chunk != nil {
+		t.Fatalf("caught-up Next: chunk=%v err=%v", chunk, err)
+	}
+}
+
+// Next never splits a record and never returns unflushed bytes.
+func TestDurableFromBounds(t *testing.T) {
+	l := NewMemLog()
+	first := appendUpdate(l, 1, 1, 1)
+	appendUpdate(l, 2, 2, 2)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	unflushed := appendUpdate(l, 3, 3, 3)
+
+	sub := l.Subscribe(first)
+	chunk, err := sub.Next(1) // smaller than one record: nothing fits
+	if err != nil || chunk != nil {
+		t.Fatalf("tiny cap: chunk=%v err=%v", chunk, err)
+	}
+	one := int(l.FlushedLSN()-first) / 2
+	chunk, err = sub.Next(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk) != one {
+		t.Fatalf("capped chunk = %d bytes, want one record (%d)", len(chunk), one)
+	}
+	chunk, err = sub.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Pos() != l.FlushedLSN() {
+		t.Fatalf("cursor %d did not stop at the durable prefix %d", sub.Pos(), l.FlushedLSN())
+	}
+	if len(chunk) != one {
+		t.Fatalf("second chunk = %d bytes, want the remaining record (%d)", len(chunk), one)
+	}
+	_ = unflushed // its bytes must never have been returned; the cursor stops at FlushedLSN
+}
+
+func TestAppendRawGapAndDivergence(t *testing.T) {
+	leader := NewMemLog()
+	appendUpdate(leader, 1, 1, 1)
+	appendUpdate(leader, 2, 2, 2)
+	if err := leader.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chunk, err := leader.DurableFrom(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	follower := NewMemLog()
+	// Gap: the follower has nothing, a chunk starting past 1 must be refused.
+	half := len(chunk) / 2
+	if err := follower.AppendRaw(LSN(1+half), chunk[half:]); err == nil {
+		t.Fatal("gap chunk accepted")
+	}
+	if err := follower.AppendRaw(1, chunk); err != nil {
+		t.Fatal(err)
+	}
+	// Divergence: same LSNs, different bytes.
+	other := NewMemLog()
+	appendUpdate(other, 7, 7, 7)
+	appendUpdate(other, 8, 8, 8)
+	if err := other.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := other.DurableFrom(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.AppendRaw(1, stale); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("divergent retransmit: %v", err)
+	}
+	// Corrupt content is rejected before any mutation.
+	bad := append([]byte(nil), chunk...)
+	bad[len(bad)-1] ^= 0xFF
+	fresh := NewMemLog()
+	if err := fresh.AppendRaw(1, bad); err == nil {
+		t.Fatal("corrupt chunk accepted")
+	}
+	if fresh.End() != 1 {
+		t.Fatalf("corrupt chunk mutated the log: end=%d", fresh.End())
+	}
+}
+
+func TestSubscriptionCompactedAfterTruncate(t *testing.T) {
+	l := NewMemLog()
+	sub := l.Subscribe(NilLSN)
+	appendUpdate(l, 1, 1, 1)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(0); err != nil {
+		t.Fatal(err)
+	}
+	appendUpdate(l, 2, 2, 2)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("cursor in truncated generation: %v", err)
+	}
+}
+
+// Wait blocks until a flush lands and returns false once the log closes.
+func TestSubscriptionWait(t *testing.T) {
+	l := NewMemLog()
+	sub := l.Subscribe(NilLSN)
+	woke := make(chan bool, 1)
+	go func() { woke <- sub.Wait() }()
+	select {
+	case <-woke:
+		t.Fatal("Wait returned with nothing durable")
+	case <-time.After(20 * time.Millisecond):
+	}
+	appendUpdate(l, 1, 1, 1)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-woke:
+		if !ok {
+			t.Fatal("Wait returned closed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait missed the flush broadcast")
+	}
+	chunk, err := sub.Next(0)
+	if err != nil || chunk == nil {
+		t.Fatalf("post-wait Next: %v %v", chunk, err)
+	}
+	go func() { woke <- sub.Wait() }()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-woke:
+		if ok {
+			t.Fatal("Wait returned true on a closed log")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait missed the close broadcast")
+	}
+}
+
+func TestNotifyDurable(t *testing.T) {
+	l := NewMemLog()
+	ch := make(chan struct{}, 1)
+	l.NotifyDurable(ch)
+	appendUpdate(l, 1, 1, 1)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no notify signal after flush")
+	}
+	l.StopNotify(ch)
+	appendUpdate(l, 2, 2, 2)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("signal after StopNotify")
+	default:
+	}
+}
+
+// A snapshot install survives a file-log reopen: the base is re-derived
+// from the records' absolute LSNs, exactly as after a checkpoint truncate.
+func TestLoadSnapshotFileRoundTrip(t *testing.T) {
+	leader := NewMemLog()
+	for i := 0; i < 4; i++ {
+		appendUpdate(leader, uint64(i+1), uint32(i), byte(i))
+	}
+	if err := leader.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	tail := appendUpdate(leader, 9, 9, 9)
+	if err := leader.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	start := leader.StartLSN()
+	content, err := leader.DurableFrom(start, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "follower.log")
+	fl, err := CreateFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing content must be wholly replaced.
+	appendUpdate(fl, 100, 100, 0xCC)
+	if err := fl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.LoadSnapshot(start, content); err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if fl.End() != leader.End() || fl.FlushedLSN() != leader.FlushedLSN() {
+		t.Fatalf("follower end %d/%d, leader %d/%d", fl.End(), fl.FlushedLSN(), leader.End(), leader.FlushedLSN())
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := collect(t, re)
+	if len(recs) != 1 || recs[0].LSN != tail {
+		t.Fatalf("reopened snapshot: %d records, first LSN %v (want %v)", len(recs), recs[0].LSN, tail)
+	}
+	if re.End() != leader.End() {
+		t.Fatalf("reopened end %d, want %d", re.End(), leader.End())
+	}
+	// Mismatched start is refused.
+	if err := re.LoadSnapshot(start+1, content); err == nil {
+		t.Fatal("snapshot with wrong start accepted")
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not persisted: %v %v", fi, err)
+	}
+}

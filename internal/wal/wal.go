@@ -172,6 +172,13 @@ type Log struct {
 	gcActive     *gcBatch
 	forces       int64
 	piggybacks   int64
+
+	// Replication plumbing (replication.go): durable broadcasts to
+	// subscription cursors and registered notify channels, plus a closed
+	// flag so shippers blocked in Wait drain out at shutdown.
+	durable *sync.Cond
+	notify  map[chan struct{}]struct{}
+	closed  bool
 }
 
 // gcBatch is one group-commit batch: the leader closes done after its
@@ -284,17 +291,27 @@ func (l *Log) flushLocked(upto int) error {
 		}
 	}
 	if l.file == nil {
-		l.flushed = upto
+		if upto > l.flushed {
+			l.flushed = upto
+			l.signalDurableLocked()
+		}
 		return hookErr
 	}
+	advanced := false
 	if l.flushed < upto {
 		if _, err := l.file.WriteAt(l.buf[l.flushed:upto], int64(l.flushed)); err != nil {
 			return err
 		}
 		l.flushed = upto
+		advanced = true
 	}
 	if err := l.file.Sync(); err != nil {
 		return err
+	}
+	if advanced {
+		// Signal only once the bytes really are durable (post-sync):
+		// replication acks derive from what subscribers see here.
+		l.signalDurableLocked()
 	}
 	return hookErr
 }
@@ -452,6 +469,9 @@ func (l *Log) Truncate() error {
 	l.base += len(l.buf)
 	l.buf = l.buf[:0]
 	l.flushed = 0
+	// Wake subscribers: cursors inside the discarded generation must learn
+	// they are compacted and fall back to a snapshot.
+	l.signalDurableLocked()
 	if l.file != nil {
 		if err := l.file.Truncate(0); err != nil {
 			return err
@@ -473,6 +493,8 @@ func (l *Log) DiscardUnflushed() {
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.closed = true
+	l.signalDurableLocked() // unblock subscription Wait loops
 	if l.file != nil {
 		err := l.file.Close()
 		l.file = nil
