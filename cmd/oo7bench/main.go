@@ -29,6 +29,11 @@
 // to BENCH_net.json. With "-addr host:port" the bench targets an external
 // page server ("qsstore serve") instead of an in-process loopback one.
 //
+// "-snapshot" runs only the read-mostly MVCC sweep: reader sessions using
+// lock-free snapshot reads A/B'd against the 2PL Shared-lock baseline,
+// both racing concurrent writers. The table goes to BENCH_snapshot.json;
+// the snapshot runs must show zero reader lock-manager grants.
+//
 // With -json, each experiment's tables are additionally written to
 // BENCH_<exp>.json in the current directory, for tracking results across
 // revisions.
@@ -57,6 +62,7 @@ func main() {
 	clients := flag.Int("clients", 0, "run only the concurrency bench, sweeping 1..N clients (writes BENCH_concurrency.json)")
 	netMode := flag.Bool("net", false, "run the concurrency bench over TCP: shared mux connection vs lock-step baseline (writes BENCH_net.json)")
 	addr := flag.String("addr", "", "with -net: benchmark an external page server at host:port instead of an in-process one")
+	snapshot := flag.Int("snapshot", 0, "run only the snapshot-read sweep, 1..N reader sessions vs the locked baseline (writes BENCH_snapshot.json); N<0 uses the default 8")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +72,21 @@ func main() {
 		return
 	}
 	suite := harness.NewSuite(os.Stdout, *medium)
+	if *snapshot != 0 {
+		opts := harness.SnapshotBenchOpts{}
+		if *snapshot > 0 {
+			opts.MaxSessions = *snapshot
+		}
+		if err := suite.SnapshotExp(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON("snapshot", suite.TakeTables()); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *clients > 0 || *netMode || *addr != "" {
 		opts := harness.ConcurrencyOpts{MaxClients: *clients, Net: *netMode, Addr: *addr}
 		name := "concurrency"

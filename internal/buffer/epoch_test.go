@@ -1,0 +1,114 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"quickstore/internal/disk"
+)
+
+// loadPage makes pid resident and returns a pinned ref.
+func loadPage(t *testing.T, p *LatchPool, pid disk.PageID) *PageRef {
+	t.Helper()
+	ref, _, err := p.Load(pid, func(buf []byte) error { return nil })
+	if err != nil {
+		t.Fatalf("load %d: %v", pid, err)
+	}
+	return ref
+}
+
+// FlushBefore drains exactly the generation dirtied before the epoch cut,
+// leaving post-cut dirt alone.
+func TestFlushBeforeSplitsGenerations(t *testing.T) {
+	var mu sync.Mutex
+	flushed := map[disk.PageID]int{}
+	p := NewLatchPool(8)
+	p.FlushFn = func(pid disk.PageID, data []byte) error {
+		mu.Lock()
+		flushed[pid]++
+		mu.Unlock()
+		return nil
+	}
+
+	a := loadPage(t, p, 11)
+	a.MarkDirty()
+	a.Release()
+
+	e := p.AdvanceEpoch()
+
+	b := loadPage(t, p, 12)
+	b.MarkDirty()
+	b.Release()
+
+	if n := p.DirtyBefore(e); n != 1 {
+		t.Fatalf("DirtyBefore(%d) = %d, want 1 (only the pre-cut page)", e, n)
+	}
+	if err := p.FlushBefore(e); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	fa, fb := flushed[11], flushed[12]
+	mu.Unlock()
+	if fa != 1 || fb != 0 {
+		t.Fatalf("flushed pre-cut %d times, post-cut %d times; want 1, 0", fa, fb)
+	}
+	if n := p.DirtyBefore(e); n != 0 {
+		t.Fatalf("pre-cut generation not drained: %d frames", n)
+	}
+	// The post-cut page is still dirty and reachable by a full flush.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	fb = flushed[12]
+	mu.Unlock()
+	if fb != 1 {
+		t.Fatalf("post-cut page lost: flushed %d times", fb)
+	}
+}
+
+// A frame already dirty keeps its older stamp across later MarkDirty
+// calls: its bytes still include pre-cut changes.
+func TestMarkDirtyKeepsOldestStamp(t *testing.T) {
+	p := NewLatchPool(8)
+	p.FlushFn = func(pid disk.PageID, data []byte) error { return nil }
+	a := loadPage(t, p, 5)
+	a.MarkDirty()
+	e := p.AdvanceEpoch()
+	a.MarkDirty() // re-dirty after the cut: must NOT move into the new generation
+	a.Release()
+	if n := p.DirtyBefore(e); n != 1 {
+		t.Fatalf("re-marked frame left the pre-cut generation: DirtyBefore = %d", n)
+	}
+}
+
+// A failed write-back restores the dirty flag with the pre-cut stamp, so a
+// retrying checkpoint sees the frame again.
+func TestFlushBeforeFailureRestoresStamp(t *testing.T) {
+	fail := true
+	p := NewLatchPool(8)
+	p.FlushFn = func(pid disk.PageID, data []byte) error {
+		if fail {
+			return errors.New("transient device error")
+		}
+		return nil
+	}
+	a := loadPage(t, p, 7)
+	a.MarkDirty()
+	a.Release()
+	e := p.AdvanceEpoch()
+	if err := p.FlushBefore(e); err == nil {
+		t.Fatal("expected injected flush error")
+	}
+	if n := p.DirtyBefore(e); n != 1 {
+		t.Fatalf("failed flush lost the pre-cut stamp: DirtyBefore = %d", n)
+	}
+	fail = false
+	if err := p.FlushBefore(e); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.DirtyBefore(e); n != 0 {
+		t.Fatalf("retry did not drain: DirtyBefore = %d", n)
+	}
+}

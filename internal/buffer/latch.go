@@ -38,6 +38,12 @@ type LatchPool struct {
 	// (and during FlushAll). Set it before the pool is shared.
 	FlushFn func(pid disk.PageID, data []byte) error
 
+	// epoch is the fuzzy-checkpoint clock: every clean→dirty transition
+	// stamps the frame with the current value, and AdvanceEpoch starts a
+	// new generation so a checkpoint can flush exactly the pages dirtied
+	// before its cut while writers keep dirtying pages behind it.
+	epoch atomic.Uint64
+
 	hits     atomic.Int64
 	misses   atomic.Int64
 	evicted  atomic.Int64
@@ -58,6 +64,7 @@ type latchFrame struct {
 	pin        int
 	ref        bool
 	dirty      bool
+	dirtyEpoch uint64 // pool epoch at the clean→dirty transition
 	prefetched bool
 	content    sync.RWMutex
 }
@@ -158,10 +165,16 @@ func (r *PageRef) Write(fn func(data []byte)) {
 	f.content.Unlock()
 }
 
-// MarkDirty flags the pinned frame as modified.
+// MarkDirty flags the pinned frame as modified. Only the clean→dirty
+// transition stamps the epoch: a frame already dirty keeps its older stamp,
+// because its bytes still include changes from that older generation.
 func (r *PageRef) MarkDirty() {
 	r.s.mu.Lock()
-	r.s.frames[r.idx].dirty = true
+	f := &r.s.frames[r.idx]
+	if !f.dirty {
+		f.dirty = true
+		f.dirtyEpoch = r.pool.epoch.Load()
+	}
 	r.s.mu.Unlock()
 }
 
@@ -492,12 +505,57 @@ func (p *LatchPool) Evict(pid disk.PageID) (bool, error) {
 // dirty; the flushed image excludes writes that arrive after its content
 // latch is taken (a checkpoint never promised to cover them).
 func (p *LatchPool) FlushAll() error {
+	return p.flushBounded(^uint64(0))
+}
+
+// AdvanceEpoch starts a new dirty generation and returns its number e:
+// every frame dirtied before the call carries a stamp < e, every frame
+// dirtied after it stamps e (or later). A MarkDirty racing the advance may
+// land in the old generation — harmless, FlushBefore then covers it too.
+func (p *LatchPool) AdvanceEpoch() uint64 {
+	return p.epoch.Add(1)
+}
+
+// FlushBefore writes back exactly the dirty frames stamped below epoch e,
+// leaving frames dirtied in generation e and later alone. This is the
+// fuzzy checkpoint's page walk: it drains the pre-cut generation while
+// writers keep dirtying pages — whose records lie beyond the checkpoint's
+// log cut — behind it. Like FlushAll it never displaces a frame.
+func (p *LatchPool) FlushBefore(e uint64) error {
+	return p.flushBounded(e)
+}
+
+// DirtyBefore counts frames still dirty from a generation below e; zero
+// means FlushBefore(e) has fully drained the pre-e generation.
+func (p *LatchPool) DirtyBefore(e uint64) int {
+	n := 0
+	for si := range p.stripes {
+		s := &p.stripes[si]
+		s.mu.Lock()
+		for i := range s.frames {
+			f := &s.frames[i]
+			if f.page != disk.InvalidPage && f.dirty && f.dirtyEpoch < e {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// flushBounded writes back dirty frames stamped below bound. A write-back
+// failure restores the dirty flag with the OLDER stamp: if a writer
+// re-dirtied the frame mid-flush its new stamp must not hide the fact that
+// pre-bound bytes never reached the volume.
+func (p *LatchPool) flushBounded(bound uint64) error {
 	if p.FlushFn == nil {
 		for si := range p.stripes {
 			s := &p.stripes[si]
 			s.mu.Lock()
 			for i := range s.frames {
-				s.frames[i].dirty = false
+				if f := &s.frames[i]; f.dirty && f.dirtyEpoch < bound {
+					f.dirty = false
+				}
 			}
 			s.mu.Unlock()
 		}
@@ -508,10 +566,11 @@ func (p *LatchPool) FlushAll() error {
 		s.mu.Lock()
 		for i := range s.frames {
 			f := &s.frames[i]
-			if f.page == disk.InvalidPage || !f.dirty {
+			if f.page == disk.InvalidPage || !f.dirty || f.dirtyEpoch >= bound {
 				continue
 			}
 			pid := f.page
+			saved := f.dirtyEpoch
 			f.dirty = false
 			f.pin++
 			s.mu.Unlock()
@@ -521,6 +580,9 @@ func (p *LatchPool) FlushAll() error {
 			s.mu.Lock()
 			f.pin--
 			if err != nil {
+				if !f.dirty || f.dirtyEpoch > saved {
+					f.dirtyEpoch = saved
+				}
 				f.dirty = true
 				s.mu.Unlock()
 				return err

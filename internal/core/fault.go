@@ -15,8 +15,11 @@ import (
 // mapping object (assigning virtual frames to every page its pointers
 // reference, swizzling only on collision), and enables the requested access.
 func (s *Store) handleFault(a vmem.Addr, acc vmem.Access) error {
-	if !s.inTx {
+	if !s.inTx && !s.snapTx {
 		return fmt.Errorf("core: persistent access at %#x outside a transaction", a)
+	}
+	if acc == vmem.AccessWrite && s.snapTx {
+		return ErrSnapshotReadOnly
 	}
 	d := s.tree.Find(a)
 	if d == nil {
@@ -245,8 +248,11 @@ func (s *Store) swizzlePage(d *PageDesc, data []byte, meta metaObject, reloc map
 	}
 
 	// One-time relocation (QS-OR) commits the swizzled page, so the
-	// original must be preserved for diffing before we touch it.
-	if s.cfg.Relocation == RelocOR && !s.cfg.BulkLoad {
+	// original must be preserved for diffing before we touch it. Not in a
+	// snapshot session: its frames are private copies at the snapshot LSN,
+	// discarded at EndSnapshot, so the swizzle is transient (as in QS) and
+	// must neither take the page lock nor mark anything dirty.
+	if s.cfg.Relocation == RelocOR && !s.cfg.BulkLoad && !s.snapTx {
 		if err := s.ensureRecoveryCopy(d, data); err != nil {
 			return err
 		}
@@ -273,7 +279,7 @@ func (s *Store) swizzlePage(d *PageDesc, data []byte, meta metaObject, reloc map
 	})
 	s.clock.Charge(sim.CtrSwizzledPtr, swizzled)
 
-	if s.cfg.Relocation == RelocOR {
+	if s.cfg.Relocation == RelocOR && !s.snapTx {
 		// Commit the new assignment: the page ships at commit and its
 		// mapping object is rewritten with the new addresses.
 		if idx, ok := s.c.Pool().Lookup(d.Pid); ok {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -21,6 +22,11 @@ type Ref = vmem.Addr
 
 // NilRef is the null persistent pointer.
 const NilRef Ref = 0
+
+// ErrSnapshotReadOnly rejects write access inside a snapshot session
+// (BeginSnapshot): snapshot reads run without page locks, so letting a
+// write through would mutate state no lock protects.
+var ErrSnapshotReadOnly = errors.New("core: store is in a read-only snapshot session")
 
 // RelocationMode selects how QuickStore handles pages whose referenced
 // objects could not keep their previous virtual addresses (Section 5.5).
@@ -130,6 +136,7 @@ type Store struct {
 
 	txSeq       uint64
 	inTx        bool
+	snapTx      bool // read-only snapshot session (BeginSnapshot)
 	rec         recoveryBuffer
 	dirtied     []*PageDesc
 	freshPages  map[disk.PageID]*PageDesc
@@ -268,6 +275,35 @@ func (s *Store) Begin() error {
 	s.txSeq++
 	s.inTx = true
 	return nil
+}
+
+// BeginSnapshot opens a read-only snapshot session: until EndSnapshot,
+// every persistent read observes one consistent commit LSN, served without
+// any page locks — concurrent writers on other sessions proceed untouched.
+// Write faults and allocating entry points fail with ErrSnapshotReadOnly.
+func (s *Store) BeginSnapshot() error {
+	if s.inTx || s.snapTx {
+		return fmt.Errorf("core: transaction already active")
+	}
+	if err := s.c.BeginSnapshot(); err != nil {
+		return err
+	}
+	s.txSeq++
+	s.snapTx = true
+	return nil
+}
+
+// EndSnapshot closes the snapshot session. Pages faulted during it are
+// evicted from the client pool (the eviction hook revokes their mappings),
+// so the next transaction refetches current images.
+func (s *Store) EndSnapshot() error {
+	if !s.snapTx {
+		return esm.ErrNoTx
+	}
+	err := s.c.EndSnapshot()
+	s.snapTx = false
+	s.endTx()
+	return err
 }
 
 // Commit runs the three commit phases of Section 5.2 — diff modified pages

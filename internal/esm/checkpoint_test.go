@@ -1,0 +1,159 @@
+package esm
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/wal"
+)
+
+// commitDuringWrite is an IOHook that rides the checkpoint's dirty-page
+// walk: the first time the trigger page is written back, it runs one
+// complete transaction (begin, log, commit) against the server inline —
+// deterministically placing a commit inside the window between the
+// checkpoint's flush and its log truncation. The hook fires outside the
+// volume's internal lock, so the re-entrant server calls are safe.
+type commitDuringWrite struct {
+	srv     *Server
+	trigger disk.PageID
+	target  disk.PageID
+	off     int
+	value   []byte
+	fired   bool
+	err     error
+}
+
+func (h *commitDuringWrite) BeforeRead(id uint32) error { return nil }
+
+func (h *commitDuringWrite) BeforeWrite(id uint32, pageSize int) (int, error) {
+	if h.fired || h.srv == nil || disk.PageID(id) != h.trigger {
+		return 0, nil
+	}
+	h.fired = true
+	h.err = h.run()
+	return 0, nil
+}
+
+func (h *commitDuringWrite) run() error {
+	resp := h.srv.Handle(&Request{Op: OpBegin})
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	tx := resp.N
+	// One update record: value over zeroes at off on the target page, in
+	// the OpLog batch format (count, then type/pid/off/lens + images).
+	old := make([]byte, len(h.value))
+	rec := make([]byte, 0, 4+11+2*len(h.value))
+	rec = binary.LittleEndian.AppendUint32(rec, 1)
+	rec = append(rec, byte(wal.RecUpdate))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(h.target))
+	rec = binary.LittleEndian.AppendUint16(rec, uint16(h.off))
+	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(old)))
+	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(h.value)))
+	rec = append(rec, old...)
+	rec = append(rec, h.value...)
+	resp = h.srv.Handle(&Request{Op: OpLog, Tx: tx, Data: rec})
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	img := make([]byte, disk.PageSize)
+	binary.LittleEndian.PutUint64(img[:8], resp.N) // pageLSN = update LSN
+	copy(img[h.off:], h.value)
+	payload := make([]byte, 0, 4+disk.PageSize)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(h.target))
+	payload = append(payload, img...)
+	resp = h.srv.Handle(&Request{Op: OpCommit, Tx: tx, Data: payload})
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// Regression for the quiescent-checkpoint truncation bug: a transaction
+// that begins AND commits while the checkpoint runs used to slip past the
+// quiescence check — its records were truncated while its pages sat dirty
+// only in the pool, so a crash reverted a committed transaction. The fuzzy
+// checkpoint chooses its log cut before flushing, so those records survive
+// and restart recovery redoes them.
+func TestCheckpointDoesNotRevertConcurrentCommit(t *testing.T) {
+	base := disk.NewMemVolume()
+	hook := &commitDuringWrite{off: 512, value: []byte("survive-the-cut")}
+	vol := disk.WithHook(base, hook)
+	log := wal.NewMemLog()
+	srv, err := NewServer(vol, log, ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 16})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	trigger, err := c.AllocPages(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := trigger + 1
+	i, err := c.FetchPage(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := c.PageData(i)
+	old := append([]byte(nil), data[64:68]...)
+	copy(data[64:], "seed")
+	c.LogUpdate(trigger, 64, old, []byte("seed"))
+	if err := c.MarkDirty(trigger); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trigger page now sits dirty in the server pool; arm the hook and
+	// run the checkpoint over the wire, mid-traffic.
+	hook.srv, hook.trigger, hook.target = srv, trigger, target
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if !hook.fired {
+		t.Fatal("setup: checkpoint never wrote the trigger page back")
+	}
+	if hook.err != nil {
+		t.Fatalf("commit concurrent with checkpoint: %v", hook.err)
+	}
+	if log.StartLSN() == 1 {
+		t.Fatal("setup: checkpoint did not truncate the log")
+	}
+
+	// Crash: the server (and its pool, holding the racing commit's page)
+	// is discarded. Restart recovery must redo the commit from the records
+	// the truncation kept.
+	hook.srv = nil
+	srv2, err := OpenServer(base, log, ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	c2 := NewClient(NewInProcTransport(srv2), ClientConfig{BufferPages: 16})
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Abort()
+	i, err = c2.FetchPage(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.PageData(i)[hook.off : hook.off+len(hook.value)]
+	if string(got) != string(hook.value) {
+		t.Fatalf("checkpoint reverted a committed transaction: page %d = %q, want %q",
+			target, got, hook.value)
+	}
+	// The seeded pre-checkpoint commit survives too (flushed by the walk).
+	i, err = c2.FetchPage(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.PageData(i)[64:68]; string(got) != "seed" {
+		t.Fatalf("pre-checkpoint commit lost: %q", got)
+	}
+}

@@ -63,6 +63,19 @@ type Client struct {
 	pending []byte // serialized log batch (count in first 4 bytes)
 	nrecs   uint32
 
+	// snap, when nonzero, is the LSN of the open read-only snapshot
+	// session (BeginSnapshot): page faults go through OpSnapRead and
+	// bypass the lock manager entirely. Mutually exclusive with tx.
+	// snapFetched tracks pages fetched as of snap, so residency from an
+	// earlier transaction (possibly newer than the snapshot) is refetched
+	// and snapshot-time images are dropped when the session ends.
+	// lastSeen is the newest commit LSN this session has observed — its
+	// read-your-writes floor for snapshot begins, which matters after a
+	// replication failover lands it on a node with an older applied LSN.
+	snap        wal.LSN
+	snapFetched map[disk.PageID]bool
+	lastSeen    uint64
+
 	uniqueNext uint64
 	uniqueEnd  uint64
 
@@ -114,7 +127,12 @@ func (c *Client) Clock() *sim.Clock { return c.clock }
 // attempt may have taken effect before the fault surfaced).
 func retryable(op Op) bool {
 	switch op {
-	case OpReadPage, OpReadPages, OpGetRoot, OpOpenFile, OpStats, OpLock:
+	case OpReadPage, OpReadPages, OpGetRoot, OpOpenFile, OpStats, OpLock,
+		OpBeginSnapshot, OpSnapRead:
+		// The snapshot ops are read-only; re-beginning pins the same (or a
+		// newer) snapshot and re-reading a page at a pinned LSN is stable.
+		// OpEndSnapshot is deliberately absent: replaying it would unpin a
+		// snapshot someone else still holds.
 		return true
 	}
 	return false
@@ -168,12 +186,68 @@ func (c *Client) Begin() error {
 	if c.tx != 0 {
 		return fmt.Errorf("esm: transaction %d already active", c.tx)
 	}
+	if c.snap != 0 {
+		return fmt.Errorf("esm: snapshot session at %d open; end it before writing", c.snap)
+	}
 	resp, err := c.call(&Request{Op: OpBegin})
 	if err != nil {
 		return err
 	}
 	c.tx = resp.N
 	return nil
+}
+
+// BeginSnapshot opens a read-only snapshot session: every page fault until
+// EndSnapshot is served as of one consistent commit LSN, and the server
+// never consults the lock manager for them — writers proceed untouched.
+// The session's last-seen commit LSN rides along so a node that has not
+// caught up to this client's own writes refuses rather than time-travels.
+func (c *Client) BeginSnapshot() error {
+	if c.tx != 0 {
+		return fmt.Errorf("esm: transaction %d active; snapshot sessions are read-only", c.tx)
+	}
+	if c.snap != 0 {
+		return fmt.Errorf("esm: snapshot %d already open", c.snap)
+	}
+	resp, err := c.call(&Request{Op: OpBeginSnapshot, N: c.lastSeen})
+	if err != nil {
+		return err
+	}
+	c.snap = wal.LSN(resp.N)
+	if resp.N > c.lastSeen {
+		c.lastSeen = resp.N
+	}
+	c.snapFetched = map[disk.PageID]bool{}
+	return nil
+}
+
+// Snapshot returns the open snapshot session's LSN (0 when none).
+func (c *Client) Snapshot() wal.LSN { return c.snap }
+
+// LastSeenLSN returns the newest commit LSN this session has observed.
+func (c *Client) LastSeenLSN() uint64 { return c.lastSeen }
+
+// EndSnapshot closes the snapshot session. Pages fetched as of the
+// snapshot are evicted — they are stale for any later transaction — and
+// the server's pin is released. The unpin is best-effort by design (see
+// retryable): if the server became unreachable, the local session still
+// closes and the error reports why reclamation may lag.
+func (c *Client) EndSnapshot() error {
+	if c.snap == 0 {
+		return errors.New("esm: no snapshot in progress")
+	}
+	snap := c.snap
+	c.snap = 0
+	for pid := range c.snapFetched {
+		if i, ok := c.pool.Lookup(pid); ok {
+			if err := c.pool.Evict(i); err != nil {
+				return err
+			}
+		}
+	}
+	c.snapFetched = nil
+	_, err := c.call(&Request{Op: OpEndSnapshot, N: uint64(snap)})
+	return err
 }
 
 // Tx returns the current transaction id (0 when none).
@@ -183,6 +257,9 @@ func (c *Client) Tx() uint64 { return c.tx }
 // server on a miss) and returns its frame index. The frame data may be
 // mutated in place; call MarkDirty afterwards.
 func (c *Client) FetchPage(pid disk.PageID) (int, error) {
+	if c.snap != 0 {
+		return c.fetchSnapPage(pid)
+	}
 	if c.tx == 0 {
 		return 0, ErrNoTx
 	}
@@ -199,6 +276,35 @@ func (c *Client) FetchPage(pid disk.PageID) (int, error) {
 		copy(buf, resp.Data)
 		return nil
 	})
+}
+
+// fetchSnapPage serves a page fault inside a snapshot session. A resident
+// frame left over from an earlier transaction may be NEWER than the
+// snapshot, so anything not fetched under this snapshot is dropped and
+// refetched as of it.
+func (c *Client) fetchSnapPage(pid disk.PageID) (int, error) {
+	if i, ok := c.pool.Get(pid); ok {
+		if c.snapFetched[pid] {
+			return i, nil
+		}
+		if err := c.pool.Evict(i); err != nil {
+			return 0, err
+		}
+	}
+	i, err := c.pool.Put(pid, func(buf []byte) error {
+		c.clock.Charge(sim.CtrClientRead, 1)
+		resp, err := c.call(&Request{Op: OpSnapRead, Page: uint32(pid), N: uint64(c.snap)})
+		if err != nil {
+			return err
+		}
+		copy(buf, resp.Data)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.snapFetched[pid] = true
+	return i, nil
 }
 
 // ConsumePrefetch settles the deferred cost of frame i if it holds a
@@ -431,9 +537,15 @@ func (c *Client) Commit() error {
 		c.clock.Charge(sim.CtrClientWrite, 1)
 		c.clock.Charge(sim.CtrCommitFlushPage, 1)
 	}
-	_, err := c.call(&Request{Op: OpCommit, Tx: c.tx, Data: payload})
+	resp, err := c.call(&Request{Op: OpCommit, Tx: c.tx, Data: payload})
 	c.tx = 0
-	return err
+	if err != nil {
+		return err
+	}
+	if resp.N > c.lastSeen {
+		c.lastSeen = resp.N // read-your-writes floor for snapshot begins
+	}
+	return nil
 }
 
 // Abort discards the transaction: buffered log records and dirty resident

@@ -47,6 +47,17 @@ const (
 	OpReplAppend
 	OpReplAck
 	OpReplSnapshot
+	// Snapshot-read ops (internal/mvcc). OpBeginSnapshot opens a read-only
+	// snapshot session: the request's N carries the client's last-seen
+	// commit LSN (read-your-writes floor; 0 for none), the response's N is
+	// the snapshot LSN S the server pinned. OpSnapRead reads one page as of
+	// S (Page = pid, N = S) without touching the lock manager. OpEndSnapshot
+	// unpins S. Begin and read are idempotent and may be retried or
+	// re-routed across replicas; End is not (a replay would double-unpin),
+	// so a lost End ack is left to the version store's byte cap to absorb.
+	OpBeginSnapshot
+	OpSnapRead
+	OpEndSnapshot
 )
 
 // String names the operation for diagnostics.
@@ -54,7 +65,8 @@ func (o Op) String() string {
 	names := [...]string{"", "BEGIN", "COMMIT", "ABORT", "READ", "WRITE", "ALLOC",
 		"FREE", "LOCK", "LOG", "CREATEFILE", "OPENFILE", "GETROOT", "SETROOT",
 		"COUNTER", "CHECKPOINT", "STATS", "READPAGES",
-		"REPLAPPEND", "REPLACK", "REPLSNAPSHOT"}
+		"REPLAPPEND", "REPLACK", "REPLSNAPSHOT",
+		"BEGINSNAP", "SNAPREAD", "ENDSNAP"}
 	if int(o) < len(names) {
 		return names[o]
 	}

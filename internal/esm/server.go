@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,9 +14,36 @@ import (
 	"quickstore/internal/disk"
 	"quickstore/internal/faultinject"
 	"quickstore/internal/lock"
+	"quickstore/internal/mvcc"
 	"quickstore/internal/sim"
 	"quickstore/internal/wal"
 )
+
+// ErrMVCCDisabled rejects snapshot ops on a server running without a
+// version store (ServerConfig.MVCC off). It travels to clients as a
+// non-retryable remote error: a deployment either supports snapshot reads
+// everywhere or nowhere, so failing over to another replica cannot help.
+var ErrMVCCDisabled = errors.New("esm: snapshot reads disabled (server runs without MVCC)")
+
+// snapshotBehindPrefix marks the read-your-writes rejection: the serving
+// node's snapshot LSN is below the client's last-seen commit LSN. The
+// replication Director recognizes it (IsSnapshotBehind) and retries the
+// begin elsewhere, exactly like a not-leader redirect.
+const snapshotBehindPrefix = "esm: snapshot behind client"
+
+// IsSnapshotBehind reports whether err is a read-your-writes rejection
+// from OpBeginSnapshot — the contacted node has not yet applied a commit
+// the client already saw acknowledged.
+func IsSnapshotBehind(err error) bool {
+	return err != nil && strings.Contains(err.Error(), snapshotBehindPrefix)
+}
+
+// SnapshotBehindError formats the wire error for a read-your-writes
+// rejection. Exported for internal/repl, whose followers answer snapshot
+// begins without an esm.Server.
+func SnapshotBehindError(serving, saw uint64) string {
+	return fmt.Sprintf("%s: serving at %d, client saw %d", snapshotBehindPrefix, serving, saw)
+}
 
 // DefaultServerBufferPages matches the paper's 36MB server pool.
 const DefaultServerBufferPages = 4608
@@ -61,6 +89,18 @@ type ServerConfig struct {
 	// plane (disk.WithHook, Log.FlushHook) so disk and log I/O share the
 	// crashed latch. nil (production) costs one pointer check per point.
 	Fault *faultinject.Plane
+
+	// MVCC enables the version store (internal/mvcc): page installs retain
+	// before-images so read-only sessions can run against a consistent
+	// snapshot LSN without ever touching the lock manager. Off by default —
+	// the paper's experiments predate snapshot reads and must not see a
+	// byte of difference from them.
+	MVCC bool
+
+	// MVCCMaxBytes caps version-store memory (0 = mvcc.DefaultMaxBytes,
+	// negative = unbounded). Readers whose snapshot falls behind an
+	// eviction get ErrSnapshotTooOld and must begin a fresh snapshot.
+	MVCCMaxBytes int
 }
 
 // Server is the page server: it owns the volume, the server buffer pool,
@@ -98,6 +138,29 @@ type Server struct {
 	lastTxLSN map[uint64]wal.LSN
 	active    map[uint64]bool
 
+	// firstTxLSN (under mu) records each active transaction's begin-record
+	// LSN. The fuzzy checkpoint's log cut is the minimum over these: every
+	// record an in-flight transaction could still need for undo sits at or
+	// beyond its begin record.
+	firstTxLSN map[uint64]wal.LSN
+
+	// lastCommitLSN (under mu) is the LSN of the newest commit record.
+	// It is the snapshot point handed to OpBeginSnapshot: everything
+	// committed at or below it is visible, everything after is not.
+	lastCommitLSN wal.LSN
+
+	// mv, when non-nil, is the version store backing snapshot reads.
+	// Leaf lock: called under mu on the commit/begin-snapshot paths
+	// (atomicity with lastCommitLSN), without mu on capture and lookup.
+	mv *mvcc.Store
+
+	// snapFloor is the oldest snapshot LSN this server can serve
+	// faithfully: a reopened server's version store is empty, so a
+	// snapshot pinned before the restart (a failover survivor) could be
+	// shown commits it should not see. Reads below the floor are refused
+	// with ErrSnapshotTooOld; the session re-begins a fresh snapshot.
+	snapFloor wal.LSN
+
 	// repl, when non-nil, gates every commit ack on a replication quorum
 	// (set via SetRepl; read under mu).
 	repl QuorumWaiter
@@ -110,10 +173,13 @@ type Server struct {
 	catWritten uint64
 
 	// prefetchPages counts pages served through OpReadPages batches;
-	// commits counts committed transactions. Atomics: stats reads race
-	// concurrent ops by design.
+	// commits counts committed transactions; snapBegins/snapReads count
+	// snapshot sessions opened and pages served on the lock-free snapshot
+	// path. Atomics: stats reads race concurrent ops by design.
 	prefetchPages atomic.Int64
 	commits       atomic.Int64
+	snapBegins    atomic.Int64
+	snapReads     atomic.Int64
 
 	// Transport-layer counters, maintained by Serve across every TCP
 	// connection (the in-proc transport never touches them). Atomics for
@@ -248,6 +314,17 @@ type ServerStats struct {
 	LogForces      int64 `json:"log_forces"`
 	LogPiggybacks  int64 `json:"log_piggybacks"`
 
+	// Lock-manager traffic. The snapshot-read acceptance check is a delta
+	// of LockGrants across a read sweep: the MVCC path must leave it flat.
+	LockGrants int64 `json:"lock_grants"`
+	LockWaits  int64 `json:"lock_waits"`
+
+	// Snapshot-read counters; MVCC carries the version-store internals
+	// and is present only when ServerConfig.MVCC is on.
+	SnapBegins int64       `json:"snap_begins,omitempty"`
+	SnapReads  int64       `json:"snap_reads,omitempty"`
+	MVCC       *mvcc.Stats `json:"mvcc,omitempty"`
+
 	// Transport-layer counters, nonzero only when clients arrive over TCP
 	// (Serve). NetFrames/NetFlushes is the response coalescing ratio;
 	// NetBytesOut/NetFrames is the mean response frame size.
@@ -316,6 +393,12 @@ func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error
 		return true
 	})
 	s.cat.NextTx = maxTx
+	// Everything the recovered log resolved is reflected in live pages, so
+	// the durable end of the log is a valid (and maximal) snapshot point.
+	// Starting here keeps read-your-writes monotone across a restart or a
+	// failover promotion: no previously acknowledged commit has a higher LSN.
+	s.lastCommitLSN = log.FlushedLSN()
+	s.snapFloor = s.lastCommitLSN
 	return s, nil
 }
 
@@ -327,14 +410,18 @@ func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, 
 		cfg.Clock = sim.NewClock(sim.CostModel{})
 	}
 	s := &Server{
-		vol:       vol,
-		pool:      buffer.NewLatchPool(cfg.BufferPages),
-		log:       log,
-		locks:     lock.New(cfg.LockTimeout),
-		clock:     cfg.Clock,
-		fault:     cfg.Fault,
-		lastTxLSN: map[uint64]wal.LSN{},
-		active:    map[uint64]bool{},
+		vol:        vol,
+		pool:       buffer.NewLatchPool(cfg.BufferPages),
+		log:        log,
+		locks:      lock.New(cfg.LockTimeout),
+		clock:      cfg.Clock,
+		fault:      cfg.Fault,
+		lastTxLSN:  map[uint64]wal.LSN{},
+		active:     map[uint64]bool{},
+		firstTxLSN: map[uint64]wal.LSN{},
+	}
+	if cfg.MVCC {
+		s.mv = mvcc.New(cfg.MVCCMaxBytes)
 	}
 	log.SetCommitWindow(cfg.CommitWindow)
 	s.pool.FlushFn = func(pid disk.PageID, data []byte) error {
@@ -476,7 +563,9 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		tx := s.cat.NextTx
 		s.cat.NextTx++
 		s.active[tx] = true
-		s.lastTxLSN[tx] = s.log.Append(wal.Record{Tx: tx, Type: wal.RecBegin})
+		first := s.log.Append(wal.Record{Tx: tx, Type: wal.RecBegin})
+		s.lastTxLSN[tx] = first
+		s.firstTxLSN[tx] = first
 		s.mu.Unlock()
 		return &Response{N: tx}, nil
 
@@ -487,7 +576,7 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		if len(req.Data) != disk.PageSize {
 			return nil, fmt.Errorf("esm: write of %d bytes", len(req.Data))
 		}
-		return nil, s.installPage(disk.PageID(req.Page), req.Data)
+		return nil, s.installPage(req.Tx, disk.PageID(req.Page), req.Data)
 
 	case OpLog:
 		lsn, err := s.appendLogBatch(req.Tx, req.Data)
@@ -497,7 +586,13 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		return &Response{N: uint64(lsn)}, nil
 
 	case OpCommit:
-		return nil, s.commit(req.Tx, req.Data)
+		lsn, err := s.commit(req.Tx, req.Data)
+		if err != nil {
+			return nil, err
+		}
+		// The commit LSN rides back so sessions can track their last-seen
+		// commit for read-your-writes snapshot begins.
+		return &Response{N: uint64(lsn)}, nil
 
 	case OpAbort:
 		return nil, s.abort(req.Tx)
@@ -573,6 +668,7 @@ func (s *Server) handle(req *Request) (*Response, error) {
 
 	case OpStats:
 		hits, misses, evicted := s.pool.Stats()
+		grants, waits := s.locks.Stats()
 		st := ServerStats{
 			BufferPages:    s.pool.Len(),
 			Resident:       s.pool.Resident(),
@@ -589,6 +685,10 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			Commits:        s.commits.Load(),
 			LogForces:      s.log.Forces(),
 			LogPiggybacks:  s.log.Piggybacks(),
+			LockGrants:     grants,
+			LockWaits:      waits,
+			SnapBegins:     s.snapBegins.Load(),
+			SnapReads:      s.snapReads.Load(),
 			NetInFlightHW:  s.netInFlightHW.Load(),
 			NetFlushes:     s.netFlushes.Load(),
 			NetFrames:      s.netFrames.Load(),
@@ -596,6 +696,10 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		}
 		if q := s.replWaiter(); q != nil {
 			st.Repl = q.ReplStats()
+		}
+		if s.mv != nil {
+			mst := s.mv.Stats()
+			st.MVCC = &mst
 		}
 		blob, err := json.Marshal(&st)
 		if err != nil {
@@ -605,17 +709,148 @@ func (s *Server) handle(req *Request) (*Response, error) {
 
 	case OpReadPages:
 		return s.readPagesBatch(req)
+
+	case OpBeginSnapshot:
+		return s.beginSnapshot(wal.LSN(req.N))
+
+	case OpSnapRead:
+		return s.snapRead(disk.PageID(req.Page), wal.LSN(req.N))
+
+	case OpEndSnapshot:
+		return s.endSnapshot(wal.LSN(req.N))
 	}
 	return nil, fmt.Errorf("esm: unknown op %v", req.Op)
 }
 
-// checkpoint flushes all server state to the volume and, when quiescent,
-// truncates the log. The pool flush and catalog write run without mu (both
-// targets carry their own locks); mu is taken only for the quiescence
-// check, which OpBegin cannot race past.
+// beginSnapshot opens a read-only snapshot session at the newest commit
+// LSN. lastSeen is the client's read-your-writes floor: a node serving at
+// an older LSN (a freshly promoted leader that lost the tail, a lagging
+// follower) must refuse rather than silently show the client a past it
+// has already read beyond. The pin is taken under mu, atomically with the
+// snapshot choice: commits advance lastCommitLSN and retire versions
+// under the same lock, so the chosen LSN cannot be reclaimed in between.
+func (s *Server) beginSnapshot(lastSeen wal.LSN) (*Response, error) {
+	if s.mv == nil {
+		return nil, ErrMVCCDisabled
+	}
+	s.mu.Lock()
+	snap := s.lastCommitLSN
+	if snap == 0 {
+		// Nothing committed yet. Snapshot 0 is the client's no-session
+		// sentinel, and LSN 1 can only ever hold a begin record, so a
+		// snapshot there is equivalently empty and always valid.
+		snap = 1
+	}
+	if lastSeen > snap {
+		s.mu.Unlock()
+		return nil, errors.New(SnapshotBehindError(uint64(snap), uint64(lastSeen)))
+	}
+	s.mv.Pin(snap)
+	s.mu.Unlock()
+	s.snapBegins.Add(1)
+	return &Response{N: uint64(snap)}, nil
+}
+
+// snapRead serves one page as of snapshot LSN snap, without consulting the
+// lock manager. The live frame is read first (non-perturbing, like batch
+// reads: Snapshot leaves reference bits alone and volume reads bypass the
+// pool), the version store second. A concurrent writer captures its
+// before-image under the store lock before overwriting the frame under the
+// content latch, so in either interleaving the bytes for snap are found:
+// if the live read saw the new bytes the capture already happened, and if
+// it saw the old bytes the pending version holds those same old bytes.
+func (s *Server) snapRead(pid disk.PageID, snap wal.LSN) (*Response, error) {
+	if s.mv == nil {
+		return nil, ErrMVCCDisabled
+	}
+	if snap < s.snapFloor {
+		return nil, fmt.Errorf("esm: SnapRead(%d) at %d: %w (server reopened at %d)",
+			pid, snap, mvcc.ErrSnapshotTooOld, s.snapFloor)
+	}
+	out := make([]byte, disk.PageSize)
+	if s.pool.Snapshot(pid, out) {
+		s.clock.Charge(sim.CtrServerBufferHit, 1)
+	} else {
+		if err := s.vol.ReadPage(pid, out); err != nil {
+			return nil, fmt.Errorf("esm: SnapRead(%d): %w", pid, err)
+		}
+		s.clock.Charge(sim.CtrServerDiskRead, 1)
+		s.clock.Charge(sim.CtrServerBufferHit, 1) // network leg of the transfer
+	}
+	img, err := s.mv.Lookup(uint32(pid), snap)
+	if err != nil {
+		return nil, err
+	}
+	if img != nil {
+		copy(out, img)
+	}
+	s.snapReads.Add(1)
+	return &Response{Page: uint32(pid), Data: out}, nil
+}
+
+// endSnapshot releases the pin taken by beginSnapshot. Not idempotent — a
+// replayed end would double-unpin someone else's snapshot — so transports
+// must not retry it; a lost ack merely delays reclamation until the byte
+// cap evicts the orphaned versions.
+func (s *Server) endSnapshot(snap wal.LSN) (*Response, error) {
+	if s.mv == nil {
+		return nil, ErrMVCCDisabled
+	}
+	s.mv.Unpin(snap)
+	return nil, nil
+}
+
+// checkpoint writes a fuzzy checkpoint: commits, aborts, installs, and
+// snapshot reads all keep flowing while it runs — nothing quiesces.
+//
+// The protocol:
+//
+//  1. Choose the log cut under mu: the durable prefix end, lowered to the
+//     begin-record LSN of the oldest in-flight transaction. Every record
+//     below the cut belongs to a transaction that already resolved.
+//  2. Advance the pool's dirty-page epoch, AFTER choosing the cut. A
+//     transaction that resolves between the two steps dirtied its frames
+//     before the epoch moved, so the generation walk below still covers
+//     it; a transaction that begins after the cut was chosen only writes
+//     records at or beyond it. Either way no redo is lost.
+//  3. Walk the pre-cut generation to the volume (FlushBefore). Frames
+//     dirtied after the epoch advanced are skipped — their covering
+//     records survive the cut — so hot pages cannot stall the walk by
+//     being redirtied. Write-back failures restore the old stamp; retry
+//     until the generation drains or give up without truncating.
+//  4. Force the catalog and the log, sync the volume, and only then cut
+//     the log prefix (TruncateBefore keeps LSNs intact) and append a
+//     fresh checkpoint record to re-anchor the LSN base for reopen.
+//
+// The previous implementation truncated the whole log behind a
+// quiescence check (len(active) == 0 under mu). The check did not cover
+// the window between the pool flush and itself: a transaction that began
+// AND committed inside that window was invisible to the check, its pages
+// sat dirty only in the pool, and Truncate discarded the records that
+// could redo them — a crash then reverted a committed transaction. The
+// cut rule closes that window: such a transaction's records lie wholly at
+// or beyond the cut and survive.
 func (s *Server) checkpoint() error {
-	if err := s.pool.FlushAll(); err != nil {
-		return err
+	s.mu.Lock()
+	cut := s.log.FlushedLSN()
+	for tx := range s.active {
+		if first, ok := s.firstTxLSN[tx]; ok && first < cut {
+			cut = first
+		}
+	}
+	s.mu.Unlock()
+	epoch := s.pool.AdvanceEpoch()
+	for tries := 0; ; tries++ {
+		err := s.pool.FlushBefore(epoch)
+		if err == nil && s.pool.DirtyBefore(epoch) == 0 {
+			break
+		}
+		if tries >= 16 {
+			if err == nil {
+				err = fmt.Errorf("esm: checkpoint could not drain %d dirty pages", s.pool.DirtyBefore(epoch))
+			}
+			return err
+		}
 	}
 	s.mu.Lock()
 	s.catVersion++ // force the write: a checkpoint always persists the catalog
@@ -632,27 +867,22 @@ func (s *Server) checkpoint() error {
 	if err := s.vol.Sync(); err != nil {
 		return err
 	}
-	// With every page durable and no transaction in flight, no log
-	// record can be needed again: truncate the log. mu blocks OpBegin,
-	// so no transaction can start between the check and the truncation;
-	// in-flight commits and aborts keep their tx in active until done.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.active) == 0 {
-		if err := s.log.Truncate(); err != nil {
-			return err
-		}
-		// Re-anchor the LSN space. OpenFileLog recovers the base of
-		// a truncated log from the LSNs of surviving records; an
-		// empty file would reopen at base 0 and hand out LSNs that
-		// collide with pageLSNs stamped before the truncation. A
-		// durable checkpoint record carries the base in its own LSN.
-		s.log.Append(wal.Record{Type: wal.RecCheckpoint})
-		if err := s.log.Flush(); err != nil {
-			return err
-		}
+	if err := s.fault.Hit(faultinject.PtCheckpointBeforeTruncate); err != nil {
+		return err
 	}
-	return nil
+	if err := s.log.TruncateBefore(cut); err != nil {
+		return err
+	}
+	if err := s.fault.Hit(faultinject.PtCheckpointAfterTruncate); err != nil {
+		return err
+	}
+	// Re-anchor the LSN space. OpenFileLog recovers the base of a cut log
+	// from the LSNs of surviving records; a log whose tail emptied would
+	// reopen at base 0 and hand out LSNs that collide with pageLSNs
+	// stamped before the cut. A durable checkpoint record carries the
+	// base in its own LSN.
+	s.log.Append(wal.Record{Type: wal.RecCheckpoint})
+	return s.log.Flush()
 }
 
 // readPagesBatch serves one OpReadPages frame: every requested page is
@@ -710,7 +940,29 @@ func (s *Server) readPage(pid disk.PageID) (*Response, error) {
 }
 
 // installPage places a shipped page image in the server pool, dirty.
-func (s *Server) installPage(pid disk.PageID, data []byte) error {
+// With the version store on, the page's current committed image is
+// captured first — before the frame is overwritten — so snapshot readers
+// keep seeing the old bytes. The capture reads through the same
+// non-perturbing path as batch reads (pool snapshot, else the volume) and
+// is deduplicated per (transaction, page) inside the store, so a page a
+// transaction installs repeatedly (steal, then commit) is captured once.
+func (s *Server) installPage(tx uint64, pid disk.PageID, data []byte) error {
+	if s.mv != nil && tx != 0 {
+		before := make([]byte, disk.PageSize)
+		if !s.pool.Snapshot(pid, before) {
+			if err := s.vol.ReadPage(pid, before); err != nil {
+				// A page past the volume's geometry has no committed
+				// image yet; its before-image is all zeroes.
+				if !errors.Is(err, disk.ErrPageOutOfRange) {
+					return err
+				}
+				for i := range before {
+					before[i] = 0
+				}
+			}
+		}
+		s.mv.CaptureBefore(uint32(pid), tx, before)
+	}
 	ref, _, err := s.pool.Load(pid, func(buf []byte) error {
 		copy(buf, data)
 		return nil
@@ -773,39 +1025,49 @@ func (s *Server) appendLogBatch(tx uint64, data []byte) (wal.LSN, error) {
 
 // commit installs the shipped dirty pages (Data = repeated u32 pid + 8K
 // image), appends the commit record, and forces the log through it via the
-// group-commit path: concurrent committers share one physical force.
-func (s *Server) commit(tx uint64, data []byte) error {
+// group-commit path: concurrent committers share one physical force. The
+// commit LSN is returned so the ack can carry it to the session
+// (read-your-writes floor for later snapshot begins).
+func (s *Server) commit(tx uint64, data []byte) (wal.LSN, error) {
 	const rec = 4 + disk.PageSize
 	if len(data)%rec != 0 {
-		return fmt.Errorf("esm: malformed commit payload (%d bytes)", len(data))
+		return 0, fmt.Errorf("esm: malformed commit payload (%d bytes)", len(data))
 	}
 	for p := 0; p < len(data); p += rec {
 		pid := disk.PageID(binary.LittleEndian.Uint32(data[p:]))
-		if err := s.installPage(pid, data[p+4:p+rec]); err != nil {
-			return err
+		if err := s.installPage(tx, pid, data[p+4:p+rec]); err != nil {
+			return 0, err
 		}
 	}
 	if err := s.fault.Hit(faultinject.PtCommitAfterInstall); err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	lsn := s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecCommit})
 	s.lastTxLSN[tx] = lsn
+	if lsn > s.lastCommitLSN {
+		s.lastCommitLSN = lsn
+	}
+	if s.mv != nil {
+		// Under mu, atomically with lastCommitLSN: a snapshot beginning at
+		// this LSN must find these versions already retired to committed.
+		s.mv.Commit(tx, lsn)
+	}
 	s.mu.Unlock()
 	if err := s.fault.Hit(faultinject.PtCommitBeforeFlush); err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.log.FlushCommit(lsn); err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.fault.Hit(faultinject.PtCommitAfterFlush); err != nil {
-		return err
+		return 0, err
 	}
 	// Catalog changes (files, roots, counters) become durable with the
 	// transaction, not just at checkpoints — and before the quorum gate
 	// below, so the replicated ack covers them too.
 	if err := s.writeCatalogIfDirty(); err != nil {
-		return err
+		return 0, err
 	}
 	// Quorum-before-ack: with replication attached, local durability is not
 	// commit durability — the ack waits until a quorum of replicas reports
@@ -820,22 +1082,23 @@ func (s *Server) commit(tx uint64, data []byte) error {
 		catV := s.catVersion
 		s.mu.Unlock()
 		if err := s.fault.Hit(faultinject.PtReplBeforeQuorum); err != nil {
-			return err
+			return 0, err
 		}
 		if err := q.WaitQuorum(lsn, catV); err != nil {
-			return err
+			return 0, err
 		}
 		if err := s.fault.Hit(faultinject.PtReplAfterQuorum); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	s.mu.Lock()
 	delete(s.active, tx)
 	delete(s.lastTxLSN, tx)
+	delete(s.firstTxLSN, tx)
 	s.mu.Unlock()
 	s.locks.ReleaseAll(tx)
 	s.commits.Add(1)
-	return nil
+	return lsn, nil
 }
 
 // abort undoes any of the transaction's updates that reached the server
@@ -904,12 +1167,22 @@ func (s *Server) abort(tx uint64) error {
 	s.mu.Lock()
 	delete(s.active, tx)
 	delete(s.lastTxLSN, tx)
+	delete(s.firstTxLSN, tx)
+	if s.mv != nil {
+		// Only now: until the undo above finished, the pending
+		// before-images were still shielding snapshot readers from the
+		// aborting transaction's half-rolled-back frames.
+		s.mv.Abort(tx)
+	}
 	s.mu.Unlock()
 	s.locks.ReleaseAll(tx)
 	return nil
 }
 
-// Checkpoint flushes all server state to the volume (test/CLI convenience).
+// Checkpoint runs a fuzzy checkpoint (test/CLI convenience wrapper around
+// OpCheckpoint). It is safe to call mid-traffic: the checkpoint never
+// quiesces, and transactions that begin or commit while it runs keep their
+// log records across the cut.
 func (s *Server) Checkpoint() error {
 	r := s.Handle(&Request{Op: OpCheckpoint})
 	if r.Err != "" {

@@ -37,6 +37,12 @@ type ConcurrencyOpts struct {
 	CommitWindow time.Duration // group-commit window; 0 = 1ms
 	NoBigLock    bool          // skip the serialized-dispatch baseline
 
+	// MVCC enables the server's version store so snapshot sessions work
+	// against the benchmark database (used by the snapshot-read sweep;
+	// the plain concurrency bench leaves it off). Unbounded retention:
+	// the bench measures the read path, not eviction policy.
+	MVCC bool
+
 	// Net runs every session over TCP: all sessions of a client count share
 	// ONE multiplexed connection (esm.DialTCP), pipelining their requests
 	// through it, and the baseline shares ONE serial lock-step connection
@@ -202,10 +208,16 @@ func buildConcEnv(o ConcurrencyOpts) (*concEnv, error) {
 				return pending, nil
 			}
 		}
-		srv, err := esm.NewServer(vol, logf, esm.ServerConfig{
+		cfg := esm.ServerConfig{
 			BufferPages:  o.ServerPool,
 			CommitWindow: o.CommitWindow,
-		})
+			MVCC:         o.MVCC,
+		}
+		if o.MVCC {
+			cfg.MVCCMaxBytes = -1
+			cfg.LockTimeout = 5 * time.Second
+		}
+		srv, err := esm.NewServer(vol, logf, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -39,6 +39,13 @@ type DrillOpts struct {
 	// manager). The crash then cuts off up to one in-flight transaction per
 	// worker, and recovery must resolve each one atomically on its own.
 	Workers int
+
+	// Checkpointer runs fuzzy checkpoints in a loop concurrent with the
+	// workload, so the checkpoint.* crash points fire while commits are in
+	// flight and the log cut races transaction resolution. This is the
+	// drill for the truncation boundary: a commit that lands anywhere in
+	// the checkpoint window must survive the crash.
+	Checkpointer bool
 }
 
 // DrillReport is the outcome of one drill. Violations lists every broken
@@ -184,6 +191,34 @@ func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
 		plane.ArmCrash(opts.Point, opts.HitN)
 	}
 
+	// The checkpointer races fuzzy checkpoints against the workload: the
+	// log cut, volume sync, and truncation all happen while commits are in
+	// flight. It stops on its own once the crash latch drops (every
+	// checkpoint then fails fast) and is joined before verification so no
+	// I/O races the handle teardown.
+	stopCk := make(chan struct{})
+	var ckWG sync.WaitGroup
+	if opts.Checkpointer {
+		ckWG.Add(1)
+		go func() {
+			defer ckWG.Done()
+			for {
+				select {
+				case <-stopCk:
+					return
+				default:
+				}
+				if err := srv.Checkpoint(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	joinCk := func() {
+		close(stopCk)
+		ckWG.Wait()
+	}
+
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -215,6 +250,7 @@ func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
 			}(wk, objs[lo:hi])
 		}
 		wg.Wait()
+		joinCk()
 		rep.Crashed = plane.Crashed()
 		rep.Retries = atomic.LoadInt64(&retries)
 		rep.Trace = plane.Trace()
@@ -275,6 +311,7 @@ workload:
 		}
 		break
 	}
+	joinCk()
 	rep.Crashed = plane.Crashed()
 	rep.Retries = w.Retries()
 	rep.Trace = plane.Trace()

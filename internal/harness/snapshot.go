@@ -1,0 +1,306 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quickstore/internal/esm"
+	"quickstore/internal/lock"
+)
+
+// SnapshotBenchOpts tunes the read-mostly snapshot sweep: N reader sessions
+// race a fixed set of writer sessions over a shared working set. Each
+// reader burst runs twice — once as a snapshot session (BeginSnapshot,
+// lock-free version-store reads) and once as the locked baseline (a write
+// transaction taking an explicit Shared page lock per read, the 2PL
+// discipline a consistent read required before MVCC). The writers are
+// identical in both runs, so the delta is purely the read protocol.
+type SnapshotBenchOpts struct {
+	MaxSessions    int // sweep 1,2,4,... reader sessions up to here; 0 = 8
+	TxnsPerSession int // snapshot sessions / locked txns per reader; 0 = 30
+	ReadsPerTxn    int // shared-object reads per session or txn; 0 = 16
+	Writers        int // concurrent writer sessions, always running; 0 = 2
+	SharedObjects  int // shared working set; 0 = 256 (~64 pages)
+	ServerPool     int // server frames; 0 = 48
+	ClientPool     int // client frames per session; 0 = 8
+
+	ReadDelay  time.Duration // injected device latency per page read; 0 = 120µs
+	FlushDelay time.Duration // injected latency per log force; 0 = 240µs
+}
+
+func (o SnapshotBenchOpts) withDefaults() SnapshotBenchOpts {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&o.MaxSessions, 8)
+	def(&o.TxnsPerSession, 30)
+	def(&o.ReadsPerTxn, 16)
+	def(&o.Writers, 2)
+	def(&o.SharedObjects, 256)
+	def(&o.ServerPool, 48)
+	def(&o.ClientPool, 8)
+	if o.ReadDelay == 0 {
+		o.ReadDelay = 120 * time.Microsecond
+	}
+	if o.FlushDelay == 0 {
+		o.FlushDelay = 240 * time.Microsecond
+	}
+	return o
+}
+
+func (o SnapshotBenchOpts) sessionCounts() []int {
+	var out []int
+	for c := 1; c < o.MaxSessions; c *= 2 {
+		out = append(out, c)
+	}
+	return append(out, o.MaxSessions)
+}
+
+// SnapshotPoint is one measured reader-session count, snapshot mode vs the
+// locked-read baseline. ReaderLockGrants is the lock-manager grant delta
+// minus the grants the writers took — i.e. locks attributable to the read
+// path. The acceptance bar: zero in snapshot mode at every point.
+type SnapshotPoint struct {
+	Sessions int `json:"sessions"`
+
+	SnapOps       int64   `json:"snap_ops"`
+	SnapSeconds   float64 `json:"snap_seconds"`
+	SnapOpsPerSec float64 `json:"snap_ops_per_sec"`
+
+	LockedOps       int64   `json:"locked_ops"`
+	LockedSeconds   float64 `json:"locked_seconds"`
+	LockedOpsPerSec float64 `json:"locked_ops_per_sec"`
+
+	Speedup float64 `json:"speedup_vs_locked"`
+
+	SnapReaderLockGrants   int64 `json:"snap_reader_lock_grants"`
+	LockedReaderLockGrants int64 `json:"locked_reader_lock_grants"`
+	SnapLockWaits          int64 `json:"snap_lock_waits"`
+	LockedLockWaits        int64 `json:"locked_lock_waits"`
+
+	SnapWriterCommits   int64 `json:"snap_writer_commits"`
+	LockedWriterCommits int64 `json:"locked_writer_commits"`
+}
+
+// snapWriter updates random shared objects under an Exclusive page lock
+// until stop closes. Each transaction takes exactly one lock while holding
+// none, so writers can never complete a waits-for cycle; lockCalls counts
+// the grants they consume so readers' share can be computed by subtraction.
+func snapWriter(env *concEnv, o SnapshotBenchOpts, slot int, stop <-chan struct{},
+	commits *atomic.Int64, lockCalls *atomic.Int64) error {
+	c := esm.NewClient(esm.NewInProcTransport(env.srv), esm.ClientConfig{BufferPages: o.ClientPool})
+	rng := rand.New(rand.NewSource(int64(9000 + slot)))
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		oid := env.shared[rng.Intn(len(env.shared))]
+		if err := c.Begin(); err != nil {
+			return err
+		}
+		if err := c.Lock(lock.KindPage, uint32(oid.Page), lock.Exclusive); err != nil {
+			return err
+		}
+		lockCalls.Add(1)
+		data, off, frame, err := c.ReadObjectAt(oid)
+		if err != nil {
+			return err
+		}
+		old := append([]byte(nil), data[:12]...)
+		putValue(data, rng.Uint64())
+		c.Pool().MarkDirty(frame)
+		c.LogUpdate(oid.Page, off, old, append([]byte(nil), data[:12]...))
+		if err := c.Commit(); err != nil {
+			return err
+		}
+		commits.Add(1)
+	}
+}
+
+// snapReader runs one reader session's bursts. In snapshot mode each burst
+// is a snapshot session; in locked mode it is a write transaction taking a
+// Shared page lock before every read, in ascending page order (single-lock
+// writers plus ordered readers make the lock graph acyclic, so the 2PL
+// baseline measures contention, not deadlock timeouts).
+func snapReader(env *concEnv, o SnapshotBenchOpts, slot int, snapshot bool,
+	ops *atomic.Int64, lockCalls *atomic.Int64) error {
+	c := esm.NewClient(esm.NewInProcTransport(env.srv), esm.ClientConfig{BufferPages: o.ClientPool})
+	rng := rand.New(rand.NewSource(int64(100 + slot)))
+	for t := 0; t < o.TxnsPerSession; t++ {
+		oids := make([]esm.OID, o.ReadsPerTxn)
+		for i := range oids {
+			oids[i] = env.shared[rng.Intn(len(env.shared))]
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i].Page < oids[j].Page })
+		if snapshot {
+			if err := c.BeginSnapshot(); err != nil {
+				return err
+			}
+		} else if err := c.Begin(); err != nil {
+			return err
+		}
+		for _, oid := range oids {
+			if !snapshot {
+				if err := c.Lock(lock.KindPage, uint32(oid.Page), lock.Shared); err != nil {
+					return err
+				}
+				lockCalls.Add(1)
+			}
+			if _, _, err := c.ReadObject(oid); err != nil {
+				return err
+			}
+			ops.Add(1)
+		}
+		if snapshot {
+			if err := c.EndSnapshot(); err != nil {
+				return err
+			}
+		} else if err := c.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureSnap runs one (session count, mode) cell against a fresh database.
+func measureSnap(o SnapshotBenchOpts, sessions int, snapshot bool) (SnapshotPoint, error) {
+	pt := SnapshotPoint{Sessions: sessions}
+	env, err := buildConcEnv(ConcurrencyOpts{
+		MaxClients:    sessions,
+		SharedObjects: o.SharedObjects,
+		ServerPool:    o.ServerPool,
+		ClientPool:    o.ClientPool,
+		ReadDelay:     o.ReadDelay,
+		FlushDelay:    o.FlushDelay,
+		MVCC:          true,
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer env.close()
+	before, err := env.stats()
+	if err != nil {
+		return pt, err
+	}
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	var commits, writerLocks, readerLocks, ops atomic.Int64
+	writerErrs := make([]error, o.Writers)
+	for w := 0; w < o.Writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			writerErrs[w] = snapWriter(env, o, w, stop, &commits, &writerLocks)
+		}(w)
+	}
+
+	readerErrs := make([]error, sessions)
+	var readerWG sync.WaitGroup
+	start := time.Now()
+	for slot := 0; slot < sessions; slot++ {
+		readerWG.Add(1)
+		go func(slot int) {
+			defer readerWG.Done()
+			readerErrs[slot] = snapReader(env, o, slot, snapshot, &ops, &readerLocks)
+		}(slot)
+	}
+	readerWG.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	writerWG.Wait()
+	for slot, err := range append(readerErrs, writerErrs...) {
+		if err != nil {
+			return pt, fmt.Errorf("session %d: %w", slot, err)
+		}
+	}
+
+	after, err := env.stats()
+	if err != nil {
+		return pt, err
+	}
+	readerGrants := (after.LockGrants - before.LockGrants) - writerLocks.Load()
+	waits := after.LockWaits - before.LockWaits
+	if snapshot {
+		pt.SnapOps = ops.Load()
+		pt.SnapSeconds = elapsed
+		pt.SnapOpsPerSec = ratio(float64(pt.SnapOps), elapsed)
+		pt.SnapReaderLockGrants = readerGrants
+		pt.SnapLockWaits = waits
+		pt.SnapWriterCommits = commits.Load()
+	} else {
+		pt.LockedOps = ops.Load()
+		pt.LockedSeconds = elapsed
+		pt.LockedOpsPerSec = ratio(float64(pt.LockedOps), elapsed)
+		pt.LockedReaderLockGrants = readerGrants
+		pt.LockedLockWaits = waits
+		pt.LockedWriterCommits = commits.Load()
+	}
+	return pt, nil
+}
+
+// RunSnapshotBench sweeps reader-session counts and returns one point per
+// count, each carrying both the snapshot measurement and the locked-read
+// baseline over an identical fresh database and writer load.
+func RunSnapshotBench(opts SnapshotBenchOpts) ([]SnapshotPoint, error) {
+	o := opts.withDefaults()
+	var pts []SnapshotPoint
+	for _, n := range o.sessionCounts() {
+		sp, err := measureSnap(o, n, true)
+		if err != nil {
+			return nil, err
+		}
+		lp, err := measureSnap(o, n, false)
+		if err != nil {
+			return nil, err
+		}
+		sp.LockedOps = lp.LockedOps
+		sp.LockedSeconds = lp.LockedSeconds
+		sp.LockedOpsPerSec = lp.LockedOpsPerSec
+		sp.LockedReaderLockGrants = lp.LockedReaderLockGrants
+		sp.LockedLockWaits = lp.LockedLockWaits
+		sp.LockedWriterCommits = lp.LockedWriterCommits
+		sp.Speedup = ratio(sp.SnapOpsPerSec, sp.LockedOpsPerSec)
+		pts = append(pts, sp)
+	}
+	return pts, nil
+}
+
+// SnapshotExp ("oo7bench -snapshot") runs the read-mostly sweep and emits
+// its table. Wall-clock, so not part of "-exp all" (whose output stays
+// byte-identical to the paper baseline).
+func (s *Suite) SnapshotExp(opts SnapshotBenchOpts) error {
+	o := opts.withDefaults()
+	pts, err := RunSnapshotBench(o)
+	if err != nil {
+		return err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Snapshot reads: %d writer(s) vs 1-%d reader sessions, MVCC snapshot vs Shared-lock baseline (wall clock)",
+			o.Writers, o.MaxSessions),
+		Columns: []string{"sessions", "snap ops/sec", "locked ops/sec", "speedup",
+			"snap rd-locks", "locked rd-locks", "snap waits", "locked waits",
+			"snap wr-commits", "locked wr-commits"},
+	}
+	for _, p := range pts {
+		t.AddRow(d(int64(p.Sessions)), ms(p.SnapOpsPerSec), ms(p.LockedOpsPerSec),
+			f1(p.Speedup)+"x", d(p.SnapReaderLockGrants), d(p.LockedReaderLockGrants),
+			d(p.SnapLockWaits), d(p.LockedLockWaits),
+			d(p.SnapWriterCommits), d(p.LockedWriterCommits))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("wall-clock bench; injected device latency: %v/page read, %v/log force; %d shared objects",
+			o.ReadDelay, o.FlushDelay, o.SharedObjects),
+		"rd-locks = lock-manager grants minus the writers' own; the snapshot column must be 0 — readers never touch the lock manager",
+		"locked baseline: each read burst is a 2PL transaction taking a Shared page lock per read while writers take Exclusive locks")
+	s.emit(t)
+	return nil
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// shortSnapOpts shrinks the snapshot sweep so -race CI runs it in seconds
+// while keeping real contention: writers take Exclusive page locks on the
+// same working set the readers sweep.
+func shortSnapOpts(maxSessions int) SnapshotBenchOpts {
+	return SnapshotBenchOpts{
+		MaxSessions:    maxSessions,
+		TxnsPerSession: 6,
+		ReadsPerTxn:    8,
+		Writers:        2,
+		SharedObjects:  128,
+		ServerPool:     32,
+		ReadDelay:      80 * time.Microsecond,
+		FlushDelay:     160 * time.Microsecond,
+	}
+}
+
+// TestSnapshotBenchLockFree is the wire-level acceptance check for the MVCC
+// read path: across the whole sweep, the snapshot runs must register ZERO
+// reader-attributable lock-manager grants, while the 2PL baseline registers
+// exactly one per read. Both modes must complete every read and keep the
+// writers committing.
+func TestSnapshotBenchLockFree(t *testing.T) {
+	o := shortSnapOpts(4)
+	pts, err := RunSnapshotBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // 1, 2, 4
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for i, want := range []int{1, 2, 4} {
+		p := pts[i]
+		if p.Sessions != want {
+			t.Fatalf("point %d: sessions = %d, want %d", i, p.Sessions, want)
+		}
+		wantOps := int64(p.Sessions * o.TxnsPerSession * o.ReadsPerTxn)
+		if p.SnapOps != wantOps || p.LockedOps != wantOps {
+			t.Errorf("%d sessions: ops snap=%d locked=%d, want %d",
+				p.Sessions, p.SnapOps, p.LockedOps, wantOps)
+		}
+		if p.SnapReaderLockGrants != 0 {
+			t.Errorf("%d sessions: snapshot readers took %d lock grants, want 0",
+				p.Sessions, p.SnapReaderLockGrants)
+		}
+		// Re-locking a page already held by the transaction is a no-op
+		// grant-wise, so the locked baseline lands at one grant per
+		// DISTINCT page per transaction: positive, bounded by the reads.
+		if p.LockedReaderLockGrants <= 0 || p.LockedReaderLockGrants > wantOps {
+			t.Errorf("%d sessions: locked readers took %d lock grants, want (0, %d]",
+				p.Sessions, p.LockedReaderLockGrants, wantOps)
+		}
+		if p.SnapWriterCommits <= 0 || p.LockedWriterCommits <= 0 {
+			t.Errorf("%d sessions: writers idle (snap %d, locked %d commits)",
+				p.Sessions, p.SnapWriterCommits, p.LockedWriterCommits)
+		}
+		if p.SnapOpsPerSec <= 0 || p.LockedOpsPerSec <= 0 {
+			t.Errorf("%d sessions: degenerate timing snap=%v locked=%v",
+				p.Sessions, p.SnapOpsPerSec, p.LockedOpsPerSec)
+		}
+	}
+	top := pts[len(pts)-1]
+	t.Logf("snapshot sweep: %d sessions %.0f ops/sec vs locked %.0f (%.1fx), locked waits %d",
+		top.Sessions, top.SnapOpsPerSec, top.LockedOpsPerSec, top.Speedup, top.LockedLockWaits)
+}

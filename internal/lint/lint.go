@@ -54,6 +54,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerMustCheck(),
 		AnalyzerCrashPoint(),
 		AnalyzerQuorumAck(),
+		AnalyzerSnapRead(),
 	}
 }
 

@@ -60,6 +60,7 @@ func TestGoldenFixtures(t *testing.T) {
 		"mustcheck":   AnalyzerMustCheck(),
 		"crashpoint":  AnalyzerCrashPoint(),
 		"quorumack":   AnalyzerQuorumAck(),
+		"snapread":    AnalyzerSnapRead(),
 	}
 	for fixture, analyzer := range fixtures {
 		t.Run(fixture, func(t *testing.T) {

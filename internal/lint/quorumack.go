@@ -17,10 +17,13 @@ import (
 // implementations it tail-returns (`return nil, s.commit(...)`, followed
 // transitively through same-package tail calls), and flags any literal
 // nil-error return not preceded — in an enclosing statement sequence — by
-// a statement containing a WaitQuorum call. The gate legitimately hides
-// behind a `replWaiter() != nil` guard (single-node mode skips it by
-// design), so the analyzer checks gate dominance in the statement
-// structure, not path feasibility through the guard.
+// a statement containing a WaitQuorum call — or a call to a same-package
+// gate function that provably wraps one (see gateFuncs); the commit
+// implementation may return the commit LSN, with the ack built around the
+// call rather than tail-returned. The gate legitimately hides behind a
+// `replWaiter() != nil` guard (single-node mode skips it by design), so
+// the analyzer checks gate dominance in the statement structure, not path
+// feasibility through the guard.
 func AnalyzerQuorumAck() *Analyzer {
 	return &Analyzer{
 		Name: "quorumack",
@@ -32,6 +35,7 @@ func AnalyzerQuorumAck() *Analyzer {
 func runQuorumAck(prog *Program, report func(pos token.Pos, format string, args ...interface{})) {
 	for _, pkg := range prog.Packages {
 		decls := packageFuncDecls(pkg)
+		gates := gateFuncs(pkg, decls)
 		checked := map[*ast.FuncDecl]bool{}
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -46,7 +50,7 @@ func runQuorumAck(prog *Program, report func(pos token.Pos, format string, args 
 					}
 					// Inline acks in the dispatch clause itself.
 					if funcLastResultIsError(pkg, fd) {
-						quorumScan(pkg, cc.Body, false, func(pos token.Pos) {
+						quorumScan(pkg, cc.Body, false, gates, func(pos token.Pos) {
 							report(pos, "OpCommit acked without a WaitQuorum gate: a commit acknowledged here can be lost on failover")
 						})
 					}
@@ -65,7 +69,7 @@ func runQuorumAck(prog *Program, report func(pos token.Pos, format string, args 
 						if !funcLastResultIsError(pkg, impl) {
 							continue
 						}
-						quorumScan(pkg, impl.Body.List, false, func(pos token.Pos) {
+						quorumScan(pkg, impl.Body.List, false, gates, func(pos token.Pos) {
 							report(pos, "commit success path is not dominated by a WaitQuorum gate: the ack can outrun quorum durability and be lost on failover")
 						})
 						work = append(work, tailCallees(pkg, decls, impl.Body.List)...)
@@ -156,13 +160,41 @@ func tailCallees(pkg *Package, decls map[*types.Func]*ast.FuncDecl, stmts []ast.
 	return out
 }
 
+// gateFuncs computes the package's gate functions: functions (last result
+// error) that contain a WaitQuorum call and whose every literal nil-error
+// return is dominated by it. Calling such a function IS passing the gate —
+// the commit implementation may wrap the WaitQuorum wait and hand its
+// caller a commit LSN, with the ack built around the call rather than
+// tail-returned. Iterated to a fixed point so gates compose.
+func gateFuncs(pkg *Package, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	gates := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if gates[fn] || !funcLastResultIsError(pkg, fd) {
+				continue
+			}
+			if !containsWaitQuorum(pkg, fd.Body, gates) {
+				continue
+			}
+			clean := true
+			quorumScan(pkg, fd.Body.List, false, gates, func(token.Pos) { clean = false })
+			if clean {
+				gates[fn] = true
+				changed = true
+			}
+		}
+	}
+	return gates
+}
+
 // quorumScan walks a statement sequence in order, flagging every literal
 // nil-error return (success ack) no earlier statement containing a
-// WaitQuorum call dominates. seen carries gates established by enclosing
-// sequences; the updated value is returned so siblings after a nested
-// gate see it. Function literals are skipped: their returns are not the
-// commit path's.
-func quorumScan(pkg *Package, stmts []ast.Stmt, seen bool, flag func(pos token.Pos)) bool {
+// WaitQuorum call (or a call to a gate function) dominates. seen carries
+// gates established by enclosing sequences; the updated value is returned
+// so siblings after a nested gate see it. Function literals are skipped:
+// their returns are not the commit path's.
+func quorumScan(pkg *Package, stmts []ast.Stmt, seen bool, gates map[*types.Func]bool, flag func(pos token.Pos)) bool {
 	for _, st := range stmts {
 		switch st := st.(type) {
 		case *ast.ReturnStmt:
@@ -170,44 +202,44 @@ func quorumScan(pkg *Package, stmts []ast.Stmt, seen bool, flag func(pos token.P
 				flag(st.Pos())
 			}
 		case *ast.BlockStmt:
-			quorumScan(pkg, st.List, seen, flag)
+			quorumScan(pkg, st.List, seen, gates, flag)
 		case *ast.IfStmt:
 			// A gate in the init or condition (`if err :=
 			// q.WaitQuorum(...); err == nil`) dominates both branches.
 			inner := seen
-			if (st.Init != nil && containsWaitQuorum(pkg, st.Init)) || containsWaitQuorum(pkg, st.Cond) {
+			if (st.Init != nil && containsWaitQuorum(pkg, st.Init, gates)) || containsWaitQuorum(pkg, st.Cond, gates) {
 				inner = true
 			}
-			quorumScan(pkg, st.Body.List, inner, flag)
+			quorumScan(pkg, st.Body.List, inner, gates, flag)
 			if st.Else != nil {
-				quorumScan(pkg, []ast.Stmt{st.Else}, inner, flag)
+				quorumScan(pkg, []ast.Stmt{st.Else}, inner, gates, flag)
 			}
 		case *ast.ForStmt:
-			quorumScan(pkg, st.Body.List, seen, flag)
+			quorumScan(pkg, st.Body.List, seen, gates, flag)
 		case *ast.RangeStmt:
-			quorumScan(pkg, st.Body.List, seen, flag)
+			quorumScan(pkg, st.Body.List, seen, gates, flag)
 		case *ast.SwitchStmt:
 			for _, c := range st.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
-					quorumScan(pkg, cc.Body, seen, flag)
+					quorumScan(pkg, cc.Body, seen, gates, flag)
 				}
 			}
 		case *ast.TypeSwitchStmt:
 			for _, c := range st.Body.List {
 				if cc, ok := c.(*ast.CaseClause); ok {
-					quorumScan(pkg, cc.Body, seen, flag)
+					quorumScan(pkg, cc.Body, seen, gates, flag)
 				}
 			}
 		case *ast.SelectStmt:
 			for _, c := range st.Body.List {
 				if cc, ok := c.(*ast.CommClause); ok {
-					quorumScan(pkg, cc.Body, seen, flag)
+					quorumScan(pkg, cc.Body, seen, gates, flag)
 				}
 			}
 		case *ast.LabeledStmt:
-			quorumScan(pkg, []ast.Stmt{st.Stmt}, seen, flag)
+			quorumScan(pkg, []ast.Stmt{st.Stmt}, seen, gates, flag)
 		}
-		if containsWaitQuorum(pkg, st) {
+		if containsWaitQuorum(pkg, st, gates) {
 			seen = true
 		}
 	}
@@ -227,8 +259,9 @@ func returnsNilError(pkg *Package, ret *ast.ReturnStmt) bool {
 
 // containsWaitQuorum reports whether n's subtree calls a method named
 // WaitQuorum — the quorum gate, whether through the QuorumWaiter
-// interface or a concrete node.
-func containsWaitQuorum(pkg *Package, n ast.Node) bool {
+// interface or a concrete node — or a same-package gate function that
+// provably wraps one (see gateFuncs).
+func containsWaitQuorum(pkg *Package, n ast.Node, gates map[*types.Func]bool) bool {
 	found := false
 	ast.Inspect(n, func(n ast.Node) bool {
 		if found {
@@ -238,7 +271,7 @@ func containsWaitQuorum(pkg *Package, n ast.Node) bool {
 		if !ok {
 			return true
 		}
-		if fn := staticCallee(pkg, call); fn != nil && fn.Name() == "WaitQuorum" {
+		if fn := staticCallee(pkg, call); fn != nil && (fn.Name() == "WaitQuorum" || gates[fn]) {
 			found = true
 			return false
 		}

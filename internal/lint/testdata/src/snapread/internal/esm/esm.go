@@ -1,0 +1,41 @@
+// Package esm is a snapread-fixture mirror of the page server's snapshot
+// session handlers.
+package esm
+
+import "quickstore/internal/lock"
+
+// Server holds the lock manager the snapshot paths must never touch.
+type Server struct {
+	locks *lock.Manager
+}
+
+// snapRead calls Acquire directly: the flagrant violation.
+func (s *Server) snapRead(pid uint32, snap uint64) ([]byte, error) {
+	if err := s.locks.Acquire(0, uint64(pid), 1); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// pinPage is the lock tail; harmless until a snapshot root reaches it.
+func (s *Server) pinPage(pid uint32) bool {
+	return s.locks.TryAcquire(0, uint64(pid), 1)
+}
+
+// endSnapshot reaches TryAcquire through pinPage: the transitive violation.
+func (s *Server) endSnapshot(snap uint64) error {
+	s.pinPage(uint32(snap))
+	return nil
+}
+
+// beginSnapshot stays off the lock manager entirely: the clean negative.
+// (Release is not a grant, so touching it is legal.)
+func (s *Server) beginSnapshot(lastSeen uint64) (uint64, error) {
+	s.locks.Release(0)
+	return lastSeen + 1, nil
+}
+
+// lockedRead is a non-snapshot path: acquiring here is fine.
+func (s *Server) lockedRead(pid uint32) error {
+	return s.locks.Acquire(0, uint64(pid), 1)
+}

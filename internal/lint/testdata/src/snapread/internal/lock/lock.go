@@ -1,0 +1,15 @@
+// Package lock is a snapread-fixture mirror of the real lock manager: the
+// analyzer keys on this package path and these method names.
+package lock
+
+// Manager is the lock-grant surface.
+type Manager struct{}
+
+// Acquire grants a lock, blocking.
+func (m *Manager) Acquire(tx uint64, res uint64, mode int) error { return nil }
+
+// TryAcquire grants a lock without blocking.
+func (m *Manager) TryAcquire(tx uint64, res uint64, mode int) bool { return true }
+
+// Release is not a grant; calling it from a read path is legal.
+func (m *Manager) Release(tx uint64) {}

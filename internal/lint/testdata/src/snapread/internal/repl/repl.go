@@ -1,0 +1,22 @@
+// Package repl is a snapread-fixture mirror of the follower's
+// point-in-time read path.
+package repl
+
+import "quickstore/internal/lock"
+
+// Node is the replication peer.
+type Node struct {
+	locks *lock.Manager
+}
+
+// handleSnapBegin stays off the lock manager: the clean negative.
+func (n *Node) handleSnapBegin(lastSeen uint64) uint64 {
+	return lastSeen + 1
+}
+
+// snapReadPage demonstrates the suppression directive on a deliberate,
+// documented grant inside a snapshot root.
+func (n *Node) snapReadPage(pid uint32, snap uint64) error {
+	//qsvet:ignore snapread fixture: demonstrating the suppression directive
+	return n.locks.Acquire(0, uint64(pid), 1)
+}

@@ -1,0 +1,241 @@
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quickstore/internal/wal"
+)
+
+func img(b byte) []byte { return []byte{b, b, b, b} }
+
+// A snapshot below a commit boundary selects the version that commit
+// retired; a snapshot at or above it falls through to the live page.
+func TestLookupSelectsSmallestBoundaryAbove(t *testing.T) {
+	s := New(-1)
+	s.Pin(0) // keep everything
+	s.CaptureBefore(7, 1, img(0xA))
+	s.Commit(1, 10)
+	s.CaptureBefore(7, 2, img(0xB))
+	s.Commit(2, 20)
+
+	cases := []struct {
+		at   wal.LSN
+		want byte // 0 = live page
+	}{
+		{5, 0xA}, {9, 0xA}, {10, 0xB}, {19, 0xB}, {20, 0}, {99, 0},
+	}
+	for _, c := range cases {
+		got, err := s.Lookup(7, c.at)
+		if err != nil {
+			t.Fatalf("Lookup(7, %d): %v", c.at, err)
+		}
+		switch {
+		case c.want == 0 && got != nil:
+			t.Errorf("Lookup(7, %d) = %x, want live page", c.at, got)
+		case c.want != 0 && (got == nil || got[0] != c.want):
+			t.Errorf("Lookup(7, %d) = %x, want %x", c.at, got, c.want)
+		}
+	}
+	if got, _ := s.Lookup(999, 5); got != nil {
+		t.Errorf("untouched page resolved to a version")
+	}
+}
+
+// While a writer is uncommitted the live frame holds its bytes, so every
+// snapshot must see the pending before-image; after commit the image
+// becomes a bounded version and new snapshots see the live page again.
+func TestPendingImageShieldsUncommittedWriter(t *testing.T) {
+	s := New(-1)
+	s.Pin(50)
+	s.CaptureBefore(3, 9, img(0xC))
+	if got, _ := s.Lookup(3, 50); got == nil || got[0] != 0xC {
+		t.Fatalf("pending image not served: %x", got)
+	}
+	// Second install by the same tx must not re-capture.
+	s.CaptureBefore(3, 9, img(0xD))
+	if got, _ := s.Lookup(3, 50); got == nil || got[0] != 0xC {
+		t.Fatalf("recapture overwrote first before-image: %x", got)
+	}
+	s.Commit(9, 60)
+	if got, _ := s.Lookup(3, 50); got == nil || got[0] != 0xC {
+		t.Fatalf("committed version lost: %x", got)
+	}
+	if got, _ := s.Lookup(3, 60); got != nil {
+		t.Fatalf("snapshot at commit boundary should see live page, got %x", got)
+	}
+}
+
+func TestAbortDiscardsPending(t *testing.T) {
+	s := New(-1)
+	s.CaptureBefore(3, 9, img(0xC))
+	s.Abort(9)
+	if got, _ := s.Lookup(3, 1); got != nil {
+		t.Fatalf("aborted writer's image survived: %x", got)
+	}
+	if b := s.Bytes(); b != 0 {
+		t.Fatalf("bytes after abort = %d, want 0", b)
+	}
+}
+
+// Versions are reclaimed the moment no pinned snapshot can select them,
+// and retained while one can.
+func TestPinRetainsUnpinReclaims(t *testing.T) {
+	s := New(-1)
+	s.Pin(5)
+	s.CaptureBefore(1, 1, img(0xA))
+	s.Commit(1, 10) // selectable by S in [0,10): pinned 5 needs it
+	if st := s.Stats(); st.Versions != 1 {
+		t.Fatalf("version reclaimed under pin: %+v", st)
+	}
+	s.Unpin(5)
+	if st := s.Stats(); st.Versions != 0 || st.Bytes != 0 || st.Reclaimed != 1 {
+		t.Fatalf("version not reclaimed after unpin: %+v", st)
+	}
+}
+
+// The byte cap evicts the globally oldest version and poisons snapshots
+// below the evicted boundary with ErrSnapshotTooOld.
+func TestByteCapEvictsAndPoisons(t *testing.T) {
+	s := New(8) // two 4-byte images
+	s.Pin(1)
+	s.CaptureBefore(1, 1, img(0xA))
+	s.Commit(1, 10)
+	s.CaptureBefore(2, 2, img(0xB))
+	s.Commit(2, 20)
+	// Third version busts the cap; version (page 1, until 10) is oldest.
+	s.CaptureBefore(3, 3, img(0xC))
+	s.Commit(3, 30)
+	if st := s.Stats(); st.Evicted == 0 || st.Bytes > 8 {
+		t.Fatalf("cap not enforced: %+v", st)
+	}
+	if _, err := s.Lookup(1, 5); err != ErrSnapshotTooOld {
+		t.Fatalf("Lookup below evicted boundary: err = %v, want ErrSnapshotTooOld", err)
+	}
+	// Pages whose versions survived still resolve.
+	if got, err := s.Lookup(3, 25); err != nil || got == nil || got[0] != 0xC {
+		t.Fatalf("surviving version lost: %x, %v", got, err)
+	}
+}
+
+// Bounded-memory stress (the satellite-4 test, run under -race): writers
+// capture+commit continuously, snapshot readers pin/lookup/unpin, and a
+// checkpoint-shaped consumer advances past old LSNs. The store must stay
+// within cap + pending slack throughout, and drain to zero once every pin
+// is released and all transactions are resolved.
+func TestGCStressBoundedMemory(t *testing.T) {
+	const (
+		maxBytes = 64 << 10
+		pages    = 64
+		writers  = 4
+		readers  = 4
+		rounds   = 400
+		imgSize  = 128
+	)
+	s := New(maxBytes)
+	var lsn atomic.Uint64 // monotone commit clock
+	lsn.Store(1)
+	var txSeq atomic.Uint64
+
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			buf := make([]byte, imgSize)
+			for r := 0; r < rounds; r++ {
+				tx := txSeq.Add(1)
+				for p := 0; p < 4; p++ {
+					pid := uint32((w*rounds+r*7+p*13)%pages + 1)
+					s.CaptureBefore(pid, tx, buf)
+				}
+				if r%10 == 9 {
+					s.Abort(tx)
+				} else {
+					s.Commit(tx, wal.LSN(lsn.Add(1)))
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		readerWG.Add(1)
+		go func(rd int) {
+			defer readerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at := wal.LSN(lsn.Load())
+				s.Pin(at)
+				for p := 0; p < 8; p++ {
+					pid := uint32((rd*31+i*3+p)%pages + 1)
+					if _, err := s.Lookup(pid, at); err != nil && err != ErrSnapshotTooOld {
+						t.Errorf("reader %d: %v", rd, err)
+					}
+				}
+				s.Unpin(at)
+			}
+		}(rd)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for w := 0; w < writers*rounds/10; w++ {
+			// Pending images are exempt from the cap (correctness requires
+			// them), so allow slack for in-flight transactions.
+			if b := s.Bytes(); b > maxBytes+writers*4*imgSize {
+				t.Errorf("retained bytes %d exceed cap %d + pending slack", b, maxBytes)
+				return
+			}
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	<-done
+
+	// All writers resolved, no pins left: everything must be reclaimable.
+	s.Pin(wal.LSN(lsn.Load()) + 1)
+	s.Unpin(wal.LSN(lsn.Load()) + 1) // force a GC pass
+	st := s.Stats()
+	if st.Bytes != 0 || st.Versions != 0 || st.Pending != 0 {
+		t.Fatalf("store did not drain after quiesce: %+v", st)
+	}
+}
+
+// Sanity for the stress loop's key invariant in miniature: a pin taken at
+// the current clock never needs versions at or below it.
+func TestFreshPinNeedsNothingOld(t *testing.T) {
+	s := New(-1)
+	for i := 1; i <= 8; i++ {
+		tx := uint64(i)
+		s.CaptureBefore(uint32(i), tx, img(byte(i)))
+		s.Commit(tx, wal.LSN(i*10))
+	}
+	s.Pin(80) // == newest boundary: selects none of them
+	if st := s.Stats(); st.Versions != 0 {
+		t.Fatalf("versions survived a fresh pin at the clock: %+v", st)
+	}
+	s.Unpin(80)
+}
+
+func BenchmarkCaptureCommitLookup(b *testing.B) {
+	s := New(-1)
+	image := make([]byte, 8192)
+	for i := 0; i < b.N; i++ {
+		tx := uint64(i + 1)
+		pid := uint32(i%256 + 1)
+		s.CaptureBefore(pid, tx, image)
+		s.Commit(tx, wal.LSN(i+1))
+		if _, err := s.Lookup(pid, wal.LSN(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprintf("%d", s.Bytes())
+}

@@ -147,6 +147,14 @@ func (d *Director) Call(req *esm.Request) (*esm.Response, error) {
 			}
 			continue // refused before executing: always safe to retry
 		}
+		if resp.Err != "" && esm.IsSnapshotBehind(errors.New(resp.Err)) {
+			// This replica hasn't received a commit (or snapshot LSN) the
+			// client already saw; another replica may have it. Refused
+			// before executing, so always safe to retry.
+			lastErr = errors.New(resp.Err)
+			d.advance(idx)
+			continue
+		}
 		if resp.Err != "" && faultinject.IsCrash(errors.New(resp.Err)) {
 			// A crashed node's latch refuses requests before executing
 			// them, so failing over a session-opening Begin is safe; any

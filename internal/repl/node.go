@@ -311,6 +311,25 @@ func (n *Node) Handle(req *esm.Request) *esm.Response {
 			return n.handleRegister(req)
 		}
 		return &esm.Response{Err: fmt.Sprintf("repl: unknown ack mode %d", req.Mode)}
+	case esm.OpBeginSnapshot, esm.OpSnapRead, esm.OpEndSnapshot:
+		// Snapshot reads are served on every role: the leader answers from
+		// its version store, a follower by per-page point-in-time recovery
+		// over its installed volume plus shipped WAL (snapread.go). This is
+		// what keeps read-only sessions available across a failover.
+		n.mu.Lock()
+		role, srv := n.role, n.srv
+		n.mu.Unlock()
+		if role == RoleLeader && srv != nil {
+			return srv.Handle(req)
+		}
+		switch req.Op {
+		case esm.OpBeginSnapshot:
+			return n.handleSnapBegin(req)
+		case esm.OpSnapRead:
+			return n.handleSnapRead(req)
+		default:
+			return &esm.Response{} // follower snapshots pin nothing
+		}
 	}
 	n.mu.Lock()
 	role, srv := n.role, n.srv

@@ -28,7 +28,7 @@ func testCfg(id string, quorum int, plane *faultinject.Plane) Config {
 		Quorum:            quorum,
 		HeartbeatInterval: 10 * time.Millisecond,
 		QuorumTimeout:     5 * time.Second,
-		Server:            esm.ServerConfig{BufferPages: 64},
+		Server:            esm.ServerConfig{BufferPages: 64, MVCC: true},
 		Fault:             plane,
 	}
 }

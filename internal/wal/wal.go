@@ -159,6 +159,7 @@ type Log struct {
 	base    int    // LSN space consumed by truncated log generations
 	flushed int    // bytes already forced to backing storage
 	file    *os.File
+	path    string // backing file path; "" for memory logs
 	records int64
 	bytes   int64
 
@@ -197,7 +198,7 @@ func CreateFileLog(path string) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Log{file: f}, nil
+	return &Log{file: f, path: path}, nil
 }
 
 // OpenFileLog opens an existing file log and loads its contents for
@@ -217,16 +218,21 @@ func OpenFileLog(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l := &Log{buf: buf, flushed: len(buf), file: f}
+	l := &Log{buf: buf, flushed: len(buf), file: f, path: path}
 	// Count records for stats; stop at the first corrupt tail record
 	// (torn write at crash). Records carry absolute LSNs from before any
 	// truncation, so the base is recovered from the last record seen,
-	// keeping new LSNs monotone.
+	// keeping new LSNs monotone. A file always holds one contiguous LSN
+	// run (truncation rewrites it whole), so a record whose LSN breaks the
+	// run is leftover garbage, not log — prune there too.
 	valid := 0
 	lastEnd := 0
 	for off := 0; off < len(buf); {
 		rec, n, err := unmarshal(buf[off:])
 		if err != nil {
+			break
+		}
+		if valid > 0 && int(rec.LSN) != lastEnd+1 {
 			break
 		}
 		lastEnd = int(rec.LSN) - 1 + n
@@ -478,6 +484,84 @@ func (l *Log) Truncate() error {
 		}
 		return l.file.Sync()
 	}
+	return nil
+}
+
+// TruncateBefore discards every whole record that lies strictly below lsn,
+// keeping the tail. This is the fuzzy checkpoint's truncation: unlike
+// Truncate it does not require a quiescent store — the caller chooses a cut
+// below which no record can be needed for redo (the covered pages are on
+// the volume) or undo (no active transaction began below it) and the live
+// tail keeps its LSNs. A cut inside the unflushed tail is clamped to the
+// durable prefix; a cut that lands mid-record backs up to the preceding
+// record boundary. Subscription cursors inside the discarded generation
+// observe ErrCompacted and fall back to a snapshot, exactly as with
+// Truncate.
+func (l *Log) TruncateBefore(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	off := int(lsn) - 1 - l.base
+	if off > l.flushed {
+		off = l.flushed
+	}
+	if off <= 0 {
+		return nil
+	}
+	// Walk to the last record boundary at or below the cut. The buffer is
+	// record-aligned from 0, so this also refuses to split a record whose
+	// middle the (page-LSN-derived) cut points into.
+	boundary := 0
+	for boundary < off {
+		_, n, err := unmarshal(l.buf[boundary:])
+		if err != nil || boundary+n > off {
+			break
+		}
+		boundary += n
+	}
+	if boundary == 0 {
+		return nil
+	}
+	// The backing file is replaced atomically (write tail to a temp file,
+	// rename over the log): rewriting in place could lose durable tail
+	// records if a crash lands mid-rewrite, and the tail is exactly the
+	// part that is still needed. Crash before the rename keeps the old
+	// file whole (the cut simply didn't happen); crash after it leaves
+	// precisely the tail. The in-memory state changes only once the new
+	// file is in place.
+	var newFile *os.File
+	if l.file != nil {
+		tmp := l.path + ".truncating"
+		f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		tail := l.buf[boundary:l.flushed]
+		if len(tail) > 0 {
+			if _, err := f.WriteAt(tail, 0); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := os.Rename(tmp, l.path); err != nil {
+			f.Close()
+			return err
+		}
+		newFile = f
+	}
+	l.base += boundary
+	l.buf = append([]byte(nil), l.buf[boundary:]...)
+	l.flushed -= boundary
+	if newFile != nil {
+		l.file.Close()
+		l.file = newFile
+	}
+	// Wake subscribers: cursors below the new start must learn they are
+	// compacted and fall back to a snapshot.
+	l.signalDurableLocked()
 	return nil
 }
 

@@ -81,6 +81,11 @@ type Options struct {
 	PrefetchDepth   int
 	PrefetchBatch   int
 	PrefetchWorkers int
+	// MVCC enables the server's version store so Snapshot sessions work:
+	// read-only views at one consistent commit point that never touch the
+	// lock manager (DESIGN.md §15). Off by default (the paper's
+	// configuration; the experiment tables are byte-identical either way).
+	MVCC bool
 }
 
 // RelocationMode selects the Section 5.5 relocation policy.
@@ -139,7 +144,7 @@ func Open(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	clock := sim.NewClock(sim.DefaultCostModel())
-	srv, err := esm.OpenServer(vol, log, esm.ServerConfig{BufferPages: opts.ServerBufferPages, Clock: clock})
+	srv, err := esm.OpenServer(vol, log, esm.ServerConfig{BufferPages: opts.ServerBufferPages, Clock: clock, MVCC: opts.MVCC})
 	if err != nil {
 		vol.Close()
 		log.Close()
@@ -150,7 +155,7 @@ func Open(path string, opts Options) (*Store, error) {
 
 func create(vol disk.Volume, log *wal.Log, opts Options) (*Store, error) {
 	clock := sim.NewClock(sim.DefaultCostModel())
-	srv, err := esm.NewServer(vol, log, esm.ServerConfig{BufferPages: opts.ServerBufferPages, Clock: clock})
+	srv, err := esm.NewServer(vol, log, esm.ServerConfig{BufferPages: opts.ServerBufferPages, Clock: clock, MVCC: opts.MVCC})
 	if err != nil {
 		vol.Close()
 		log.Close()
@@ -235,9 +240,37 @@ func (s *Store) Update(fn func(tx *Tx) error) (err error) {
 }
 
 // View runs fn in a transaction expected to be read-only; it commits so the
-// paper's read-locking protocol completes, and aborts on error.
+// paper's read-locking protocol completes, and aborts on error. With
+// Options.MVCC, Snapshot is the cheaper consistent read.
 func (s *Store) View(fn func(tx *Tx) error) error {
 	return s.Update(fn)
+}
+
+// ErrSnapshotReadOnly is returned by write entry points used inside a
+// Snapshot session.
+var ErrSnapshotReadOnly = core.ErrSnapshotReadOnly
+
+// Snapshot runs fn in a read-only snapshot session (requires
+// Options.MVCC): every read sees the state as of one consistent commit
+// point no matter what commits concurrently through other sessions, and no
+// page locks are ever taken. Write entry points fail with
+// ErrSnapshotReadOnly. This is also the online-backup primitive: read the
+// whole object graph inside one Snapshot while writers proceed, and the
+// copy is transaction-consistent.
+func (s *Store) Snapshot(fn func(tx *Tx) error) error {
+	if s.inTx {
+		return errors.New("quickstore: Snapshot inside a transaction")
+	}
+	if err := s.core.BeginSnapshot(); err != nil {
+		return err
+	}
+	s.inTx = true
+	defer func() { s.inTx = false }()
+	ferr := fn(&Tx{s: s})
+	if err := s.core.EndSnapshot(); err != nil && ferr == nil {
+		return err
+	}
+	return ferr
 }
 
 // Cluster groups allocations onto shared pages.

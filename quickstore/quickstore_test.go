@@ -262,3 +262,72 @@ func TestStatsProgress(t *testing.T) {
 		t.Error("clock did not advance")
 	}
 }
+
+func TestSnapshotSession(t *testing.T) {
+	st, err := quickstore.CreateMem(quickstore.Options{MVCC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var node quickstore.Ref
+	if err := st.Update(func(tx *quickstore.Tx) error {
+		cl := tx.NewCluster()
+		node, _ = tx.Alloc(cl, 16, nil)
+		if err := tx.WriteU32(node, 7); err != nil {
+			return err
+		}
+		return tx.SetRoot("n", node)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = st.Snapshot(func(tx *quickstore.Tx) error {
+		r, err := tx.Root("n")
+		if err != nil {
+			return err
+		}
+		v, err := tx.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("snapshot read %d, want 7", v)
+		}
+		// Writes inside the snapshot session must be refused.
+		if err := tx.WriteU32(r, 99); !errors.Is(err, quickstore.ErrSnapshotReadOnly) {
+			t.Errorf("write inside snapshot: err = %v, want ErrSnapshotReadOnly", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refused write left nothing behind, and the store writes normally.
+	if err := st.Update(func(tx *quickstore.Tx) error {
+		v, err := tx.ReadU32(node)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("after snapshot: %d, want 7", v)
+		}
+		return tx.WriteU32(node, 8)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRequiresMVCC(t *testing.T) {
+	st, _ := quickstore.CreateMem(quickstore.Options{})
+	defer st.Close()
+	if err := st.Snapshot(func(*quickstore.Tx) error { return nil }); err == nil {
+		t.Fatal("Snapshot succeeded without Options.MVCC")
+	}
+	if err := st.Update(func(tx *quickstore.Tx) error {
+		if err := st.Snapshot(func(*quickstore.Tx) error { return nil }); err == nil {
+			t.Error("Snapshot allowed inside a transaction")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
