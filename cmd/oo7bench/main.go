@@ -9,6 +9,7 @@
 //	          fig13|table7|fig14|fig15|fig16|fig17|ablations|extras|verify|
 //	          prefetch|concurrency]
 //	          [-medium] [-list] [-json] [-clients N] [-net] [-addr host:port]
+//	          [-snapshot N] [-shards N]
 //
 // "-exp verify" asserts the paper's headline shape claims programmatically
 // (one PASS/FAIL line each) and exits nonzero if any fails; it requires the
@@ -33,6 +34,14 @@
 // lock-free snapshot reads A/B'd against the 2PL Shared-lock baseline,
 // both racing concurrent writers. The table goes to BENCH_snapshot.json;
 // the snapshot runs must show zero reader lock-manager grants.
+//
+// "-shards N" runs only the horizontal scale-out sweep (DESIGN.md §16): a
+// fixed session count over 1, 2, ..., N page servers behind client-side
+// shard routers, each point measured partitioned (one-phase commits only)
+// and mixed (a fraction of cross-shard presumed-abort 2PC commits). The
+// table goes to BENCH_shards.json; the run fails if a 4-shard point falls
+// below 3x the single-shard throughput or any transaction is left
+// unresolved.
 //
 // With -json, each experiment's tables are additionally written to
 // BENCH_<exp>.json in the current directory, for tracking results across
@@ -63,6 +72,7 @@ func main() {
 	netMode := flag.Bool("net", false, "run the concurrency bench over TCP: shared mux connection vs lock-step baseline (writes BENCH_net.json)")
 	addr := flag.String("addr", "", "with -net: benchmark an external page server at host:port instead of an in-process one")
 	snapshot := flag.Int("snapshot", 0, "run only the snapshot-read sweep, 1..N reader sessions vs the locked baseline (writes BENCH_snapshot.json); N<0 uses the default 8")
+	shards := flag.Int("shards", 0, "run only the horizontal scale-out sweep over 1..N shards (writes BENCH_shards.json); N<0 uses the default 4")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +82,26 @@ func main() {
 		return
 	}
 	suite := harness.NewSuite(os.Stdout, *medium)
+	if *shards != 0 {
+		opts := harness.ShardBenchOpts{}
+		if *shards > 0 {
+			opts.MaxShards = *shards
+		}
+		pts, err := suite.ShardExp(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON("shards", suite.TakeTables()); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := checkShardGate(pts); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *snapshot != 0 {
 		opts := harness.SnapshotBenchOpts{}
 		if *snapshot > 0 {
@@ -129,6 +159,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// checkShardGate enforces the scale-out acceptance floor: every point
+// must drain its 2PC state completely, and a 4-shard point must deliver
+// at least 3x the single-shard throughput.
+func checkShardGate(pts []harness.ShardPoint) error {
+	for _, p := range pts {
+		if p.UnresolvedOrInDoubt != 0 {
+			return fmt.Errorf("shards=%d left %d transactions unresolved or in doubt", p.Shards, p.UnresolvedOrInDoubt)
+		}
+		if p.Shards == 4 && p.Speedup < 3 {
+			return fmt.Errorf("4-shard speedup %.2fx is below the 3x acceptance floor", p.Speedup)
+		}
+	}
+	return nil
 }
 
 // benchFile is the on-disk schema of one BENCH_<exp>.json result.

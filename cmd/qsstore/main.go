@@ -5,9 +5,11 @@
 //	qsstore create     -db path.vol
 //	qsstore info       -db path.vol
 //	qsstore verify     -db path.vol
-//	qsstore stats      -db path.vol | -addr host:port
+//	qsstore stats      -db path.vol | -addr host:port | -shard-map spec
 //	qsstore serve      -db path.vol -listen host:port [-node-id name [-replica-of host:port] [-quorum n]]
-//	qsstore crashdrill [-repl] [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]
+//	                   [-shard-id n -shard-map spec [-resolve-every d]]
+//	qsstore crashdrill [-repl|-shards] [-point name] [-victim coord|participant]
+//	                   [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]
 //	qsstore replbench  [-out path]
 //
 // serve opens the volume (running restart recovery if the log demands it)
@@ -16,6 +18,16 @@
 // client sessions ("oo7bench -addr" is the matching load generator). The
 // process serves until killed; committed state is durable via the WAL, so
 // no orderly shutdown is required.
+//
+// With -shard-id and -shard-map the server serves one shard of a
+// horizontally partitioned cluster (DESIGN.md §16). The shard map — a
+// comma-separated endpoint list, one entry per shard, identical on every
+// node and client — is the single source of routing truth; clients route
+// through it with "shard.Dial". Each shard is an ordinary page server in
+// its own local id space, so sharding composes with replication: a map
+// entry may be a "|"-separated replica group. The process also runs the
+// presumed-abort resolution sweep every -resolve-every (default 15s),
+// settling transactions left in doubt by a coordinator or client crash.
 //
 // With -node-id the server joins a replication cluster (DESIGN.md §14).
 // Without -replica-of it serves as the leader: commits are acked only
@@ -43,6 +55,11 @@
 // With -repl the drill runs against a 3-node replication cluster instead
 // (DESIGN.md §14): the leader is killed at the armed point, a follower is
 // elected, and every quorum-acked commit must survive the failover.
+// With -shards it runs the sharded 2PC drill (DESIGN.md §16): a two-shard
+// cluster whose coordinator or participant (-victim) is killed at a 2PC
+// crash point (-point; default: the full victim x point matrix), both
+// shards restarted and swept, and every cross-shard transaction checked
+// for atomicity — committed on both shards or neither, never mixed.
 //
 // replbench measures quorum-commit throughput against a single-node
 // baseline at 1, 2, and 4 sessions and writes the sweep to
@@ -64,6 +81,7 @@ import (
 	"quickstore/internal/harness"
 	"quickstore/internal/page"
 	"quickstore/internal/repl"
+	"quickstore/internal/shard"
 	"quickstore/internal/wal"
 	"quickstore/quickstore"
 )
@@ -89,8 +107,13 @@ func main() {
 	quorum := fs.Int("quorum", 0, "serve: replicas that must hold a commit durable before ack (0 = majority)")
 	addr := fs.String("addr", "", "stats: query a running server at host:port instead of opening -db")
 	out := fs.String("out", "BENCH_repl.json", "replbench: output path for the sweep")
+	shardID := fs.Int("shard-id", -1, "serve: serve this shard of the -shard-map cluster")
+	shardMap := fs.String("shard-map", "", "serve/stats: comma-separated shard endpoint list (entries may be addr|addr|addr replica groups)")
+	resolveEvery := fs.Duration("resolve-every", 15*time.Second, "serve: period of the in-doubt resolution sweep in sharded mode")
+	victim := fs.String("victim", "", "crashdrill -shards: which shard dies, coord or participant (default: both in a matrix)")
+	shardDrillFlag := fs.Bool("shards", false, "crashdrill: drill a 2-shard 2PC cluster (coordinator/participant kill + resolution sweep)")
 	fs.Parse(os.Args[2:])
-	if *db == "" && *addr == "" && cmd != "crashdrill" && cmd != "replbench" {
+	if *db == "" && *addr == "" && *shardMap == "" && cmd != "crashdrill" && cmd != "replbench" {
 		fmt.Fprintln(os.Stderr, "qsstore: -db is required")
 		os.Exit(2)
 	}
@@ -103,11 +126,13 @@ func main() {
 	case "verify":
 		err = verify(*db)
 	case "stats":
-		err = stats(*db, *addr)
+		err = stats(*db, *addr, *shardMap)
 	case "serve":
-		err = serve(*db, *listen, *nodeID, *replicaOf, *quorum)
+		err = serve(*db, *listen, *nodeID, *replicaOf, *quorum, *shardMap, *shardID, *resolveEvery)
 	case "crashdrill":
-		if *replDrillFlag {
+		if *shardDrillFlag {
+			err = shardDrill(*point, *victim, *seed, *hitN, *dir)
+		} else if *replDrillFlag {
 			err = replDrill(*point, *seed, *seeds, *hitN)
 		} else {
 			err = crashdrill(*point, *seed, *seeds, *hitN, *short, *torn, *dir)
@@ -125,9 +150,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: qsstore create|info|verify|stats -db <path>")
-	fmt.Fprintln(os.Stderr, "       qsstore stats -addr host:port")
+	fmt.Fprintln(os.Stderr, "       qsstore stats -addr host:port | -shard-map spec")
 	fmt.Fprintln(os.Stderr, "       qsstore serve -db <path> [-listen host:port] [-node-id name [-replica-of host:port] [-quorum n]]")
-	fmt.Fprintln(os.Stderr, "       qsstore crashdrill [-repl] [-point name] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]")
+	fmt.Fprintln(os.Stderr, "                     [-shard-id n -shard-map spec [-resolve-every d]]")
+	fmt.Fprintln(os.Stderr, "       qsstore crashdrill [-repl|-shards] [-point name] [-victim coord|participant] [-seeds n] [-seed n] [-hit n] [-short] [-torn] [-dir path]")
 	fmt.Fprintln(os.Stderr, "       qsstore replbench [-out path]")
 	os.Exit(2)
 }
@@ -142,9 +168,22 @@ func usage() {
 // shipped log and stands for election if the leader goes silent. The same
 // listener keeps serving across a promotion — repl.Node swaps the inner
 // server underneath it.
-func serve(path, listen, nodeID, replicaOf string, quorum int) error {
+func serve(path, listen, nodeID, replicaOf string, quorum int, shardSpec string, shardID int, resolveEvery time.Duration) error {
 	if replicaOf != "" && nodeID == "" {
 		return fmt.Errorf("-replica-of requires -node-id")
+	}
+	if shardSpec != "" {
+		m, err := shard.ParseMap(shardSpec)
+		if err != nil {
+			return err
+		}
+		if shardID < 0 || shardID >= m.NumShards() {
+			return fmt.Errorf("-shard-id %d outside the %d-shard map (required with -shard-map)", shardID, m.NumShards())
+		}
+		fmt.Printf("serving shard %d of %d (presumed-abort resolver sweeps every %v)\n", shardID, m.NumShards(), resolveEvery)
+		go shardResolver(m, resolveEvery)
+	} else if shardID >= 0 {
+		return fmt.Errorf("-shard-id requires -shard-map")
 	}
 	vol, err := disk.OpenFileVolume(path)
 	if err != nil {
@@ -199,6 +238,149 @@ func serve(path, listen, nodeID, replicaOf string, quorum int) error {
 	}
 	defer node.Close()
 	esm.Serve(ln, node)
+	return nil
+}
+
+// shardResolver periodically sweeps the whole sharded cluster for
+// transactions left in doubt by a coordinator or client crash, resolving
+// each against its coordinator's log under presumed abort. Every shard
+// server runs the sweep — it is idempotent, and a round is skipped
+// whenever some shard is unreachable (resolution needs the coordinator's
+// answer, so a partial cluster cannot settle anything anyway).
+func shardResolver(m shard.Map, every time.Duration) {
+	dial := func(addr string) (esm.Transport, error) {
+		return esm.DialTCPTimeout(addr, 5*time.Second)
+	}
+	for {
+		time.Sleep(every)
+		trs, err := m.DialTransports(dial)
+		if err != nil {
+			continue
+		}
+		out, err := shard.ResolveAll(trs)
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+		if err != nil {
+			continue
+		}
+		if out.Committed+out.Aborted+out.Forgotten > 0 {
+			fmt.Printf("resolver: %d in doubt -> %d committed, %d aborted, %d decisions forgotten, %d pending\n",
+				out.InDoubt, out.Committed, out.Aborted, out.Forgotten, out.Pending)
+		}
+	}
+}
+
+// statsShards prints each shard's statistics snapshot plus the
+// cluster-wide aggregate, all through the Router — per the no-plain-access
+// rule, CallShard is the sanctioned per-shard observability path.
+func statsShards(spec string) error {
+	m, err := shard.ParseMap(spec)
+	if err != nil {
+		return err
+	}
+	r, err := shard.Dial(m, func(addr string) (esm.Transport, error) {
+		return esm.DialTCPTimeout(addr, 5*time.Second)
+	}, shard.Config{})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for i := 0; i < r.NumShards(); i++ {
+		resp, err := r.CallShard(i, &esm.Request{Op: esm.OpStats})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("shard %d: %s", i, resp.Err)
+		}
+		var ss esm.ServerStats
+		if err := json.Unmarshal(resp.Data, &ss); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		fmt.Printf("=== shard %d/%d ===\n", i, r.NumShards())
+		printServerStats(&ss)
+	}
+	resp, err := r.Call(&esm.Request{Op: esm.OpStats})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("%s", resp.Err)
+	}
+	var agg esm.ServerStats
+	if err := json.Unmarshal(resp.Data, &agg); err != nil {
+		return err
+	}
+	fmt.Printf("=== cluster (%d shards, summed) ===\n", r.NumShards())
+	printServerStats(&agg)
+	return nil
+}
+
+// shardDrill runs the sharded 2PC crash drill: one cell with -point or
+// -victim, the full victim x point kill matrix otherwise.
+func shardDrill(point, victim string, seed int64, hitN int, dir string) error {
+	scratch, err := os.MkdirTemp(dir, "qssharddrill-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	printReport := func(rep *harness.ShardDrillReport) {
+		pt := rep.Point
+		if pt == "" {
+			pt = "(quiescent kill)"
+		}
+		fmt.Printf("victim:     %s at %s (seed %d)\n", rep.Victim, pt, seed)
+		fmt.Printf("crashed:    %v\n", rep.Crashed)
+		fmt.Printf("committed:  %d cross-shard transactions, in-doubt=%v\n", rep.Committed, rep.InDoubt)
+		fmt.Printf("resolved:   %d in doubt -> %d committed, %d aborted, %d pending\n",
+			rep.Resolved.InDoubt, rep.Resolved.Committed, rep.Resolved.Aborted, rep.Resolved.Pending)
+		if len(rep.Trace) > 0 {
+			fmt.Printf("trace:      %v\n", rep.Trace)
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("VIOLATION:  %s\n", v)
+		}
+	}
+
+	if point != "" || victim != "" {
+		if victim == "" {
+			victim = "coord"
+		}
+		rep, err := harness.RunShardDrill(harness.ShardDrillOpts{
+			Seed: seed, Victim: victim, Point: point, HitN: hitN, Dir: scratch,
+		})
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		if len(rep.Violations) > 0 {
+			return fmt.Errorf("%d cross-shard invariants violated", len(rep.Violations))
+		}
+		fmt.Println("all cross-shard invariants held")
+		return nil
+	}
+
+	reps, err := harness.RunShardDrillMatrix(seed, scratch)
+	if err != nil {
+		return err
+	}
+	crashes, violations := 0, 0
+	for _, rep := range reps {
+		if rep.Crashed {
+			crashes++
+		}
+		for _, v := range rep.Violations {
+			violations++
+			fmt.Printf("VIOLATION [victim=%s point=%s]: %s\n", rep.Victim, rep.Point, v)
+		}
+	}
+	fmt.Printf("sharded crash drill: %d cells, %d crashed at armed points, %d violations\n",
+		len(reps), crashes, violations)
+	if violations > 0 {
+		return fmt.Errorf("%d cross-shard invariants violated", violations)
+	}
 	return nil
 }
 
@@ -444,7 +626,10 @@ func info(path string) error {
 // ratio an operator tuning the prefetcher needs. With addr it queries a
 // running server over TCP instead — the only way to see live replication
 // state, since a local open never has a cluster attached.
-func stats(path, addr string) error {
+func stats(path, addr, shardSpec string) error {
+	if shardSpec != "" {
+		return statsShards(shardSpec)
+	}
 	if addr != "" {
 		return statsRemote(addr)
 	}

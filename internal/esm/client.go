@@ -80,6 +80,7 @@ type Client struct {
 	uniqueEnd  uint64
 
 	lastLSN  uint64
+	stamper  ShardStamper         // per-shard LSN source when the transport shards (nil otherwise)
 	rawPages map[disk.PageID]bool // large-object data pages: never LSN-stamped
 
 	// BeforeSteal, if set, runs before a dirty page is shipped to the
@@ -106,6 +107,9 @@ func NewClient(tr Transport, cfg ClientConfig) *Client {
 		cfg.Clock = sim.NewClock(sim.CostModel{})
 	}
 	c := &Client{tr: tr, clock: cfg.Clock, retry: cfg.Retry, rawPages: map[disk.PageID]bool{}}
+	if st, ok := tr.(ShardStamper); ok {
+		c.stamper = st
+	}
 	c.pool = buffer.New(cfg.BufferPages, cfg.Policy)
 	c.pool.FlushFn = c.stealPage
 	c.pool.OnPrefetchDrop = func(disk.PageID) { c.clock.Charge(sim.CtrPrefetchWasted, 1) }
@@ -424,11 +428,27 @@ func (c *Client) MarkRawPages(first disk.PageID, n uint32) {
 	}
 }
 
+// ShardStamper is implemented by sharding transports (internal/shard's
+// Router): the scalar lastLSN a single-server session stamps into its
+// pages is wrong under sharding, where each shard assigns LSNs
+// independently — a shard-A LSN stamped onto a shard-B page would make
+// shard B's recovery skip redo of committed updates (stamp too high) or
+// its runtime abort skip undo (stamp too low). StampLSN returns the last
+// log LSN the transaction was assigned on the shard that owns pid, or 0
+// when it logged nothing there.
+type ShardStamper interface {
+	StampLSN(tx uint64, pid disk.PageID) uint64
+}
+
 func (c *Client) stampLSN(pid disk.PageID, data []byte) {
-	if c.lastLSN == 0 || c.rawPages[pid] {
+	lsn := c.lastLSN
+	if c.stamper != nil {
+		lsn = c.stamper.StampLSN(c.tx, pid)
+	}
+	if lsn == 0 || c.rawPages[pid] {
 		return
 	}
-	binary.LittleEndian.PutUint64(data[:8], c.lastLSN)
+	binary.LittleEndian.PutUint64(data[:8], lsn)
 }
 
 // LogUpdate buffers a physical update record (before/after images for the

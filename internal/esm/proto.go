@@ -58,6 +58,17 @@ const (
 	OpBeginSnapshot
 	OpSnapRead
 	OpEndSnapshot
+	// Two-phase commit ops (internal/shard). OpPrepare votes a participant
+	// into the prepared state: Data carries the shard-local commit page
+	// payload, Page the coordinator's shard id, N the coordinator-local
+	// transaction id, and Mode the PrepareModeCoord flag on the
+	// coordinator's own prepare. OpCommitDecision delivers the verdict
+	// (Mode bits: commit, coordinator). OpResolveTx is the presumed-abort
+	// inquiry: Mode selects inquire / forget / list (see ResolveMode*).
+	// None are idempotent, so none are retryable across replicas.
+	OpPrepare
+	OpCommitDecision
+	OpResolveTx
 )
 
 // String names the operation for diagnostics.
@@ -66,11 +77,84 @@ func (o Op) String() string {
 		"FREE", "LOCK", "LOG", "CREATEFILE", "OPENFILE", "GETROOT", "SETROOT",
 		"COUNTER", "CHECKPOINT", "STATS", "READPAGES",
 		"REPLAPPEND", "REPLACK", "REPLSNAPSHOT",
-		"BEGINSNAP", "SNAPREAD", "ENDSNAP"}
+		"BEGINSNAP", "SNAPREAD", "ENDSNAP",
+		"PREPARE", "DECIDE", "RESOLVETX"}
 	if int(o) < len(names) {
 		return names[o]
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// OpPrepare request mode flags.
+const (
+	// PrepareModeCoord marks the coordinator's own prepare. A restarted
+	// coordinator presumes abort for such a transaction when no decision
+	// record follows; participants hold theirs in doubt instead.
+	PrepareModeCoord uint8 = 1
+)
+
+// OpCommitDecision request mode flags.
+const (
+	// DecisionCommit carries the commit verdict; absent means abort.
+	DecisionCommit uint8 = 1
+	// DecisionCoord addresses the coordinator itself: it logs the single
+	// RecDecision record (its own commit record) and remembers the verdict
+	// for OpResolveTx inquiries until forgotten.
+	DecisionCoord uint8 = 2
+)
+
+// OpResolveTx request modes.
+const (
+	// ResolveModeInquire asks the coordinator for the outcome of one of
+	// its transactions (Request.Tx = coordinator-local id). The response's
+	// N is a Resolve* outcome.
+	ResolveModeInquire uint8 = 0
+	// ResolveModeForget drops the coordinator's remembered decision once
+	// every participant has acknowledged it (end of protocol).
+	ResolveModeForget uint8 = 1
+	// ResolveModeList returns the server's own in-doubt participant
+	// transactions as repeated (coordShard u32, coordTx u64, localTx u64)
+	// entries in Data.
+	ResolveModeList uint8 = 2
+)
+
+// OpResolveTx inquiry outcomes (Response.N).
+const (
+	// ResolveAborted: no decision and no live transaction — presumed abort.
+	ResolveAborted uint64 = 0
+	// ResolveCommitted: a decision record exists; the transaction committed.
+	ResolveCommitted uint64 = 1
+	// ResolvePending: the transaction is still live at the coordinator;
+	// the resolver must retry later.
+	ResolvePending uint64 = 2
+)
+
+// ResolveEntryBytes is the wire size of one ResolveModeList entry.
+const ResolveEntryBytes = 4 + 8 + 8
+
+// AppendResolveEntry marshals one in-doubt entry onto dst in the
+// ResolveModeList wire format.
+func AppendResolveEntry(dst []byte, coordShard uint32, coordTx, localTx uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], coordShard)
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], coordTx)
+	dst = append(dst, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], localTx)
+	return append(dst, tmp[:]...)
+}
+
+// ParseResolveEntries decodes a ResolveModeList payload.
+func ParseResolveEntries(data []byte) (coordShards []uint32, coordTxs, localTxs []uint64, err error) {
+	if len(data)%ResolveEntryBytes != 0 {
+		return nil, nil, nil, fmt.Errorf("esm: resolve list payload %d bytes, not a multiple of %d", len(data), ResolveEntryBytes)
+	}
+	for off := 0; off < len(data); off += ResolveEntryBytes {
+		coordShards = append(coordShards, binary.LittleEndian.Uint32(data[off:]))
+		coordTxs = append(coordTxs, binary.LittleEndian.Uint64(data[off+4:]))
+		localTxs = append(localTxs, binary.LittleEndian.Uint64(data[off+12:]))
+	}
+	return coordShards, coordTxs, localTxs, nil
 }
 
 // Request is one client-to-server message.

@@ -14,6 +14,7 @@ var allOps = []Op{
 	OpBegin, OpCommit, OpAbort, OpReadPage, OpWritePage, OpAllocPages,
 	OpFreePages, OpLock, OpLog, OpCreateFile, OpOpenFile, OpGetRoot,
 	OpSetRoot, OpCounter, OpCheckpoint, OpStats, OpReadPages,
+	OpPrepare, OpCommitDecision, OpResolveTx,
 }
 
 func TestOpStrings(t *testing.T) {

@@ -138,6 +138,15 @@ type Server struct {
 	lastTxLSN map[uint64]wal.LSN
 	active    map[uint64]bool
 
+	// prepared (under mu) holds 2PC participant transactions between
+	// prepare and decision — locks held, outcome owned by the coordinator.
+	// decisions (under mu) is the coordinator side: commit verdicts
+	// remembered for OpResolveTx inquiries until every participant
+	// acknowledged (ResolveModeForget); their RecDecision LSNs pin the
+	// checkpoint cut so the verdict survives re-crashes.
+	prepared  map[uint64]*preparedTx
+	decisions map[uint64]wal.LSN
+
 	// firstTxLSN (under mu) records each active transaction's begin-record
 	// LSN. The fuzzy checkpoint's log cut is the minimum over these: every
 	// record an in-flight transaction could still need for undo sits at or
@@ -381,9 +390,24 @@ func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error
 	if err := json.Unmarshal(buf[4:4+n], &s.cat); err != nil {
 		return nil, fmt.Errorf("esm: corrupt catalog: %w", err)
 	}
-	if _, _, err := wal.Recover(log, volStore{vol}, disk.PageSize, pageLSNOf, setPageLSN); err != nil {
+	_, _, indoubt, err := wal.Recover(log, volStore{vol}, disk.PageSize, pageLSNOf, setPageLSN)
+	if err != nil {
 		return nil, fmt.Errorf("esm: restart recovery: %w", err)
 	}
+	// 2PC participant transactions whose verdict is unknown stay alive
+	// across the restart: locks re-acquired, records pinned against
+	// truncation, resolution deferred to an OpResolveTx inquiry. Remembered
+	// coordinator decisions resurface from their RecDecision records — a
+	// forget is memory-only, so a restart conservatively re-remembers.
+	if err := s.registerInDoubt(indoubt); err != nil {
+		return nil, err
+	}
+	_ = log.Iterate(func(r wal.Record) bool {
+		if r.Type == wal.RecDecision {
+			s.decisions[r.Tx] = r.LSN
+		}
+		return true
+	})
 	// Never reuse transaction ids seen in the log.
 	maxTx := s.cat.NextTx
 	_ = log.Iterate(func(r wal.Record) bool {
@@ -419,6 +443,8 @@ func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, 
 		lastTxLSN:  map[uint64]wal.LSN{},
 		active:     map[uint64]bool{},
 		firstTxLSN: map[uint64]wal.LSN{},
+		prepared:   map[uint64]*preparedTx{},
+		decisions:  map[uint64]wal.LSN{},
 	}
 	if cfg.MVCC {
 		s.mv = mvcc.New(cfg.MVCCMaxBytes)
@@ -718,6 +744,23 @@ func (s *Server) handle(req *Request) (*Response, error) {
 
 	case OpEndSnapshot:
 		return s.endSnapshot(wal.LSN(req.N))
+
+	case OpPrepare:
+		lsn, err := s.prepare(req.Tx, req.Page, req.N, req.Mode, req.Data)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{N: uint64(lsn)}, nil
+
+	case OpCommitDecision:
+		lsn, err := s.commitDecision(req.Tx, req.Mode)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{N: uint64(lsn)}, nil
+
+	case OpResolveTx:
+		return s.resolveTx(req)
 	}
 	return nil, fmt.Errorf("esm: unknown op %v", req.Op)
 }
@@ -836,6 +879,15 @@ func (s *Server) checkpoint() error {
 	for tx := range s.active {
 		if first, ok := s.firstTxLSN[tx]; ok && first < cut {
 			cut = first
+		}
+	}
+	// Unforgotten commit decisions pin the cut too: a participant may
+	// still come asking, and after a re-crash the answer must be found in
+	// this log — truncating the RecDecision would turn a committed
+	// transaction into a presumed abort.
+	for _, lsn := range s.decisions {
+		if lsn < cut {
+			cut = lsn
 		}
 	}
 	s.mu.Unlock()
@@ -1168,6 +1220,7 @@ func (s *Server) abort(tx uint64) error {
 	delete(s.active, tx)
 	delete(s.lastTxLSN, tx)
 	delete(s.firstTxLSN, tx)
+	delete(s.prepared, tx) // a prepared participant aborting on the coordinator's verdict
 	if s.mv != nil {
 		// Only now: until the undo above finished, the pending
 		// before-images were still shielding snapshot readers from the

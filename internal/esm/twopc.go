@@ -1,0 +1,282 @@
+package esm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/faultinject"
+	"quickstore/internal/lock"
+	"quickstore/internal/wal"
+)
+
+// Two-phase commit participant state (internal/shard's presumed-abort
+// protocol, DESIGN.md §16). A cross-shard transaction commits in two
+// phases: every participant prepares (updates durable, locks held, outcome
+// open), then the coordinator logs a single RecDecision — its own commit
+// record — and the verdict fans out. Abort is the presumed outcome: no
+// decision record anywhere means abort, so the abort path logs nothing
+// beyond the usual RecAbort and a restarted coordinator answers inquiries
+// for unknown transactions with "aborted".
+
+// preparedTx is one participant-side prepared transaction (under
+// Server.mu).
+type preparedTx struct {
+	coordShard uint32  // shard id of the transaction's coordinator
+	coordTx    uint64  // coordinator-local transaction id
+	prepareLSN wal.LSN // the RecPrepare's LSN
+	coord      bool    // this server wrote the coordinator's prepare
+	recovered  bool    // survived a restart; eligible for external resolution
+}
+
+// prepare votes transaction tx into the prepared state: the shipped dirty
+// pages (Data, same layout as commit) are installed, a RecPrepare is
+// appended and forced, and the transaction's locks stay held. coordShard
+// and coordTx name the coordinator; mode carries PrepareModeCoord on the
+// coordinator's own prepare. After a successful prepare the transaction
+// can no longer be aborted unilaterally by a crash of this server alone —
+// restart holds it in doubt until the coordinator's verdict arrives.
+func (s *Server) prepare(tx uint64, coordShard uint32, coordTx uint64, mode uint8, data []byte) (wal.LSN, error) {
+	const rec = 4 + disk.PageSize
+	if len(data)%rec != 0 {
+		return 0, fmt.Errorf("esm: malformed prepare payload (%d bytes)", len(data))
+	}
+	for p := 0; p < len(data); p += rec {
+		pid := disk.PageID(binary.LittleEndian.Uint32(data[p:]))
+		if err := s.installPage(tx, pid, data[p+4:p+rec]); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.fault.Hit(faultinject.PtPrepareAfterInstall); err != nil {
+		return 0, err
+	}
+	var flags uint16
+	if mode&PrepareModeCoord != 0 {
+		flags |= wal.PrepareCoord
+	}
+	coordTxB := make([]byte, 8)
+	binary.LittleEndian.PutUint64(coordTxB, coordTx)
+	s.mu.Lock()
+	if !s.active[tx] {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("esm: prepare of unknown tx %d", tx)
+	}
+	lsn := s.log.Append(wal.Record{
+		PrevLSN: s.lastTxLSN[tx],
+		Tx:      tx,
+		Type:    wal.RecPrepare,
+		Page:    coordShard,
+		Off:     flags,
+		New:     coordTxB,
+	})
+	s.lastTxLSN[tx] = lsn
+	s.prepared[tx] = &preparedTx{
+		coordShard: coordShard,
+		coordTx:    coordTx,
+		prepareLSN: lsn,
+		coord:      mode&PrepareModeCoord != 0,
+	}
+	s.mu.Unlock()
+	if err := s.fault.Hit(faultinject.PtPrepareBeforeFlush); err != nil {
+		return 0, err
+	}
+	if err := s.log.FlushCommit(lsn); err != nil {
+		return 0, err
+	}
+	if err := s.fault.Hit(faultinject.PtPrepareAfterFlush); err != nil {
+		return 0, err
+	}
+	// The prepared state must be as durable as a commit: with replication
+	// attached, the vote is not cast until a quorum holds the prepare
+	// record — otherwise a leader failover could forget a vote the
+	// coordinator already counted.
+	if err := s.writeCatalogIfDirty(); err != nil {
+		return 0, err
+	}
+	if q := s.replWaiter(); q != nil {
+		s.mu.Lock()
+		catV := s.catVersion
+		s.mu.Unlock()
+		if err := q.WaitQuorum(lsn, catV); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// commitDecision applies the coordinator's verdict to a prepared
+// transaction. On the coordinator itself (DecisionCoord) a commit logs the
+// single RecDecision record — the transaction's commit record AND the
+// durable verdict participants will ask for; on a plain participant it
+// logs an ordinary RecCommit. Abort (no DecisionCommit bit) takes the
+// normal abort path: under presumed abort the verdict needs no record of
+// its own. The commit tail mirrors commit(): force, catalog, quorum gate,
+// then lock release.
+func (s *Server) commitDecision(tx uint64, mode uint8) (wal.LSN, error) {
+	if mode&DecisionCommit == 0 {
+		return 0, s.abort(tx)
+	}
+	coord := mode&DecisionCoord != 0
+	s.mu.Lock()
+	p := s.prepared[tx]
+	if p == nil {
+		if coord {
+			if lsn, ok := s.decisions[tx]; ok {
+				// Duplicate decision delivery (a resolver raced the
+				// router): the verdict is already durable.
+				s.mu.Unlock()
+				return lsn, nil
+			}
+		}
+		s.mu.Unlock()
+		return 0, fmt.Errorf("esm: commit decision for unprepared tx %d", tx)
+	}
+	rtype := wal.RecCommit
+	if coord {
+		rtype = wal.RecDecision
+	}
+	lsn := s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: rtype})
+	s.lastTxLSN[tx] = lsn
+	if lsn > s.lastCommitLSN {
+		s.lastCommitLSN = lsn
+	}
+	if coord {
+		// Remembered for OpResolveTx inquiries until every participant
+		// acknowledged the outcome (ResolveModeForget). Also pins the
+		// checkpoint cut: the record must survive truncation so a
+		// re-crashed coordinator still finds the verdict in its log.
+		s.decisions[tx] = lsn
+	}
+	if s.mv != nil {
+		s.mv.Commit(tx, lsn)
+	}
+	s.mu.Unlock()
+	if err := s.fault.Hit(faultinject.PtDecisionBeforeFlush); err != nil {
+		return 0, err
+	}
+	if err := s.log.FlushCommit(lsn); err != nil {
+		return 0, err
+	}
+	if err := s.fault.Hit(faultinject.PtDecisionAfterFlush); err != nil {
+		return 0, err
+	}
+	if err := s.writeCatalogIfDirty(); err != nil {
+		return 0, err
+	}
+	if q := s.replWaiter(); q != nil {
+		s.mu.Lock()
+		catV := s.catVersion
+		s.mu.Unlock()
+		if err := q.WaitQuorum(lsn, catV); err != nil {
+			return 0, err
+		}
+	}
+	s.mu.Lock()
+	delete(s.active, tx)
+	delete(s.lastTxLSN, tx)
+	delete(s.firstTxLSN, tx)
+	delete(s.prepared, tx)
+	s.mu.Unlock()
+	s.locks.ReleaseAll(tx)
+	s.commits.Add(1)
+	return lsn, nil
+}
+
+// resolveTx answers presumed-abort inquiries. Inquire: a participant (or a
+// sweep resolver on its behalf) asks this server — as coordinator — for
+// the outcome of coordinator-local transaction req.Tx. Forget: every
+// participant has acknowledged the verdict; the remembered decision (and
+// its checkpoint-cut pin) is dropped. List: report this server's own
+// recovered in-doubt participant transactions, plus its remembered
+// decisions (localTx 0), so a sweep resolver can drive resolution without
+// prior knowledge.
+func (s *Server) resolveTx(req *Request) (*Response, error) {
+	switch req.Mode {
+	case ResolveModeInquire:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, ok := s.decisions[req.Tx]; ok {
+			return &Response{N: ResolveCommitted}, nil
+		}
+		if s.active[req.Tx] || s.prepared[req.Tx] != nil {
+			// Still live here: the router is mid-protocol. The resolver
+			// must not presume abort while the verdict is being formed.
+			return &Response{N: ResolvePending}, nil
+		}
+		// No decision, no live transaction: presumed abort. This is the
+		// case a restarted coordinator answers for every transaction it
+		// crashed out of before logging a decision.
+		return &Response{N: ResolveAborted}, nil
+
+	case ResolveModeForget:
+		s.mu.Lock()
+		delete(s.decisions, req.Tx)
+		s.mu.Unlock()
+		return nil, nil
+
+	case ResolveModeList:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var out []byte
+		for tx, p := range s.prepared {
+			if !p.recovered {
+				// Live prepared transactions belong to their router;
+				// externally resolving one would race the decision fan-out.
+				continue
+			}
+			out = AppendResolveEntry(out, p.coordShard, p.coordTx, tx)
+		}
+		for tx := range s.decisions {
+			out = AppendResolveEntry(out, 0, tx, 0)
+		}
+		return &Response{N: uint64(len(out) / ResolveEntryBytes), Data: out}, nil
+	}
+	return nil, fmt.Errorf("esm: unknown resolve mode %d", req.Mode)
+}
+
+// registerInDoubt installs restart recovery's in-doubt transactions into
+// the server's live state: held active (their records pin the checkpoint
+// cut through firstTxLSN), marked prepared-and-recovered (eligible for
+// external resolution), and their updated pages re-locked exclusively so
+// no new transaction reads or overwrites uncommitted data while the
+// verdict is outstanding. Runs before the server is shared.
+func (s *Server) registerInDoubt(indoubt map[uint64]*wal.InDoubt) error {
+	for tx, d := range indoubt {
+		s.active[tx] = true
+		s.firstTxLSN[tx] = d.FirstLSN
+		s.lastTxLSN[tx] = d.PrepareLSN
+		s.prepared[tx] = &preparedTx{
+			coordShard: d.CoordShard,
+			coordTx:    d.CoordTx,
+			prepareLSN: d.PrepareLSN,
+			recovered:  true,
+		}
+		seen := map[uint32]bool{}
+		for _, pid := range d.Pages {
+			if seen[pid] {
+				continue
+			}
+			seen[pid] = true
+			if err := s.locks.Acquire(tx, lock.Resource{Kind: lock.KindPage, ID: uint64(pid)}, lock.Exclusive); err != nil {
+				return fmt.Errorf("esm: re-locking in-doubt page %d: %w", pid, err)
+			}
+		}
+	}
+	return nil
+}
+
+// InDoubtCount reports the number of transactions currently held in doubt
+// (live or recovered). Test and drill observability.
+func (s *Server) InDoubtCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+// DecisionCount reports the number of remembered (unforgotten) commit
+// decisions this server holds as a coordinator.
+func (s *Server) DecisionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.decisions)
+}

@@ -1,0 +1,321 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/shard"
+	"quickstore/internal/wal"
+)
+
+// ShardBenchOpts configures the horizontal scale-out sweep: a fixed
+// session count driven against 1, 2, 4, ... page servers through
+// client-side shard Routers. Each point runs twice — once perfectly
+// partitioned (every session pinned to its home shard, one-phase
+// commits only) and once with a fraction of cross-shard transactions —
+// so the sweep reports both the scale-out curve and the measured cost
+// of presumed-abort two-phase commit.
+type ShardBenchOpts struct {
+	MaxShards      int // sweep 1,2,4,... up to here; 0 = 4
+	Sessions       int // concurrent client sessions at every point; 0 = 8
+	TxnsPerSession int // committed transactions per session per run; 0 = 150
+	CrossEvery     int // in the mixed run, every n-th txn touches a second shard; 0 = 5
+	ObjsPerSession int // private objects per session per shard; 0 = 8
+	// ServiceTime models each page server as one serial request loop: a
+	// shard admits one request at a time and each costs this much. The
+	// volumes and logs live in memory, so without it every request is a
+	// microsecond and the sweep would measure Go scheduler noise; the
+	// per-shard serial budget is the resource that sharding multiplies.
+	// 0 = 25µs.
+	ServiceTime time.Duration
+}
+
+func (o ShardBenchOpts) withDefaults() ShardBenchOpts {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&o.MaxShards, 4)
+	def(&o.Sessions, 8)
+	def(&o.TxnsPerSession, 150)
+	def(&o.CrossEvery, 5)
+	def(&o.ObjsPerSession, 8)
+	if o.ServiceTime == 0 {
+		o.ServiceTime = 25 * time.Microsecond
+	}
+	return o
+}
+
+func (o ShardBenchOpts) shardCounts() []int {
+	var out []int
+	for n := 1; n < o.MaxShards; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, o.MaxShards)
+}
+
+// ShardPoint is one measured shard count.
+type ShardPoint struct {
+	Shards   int `json:"shards"`
+	Sessions int `json:"sessions"`
+	// Partitioned run: every transaction stays on its session's home
+	// shard, so every commit takes the one-phase fast path.
+	Txns       int64   `json:"txns"`
+	Seconds    float64 `json:"seconds"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	Speedup    float64 `json:"speedup"` // vs the 1-shard point
+	// Mixed run: CrossFrac of the transactions update a second shard and
+	// commit through presumed-abort 2PC. CrossPenalty is the relative
+	// throughput cost of that mix vs the partitioned run at the same
+	// shard count; Prepares/CrossCommits are the router protocol totals.
+	CrossFrac           float64 `json:"cross_frac"`
+	MixedTxnsPerSec     float64 `json:"mixed_txns_per_sec"`
+	CrossPenalty        float64 `json:"cross_penalty"` // 1 - mixed/partitioned
+	Prepares            int64   `json:"prepares"`
+	CrossCommits        int64   `json:"cross_commits"`
+	SingleCommits       int64   `json:"single_commits"`
+	UnresolvedOrInDoubt int64   `json:"unresolved"` // must be 0 in a clean run
+}
+
+// serialShard models one page-server process: a mutex admits one request
+// at a time and each request costs the configured service time.
+type serialShard struct {
+	mu      sync.Mutex
+	tr      esm.Transport
+	service time.Duration
+}
+
+func (s *serialShard) Call(req *esm.Request) (*esm.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.service > 0 {
+		time.Sleep(s.service)
+	}
+	return s.tr.Call(req)
+}
+
+func (s *serialShard) Close() error { return s.tr.Close() }
+
+// shardBenchEnv is one cluster instance: n servers behind serial-model
+// transports, plus each session's pre-created objects (one set per shard,
+// so cross-shard transactions touch only session-private pages and the
+// sweep measures protocol cost, not lock contention).
+type shardBenchEnv struct {
+	srvs []*esm.Server
+	trs  []esm.Transport
+	objs [][]esm.OID // [session][shard] -> private object
+}
+
+func buildShardBenchEnv(o ShardBenchOpts, n int) (*shardBenchEnv, error) {
+	env := &shardBenchEnv{}
+	for i := 0; i < n; i++ {
+		srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 256})
+		if err != nil {
+			return nil, err
+		}
+		env.srvs = append(env.srvs, srv)
+		env.trs = append(env.trs, &serialShard{tr: esm.NewInProcTransport(srv), service: o.ServiceTime})
+	}
+	// Setup runs without the service-time model in the way of wall-clock
+	// fairness concerns: it is unmeasured.
+	env.objs = make([][]esm.OID, o.Sessions)
+	for s := 0; s < o.Sessions; s++ {
+		env.objs[s] = make([]esm.OID, n)
+		for sh := 0; sh < n; sh++ {
+			r, err := shard.NewRouter(env.trs, shard.Config{Affinity: sh})
+			if err != nil {
+				return nil, err
+			}
+			c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+			if err := c.Begin(); err != nil {
+				return nil, err
+			}
+			name := shard.NameOnShard(fmt.Sprintf("sbench.%d.%d", s, sh), sh, n)
+			fid, err := c.CreateFile(name)
+			if err != nil {
+				return nil, err
+			}
+			cl := c.NewCluster(fid)
+			var oid esm.OID
+			for k := 0; k < o.ObjsPerSession; k++ {
+				id, data, err := c.CreateObject(cl, 128)
+				if err != nil {
+					return nil, err
+				}
+				putValue(data, uint64(s)<<32|uint64(sh))
+				if k == 0 {
+					oid = id
+				}
+			}
+			if err := c.Commit(); err != nil {
+				return nil, err
+			}
+			env.objs[s][sh] = oid
+		}
+	}
+	return env, nil
+}
+
+// runShardSession drives one session's measured loop: read-modify-write
+// its home-shard object every transaction, plus — every crossEvery-th
+// transaction (0 = never) — the session's object on the next shard,
+// turning that commit into a cross-shard 2PC.
+func runShardSession(env *shardBenchEnv, o ShardBenchOpts, session, n, crossEvery int) (shard.RouterStats, error) {
+	home := session % n
+	r, err := shard.NewRouter(env.trs, shard.Config{Affinity: home})
+	if err != nil {
+		return shard.RouterStats{}, err
+	}
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	touch := func(oid esm.OID, v uint64) error {
+		data, off, frame, err := c.ReadObjectAt(oid)
+		if err != nil {
+			return err
+		}
+		old := append([]byte(nil), data[:12]...)
+		putValue(data, v)
+		c.Pool().MarkDirty(frame)
+		c.LogUpdate(oid.Page, off, old, append([]byte(nil), data[:12]...))
+		return nil
+	}
+	for t := 1; t <= o.TxnsPerSession; t++ {
+		if err := c.Begin(); err != nil {
+			return shard.RouterStats{}, err
+		}
+		if err := touch(env.objs[session][home], uint64(t)); err != nil {
+			return shard.RouterStats{}, err
+		}
+		if n > 1 && crossEvery > 0 && t%crossEvery == 0 {
+			other := (home + 1) % n
+			if err := touch(env.objs[session][other], uint64(t)); err != nil {
+				return shard.RouterStats{}, err
+			}
+		}
+		if err := c.Commit(); err != nil {
+			return shard.RouterStats{}, err
+		}
+	}
+	return r.Stats(), nil
+}
+
+// measureShardRun runs all sessions once against a fresh cluster and
+// returns total committed transactions, elapsed time, and summed router
+// protocol counters.
+func measureShardRun(o ShardBenchOpts, n, crossEvery int) (int64, float64, shard.RouterStats, error) {
+	env, err := buildShardBenchEnv(o, n)
+	if err != nil {
+		return 0, 0, shard.RouterStats{}, err
+	}
+	var agg shard.RouterStats
+	var aggMu sync.Mutex
+	errs := make([]error, o.Sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < o.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st, err := runShardSession(env, o, s, n, crossEvery)
+			errs[s] = err
+			aggMu.Lock()
+			agg.SingleCommits += st.SingleCommits
+			agg.CrossCommits += st.CrossCommits
+			agg.Prepares += st.Prepares
+			agg.Unresolved += st.Unresolved
+			aggMu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for s, err := range errs {
+		if err != nil {
+			return 0, 0, agg, fmt.Errorf("session %d: %w", s, err)
+		}
+	}
+	var indoubt int64
+	for _, srv := range env.srvs {
+		indoubt += int64(srv.InDoubtCount()) + int64(srv.DecisionCount())
+	}
+	agg.Unresolved += indoubt
+	return int64(o.Sessions) * int64(o.TxnsPerSession), elapsed, agg, nil
+}
+
+// RunShardBench sweeps shard counts 1..MaxShards, measuring the
+// partitioned scale-out curve and the mixed-workload 2PC overhead at
+// each point.
+func RunShardBench(opts ShardBenchOpts) ([]ShardPoint, error) {
+	o := opts.withDefaults()
+	var pts []ShardPoint
+	for _, n := range o.shardCounts() {
+		pt := ShardPoint{Shards: n, Sessions: o.Sessions}
+
+		txns, secs, _, err := measureShardRun(o, n, 0)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d partitioned: %w", n, err)
+		}
+		pt.Txns = txns
+		pt.Seconds = secs
+		pt.TxnsPerSec = ratio(float64(txns), secs)
+
+		mtxns, msecs, st, err := measureShardRun(o, n, o.CrossEvery)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d mixed: %w", n, err)
+		}
+		pt.MixedTxnsPerSec = ratio(float64(mtxns), msecs)
+		pt.CrossPenalty = 1 - ratio(pt.MixedTxnsPerSec, pt.TxnsPerSec)
+		pt.Prepares = st.Prepares
+		pt.CrossCommits = st.CrossCommits
+		pt.SingleCommits = st.SingleCommits
+		pt.UnresolvedOrInDoubt = st.Unresolved
+		if n > 1 {
+			pt.CrossFrac = ratio(float64(st.CrossCommits), float64(st.CrossCommits+st.SingleCommits))
+		}
+		pts = append(pts, pt)
+	}
+	for i := range pts {
+		pts[i].Speedup = ratio(pts[i].TxnsPerSec, pts[0].TxnsPerSec)
+	}
+	return pts, nil
+}
+
+// ShardExp ("oo7bench -shards N") runs the scale-out sweep, emits its
+// table, and returns the measured points so the CLI can enforce the
+// acceptance gate. Like the other wall-clock benches it is not part of
+// "-exp all".
+func (s *Suite) ShardExp(opts ShardBenchOpts) ([]ShardPoint, error) {
+	o := opts.withDefaults()
+	pts, err := RunShardBench(o)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Horizontal scale-out: %d sessions over 1..%d page servers (service %v)",
+			o.Sessions, o.MaxShards, o.ServiceTime),
+		Columns: []string{"shards", "txn/s", "speedup", "mixed txn/s", "cross%", "2PC penalty", "prepares", "x-commits"},
+	}
+	for _, p := range pts {
+		t.AddRow(
+			d(int64(p.Shards)),
+			f1(p.TxnsPerSec),
+			f1(p.Speedup),
+			f1(p.MixedTxnsPerSec),
+			pct(p.CrossFrac),
+			pct(p.CrossPenalty),
+			d(p.Prepares),
+			d(p.CrossCommits),
+		)
+		if p.UnresolvedOrInDoubt != 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("shards=%d left %d unresolved transactions (BUG)", p.Shards, p.UnresolvedOrInDoubt))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"partitioned run: every commit one-phase on its session's home shard",
+		fmt.Sprintf("mixed run: every %dth transaction updates a second shard via presumed-abort 2PC", o.CrossEvery),
+	)
+	s.emit(t)
+	return pts, nil
+}

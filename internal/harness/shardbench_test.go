@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// A scaled-down sweep: correctness of the machinery (clean runs, zero
+// unresolved transactions, sane protocol counters), not the performance
+// claim — that is oo7bench -shards' acceptance gate.
+func TestShardBenchSmoke(t *testing.T) {
+	pts, err := RunShardBench(ShardBenchOpts{
+		MaxShards:      2,
+		Sessions:       4,
+		TxnsPerSession: 12,
+		CrossEvery:     3,
+		ObjsPerSession: 2,
+		ServiceTime:    5 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.Txns != 4*12 {
+			t.Errorf("shards=%d: %d txns, want %d", p.Shards, p.Txns, 4*12)
+		}
+		if p.UnresolvedOrInDoubt != 0 {
+			t.Errorf("shards=%d: %d unresolved transactions", p.Shards, p.UnresolvedOrInDoubt)
+		}
+	}
+	if pts[0].CrossCommits != 0 || pts[0].Prepares != 0 {
+		t.Errorf("1-shard point ran 2PC: %+v", pts[0])
+	}
+	// 4 sessions x 12 txns, every 3rd cross-shard on 2 shards.
+	if pts[1].CrossCommits != 4*4 {
+		t.Errorf("2-shard cross commits = %d, want %d", pts[1].CrossCommits, 4*4)
+	}
+	if pts[1].Prepares != 2*pts[1].CrossCommits {
+		t.Errorf("prepares = %d for %d cross commits", pts[1].Prepares, pts[1].CrossCommits)
+	}
+}

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestShardCrashDrillMatrix runs the full kill matrix: coordinator and
+// participant each killed at every 2PC crash point, with both shards
+// power-failed, restarted, and swept. Zero violations means every
+// cross-shard transaction resolved atomically — committed on both shards
+// or neither — across every cut of the protocol.
+func TestShardCrashDrillMatrix(t *testing.T) {
+	reps, err := RunShardDrillMatrix(20260808, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := 0
+	for _, rep := range reps {
+		if rep.Crashed {
+			crashed++
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("victim=%s point=%s: %s", rep.Victim, rep.Point, v)
+		}
+		if t.Failed() && len(rep.Trace) > 0 {
+			t.Logf("victim=%s point=%s trace: %v", rep.Victim, rep.Point, rep.Trace)
+		}
+	}
+	if len(reps) != 2*len(ShardCrashPoints) {
+		t.Fatalf("matrix ran %d cells, want %d", len(reps), 2*len(ShardCrashPoints))
+	}
+	if crashed != len(reps) {
+		t.Errorf("only %d/%d armed points fired", crashed, len(reps))
+	}
+}
+
+// TestShardDrillQuiescentKill power-fails both shards with no armed fault:
+// everything acknowledged must survive, nothing should be in doubt.
+func TestShardDrillQuiescentKill(t *testing.T) {
+	rep, err := RunShardDrill(ShardDrillOpts{Seed: 7, Victim: "coord", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if rep.Committed == 0 {
+		t.Error("no transaction committed in the quiescent drill")
+	}
+	if rep.Resolved.InDoubt != 0 {
+		t.Errorf("quiescent kill left %d in-doubt transactions", rep.Resolved.InDoubt)
+	}
+}

@@ -55,6 +55,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerCrashPoint(),
 		AnalyzerQuorumAck(),
 		AnalyzerSnapRead(),
+		AnalyzerShardMap(),
 	}
 }
 

@@ -61,6 +61,7 @@ func TestGoldenFixtures(t *testing.T) {
 		"crashpoint":  AnalyzerCrashPoint(),
 		"quorumack":   AnalyzerQuorumAck(),
 		"snapread":    AnalyzerSnapRead(),
+		"shardmap":    AnalyzerShardMap(),
 	}
 	for fixture, analyzer := range fixtures {
 		t.Run(fixture, func(t *testing.T) {

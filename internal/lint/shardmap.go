@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerShardMap enforces the shard map's no-plain-access rule
+// (DESIGN.md §16): the endpoint table — shard.Map's Addrs field — is the
+// single source of routing truth, and only package shard may read it.
+// Every consumer reaches a shard through the Router or the Dial helpers,
+// so no call path can dial or address a shard endpoint without consulting
+// the map; a stray `m.Addrs[i]` is a client that will keep talking to a
+// shard the map has reassigned.
+//
+// The check flags, outside the declaring package: any selection of the
+// Addrs field on shard.Map, and any non-empty shard.Map composite literal
+// (hand-rolling the table sidesteps ParseMap's validation the same way
+// reading it sidesteps the routing functions).
+func AnalyzerShardMap() *Analyzer {
+	return &Analyzer{
+		Name: "shardmap",
+		Doc:  "shard.Map's endpoint table may only be read inside package shard: all addressing goes through the map",
+		Run:  runShardMap,
+	}
+}
+
+func runShardMap(prog *Program, report func(pos token.Pos, format string, args ...interface{})) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					sel := pkg.Info.Selections[n]
+					if sel == nil || sel.Kind() != types.FieldVal {
+						return true
+					}
+					fld, ok := sel.Obj().(*types.Var)
+					if !ok || fld.Name() != "Addrs" || !isShardMapType(sel.Recv()) {
+						return true
+					}
+					if fld.Pkg() != pkg.Types {
+						report(n.Sel.Pos(), "shard endpoint table read outside package shard: go through the Router or the Dial helpers so every address lookup consults the map")
+					}
+				case *ast.CompositeLit:
+					tv, ok := pkg.Info.Types[n]
+					if !ok || !isShardMapType(tv.Type) || len(n.Elts) == 0 {
+						return true
+					}
+					if named := namedType(tv.Type); named != nil && named.Obj().Pkg() != pkg.Types {
+						report(n.Pos(), "shard.Map constructed by hand: build the map with ParseMap so the endpoint table is validated against the id space")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// namedType unwraps pointers and aliases down to the named type, if any.
+func namedType(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isShardMapType reports whether t (possibly behind a pointer) is a named
+// type Map declared in a package named shard.
+func isShardMapType(t types.Type) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Map" && obj.Pkg() != nil && obj.Pkg().Name() == "shard"
+}

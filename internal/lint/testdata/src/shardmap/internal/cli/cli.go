@@ -1,0 +1,47 @@
+// Package cli is the fixture's shard-map consumer: it demonstrates the
+// violations (plain reads of the endpoint table, hand-rolled maps), the
+// clean sanctioned paths, and one suppressed finding.
+package cli
+
+import "quickstore/internal/shard"
+
+// dialFirst reads the endpoint table directly: a client that caches or
+// indexes Addrs itself will keep talking to a shard the map reassigned.
+func dialFirst(m shard.Map) string {
+	return m.Addrs[0] // want: plain read outside package shard
+}
+
+// rangeAddrs is the same violation through a pointer receiver and a range.
+func rangeAddrs(m *shard.Map) int {
+	total := 0
+	for _, a := range m.Addrs { // want: plain read outside package shard
+		total += len(a)
+	}
+	return total
+}
+
+// handRolled builds the table by hand, sidestepping ParseMap validation.
+func handRolled() shard.Map {
+	return shard.Map{Addrs: []string{"a:1", "b:1"}} // want: hand-rolled map
+}
+
+// clean goes through the sanctioned paths only: ParseMap to build,
+// NumShards to size, Dial to connect. No finding.
+func clean(spec string) (int, error) {
+	m := shard.ParseMap(spec)
+	err := shard.Dial(m, func(addr string) error { return nil })
+	return m.NumShards(), err
+}
+
+// zeroValue returns an empty map; the zero literal carries no endpoint
+// table and is not a finding.
+func zeroValue() shard.Map {
+	return shard.Map{}
+}
+
+// suppressed is a deliberate, documented exception: a diagnostic dump of
+// the raw table, allowed through by the directive.
+func suppressed(m shard.Map) []string {
+	//qsvet:ignore shardmap diagnostics dump needs the raw endpoint table
+	return m.Addrs
+}

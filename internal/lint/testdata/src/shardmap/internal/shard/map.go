@@ -1,0 +1,31 @@
+// Package shard is the fixture's miniature shard map: the endpoint table
+// plus the sanctioned paths to it. Only this package may read Addrs.
+package shard
+
+import "strings"
+
+// Map is the deterministic shard map. Per the no-plain-access rule, the
+// Addrs table is read only inside this package.
+type Map struct {
+	Addrs []string
+}
+
+// ParseMap parses a comma-separated endpoint spec.
+func ParseMap(spec string) Map {
+	return Map{Addrs: strings.Split(spec, ",")}
+}
+
+// NumShards returns the cluster width.
+func (m Map) NumShards() int { return len(m.Addrs) }
+
+// Dial connects every shard in the map — the sanctioned path from the
+// address table to connections. Reading Addrs here is legal: this is the
+// declaring package.
+func Dial(m Map, dial func(addr string) error) error {
+	for _, a := range m.Addrs {
+		if err := dial(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

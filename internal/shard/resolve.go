@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"fmt"
+
+	"quickstore/internal/esm"
+)
+
+// ResolveOutcome summarizes one resolution sweep.
+type ResolveOutcome struct {
+	InDoubt   int // recovered in-doubt participants found this sweep
+	Committed int // resolved to commit (decision found at the coordinator)
+	Aborted   int // resolved to abort (presumed: no decision, no live tx)
+	Pending   int // left alone (coordinator still mid-protocol)
+	Forgotten int // coordinator decisions retired after a clean sweep
+}
+
+// ResolveAll runs one presumed-abort resolution sweep over a cluster:
+// list every shard's recovered in-doubt transactions, inquire each one's
+// outcome at its coordinator, and deliver the verdict. When the sweep
+// ends with no in-doubt transaction anywhere, lingering coordinator
+// decisions have no one left to ask for them and are forgotten, unpinning
+// the coordinators' checkpoint cuts.
+//
+// The sweep is idempotent and crash-safe at every step: verdict delivery
+// is retried by the next sweep if it fails, duplicate deliveries are
+// absorbed by the participant, and a decision is only forgotten after a
+// second listing confirms the cluster is clean.
+func ResolveAll(trs []esm.Transport) (ResolveOutcome, error) {
+	var out ResolveOutcome
+	list := func() (holders []int, coordShards []uint32, coordTxs, localTxs []uint64, decisions map[int][]uint64, err error) {
+		decisions = map[int][]uint64{}
+		for shard, tr := range trs {
+			resp, err := tr.Call(&esm.Request{Op: esm.OpResolveTx, Mode: esm.ResolveModeList})
+			if err != nil {
+				return nil, nil, nil, nil, nil, fmt.Errorf("shard %d: list in-doubt: %w", shard, err)
+			}
+			if resp.Err != "" {
+				return nil, nil, nil, nil, nil, fmt.Errorf("shard %d: list in-doubt: %s", shard, resp.Err)
+			}
+			cs, ct, lt, err := esm.ParseResolveEntries(resp.Data)
+			if err != nil {
+				return nil, nil, nil, nil, nil, fmt.Errorf("shard %d: %w", shard, err)
+			}
+			for i := range lt {
+				if lt[i] == 0 {
+					// A remembered decision, not an in-doubt transaction.
+					decisions[shard] = append(decisions[shard], ct[i])
+					continue
+				}
+				holders = append(holders, shard)
+				coordShards = append(coordShards, cs[i])
+				coordTxs = append(coordTxs, ct[i])
+				localTxs = append(localTxs, lt[i])
+			}
+		}
+		return holders, coordShards, coordTxs, localTxs, decisions, nil
+	}
+
+	holders, coordShards, coordTxs, localTxs, _, err := list()
+	if err != nil {
+		return out, err
+	}
+	out.InDoubt = len(holders)
+	for i, holder := range holders {
+		coord := int(coordShards[i])
+		if coord < 0 || coord >= len(trs) {
+			return out, fmt.Errorf("shard %d: in-doubt tx %d names coordinator shard %d of %d", holder, localTxs[i], coord, len(trs))
+		}
+		resp, err := trs[coord].Call(&esm.Request{Op: esm.OpResolveTx, Tx: coordTxs[i], Mode: esm.ResolveModeInquire})
+		if err != nil {
+			return out, fmt.Errorf("shard %d: inquiring tx %d: %w", coord, coordTxs[i], err)
+		}
+		if resp.Err != "" {
+			return out, fmt.Errorf("shard %d: inquiring tx %d: %s", coord, coordTxs[i], resp.Err)
+		}
+		switch resp.N {
+		case esm.ResolveCommitted:
+			r2, err := trs[holder].Call(&esm.Request{Op: esm.OpCommitDecision, Tx: localTxs[i], Mode: esm.DecisionCommit})
+			if err != nil {
+				return out, fmt.Errorf("shard %d: delivering commit to tx %d: %w", holder, localTxs[i], err)
+			}
+			if r2.Err != "" {
+				// Already resolved by a racing sweep or router: absorbed.
+				continue
+			}
+			out.Committed++
+		case esm.ResolveAborted:
+			r2, err := trs[holder].Call(&esm.Request{Op: esm.OpAbort, Tx: localTxs[i]})
+			if err != nil {
+				return out, fmt.Errorf("shard %d: delivering abort to tx %d: %w", holder, localTxs[i], err)
+			}
+			if r2.Err != "" {
+				continue
+			}
+			out.Aborted++
+		case esm.ResolvePending:
+			// The coordinator is still forming the verdict; never presume.
+			out.Pending++
+		default:
+			return out, fmt.Errorf("shard %d: unknown resolve outcome %d for tx %d", coord, resp.N, coordTxs[i])
+		}
+	}
+
+	// Retire decisions only once a fresh listing shows no in-doubt
+	// transaction anywhere — before that, some participant may still need
+	// to ask for the verdict.
+	holders, _, _, _, decisions, err := list()
+	if err != nil {
+		return out, err
+	}
+	if len(holders) > 0 {
+		return out, nil
+	}
+	for shard, txs := range decisions {
+		for _, tx := range txs {
+			resp, err := trs[shard].Call(&esm.Request{Op: esm.OpResolveTx, Tx: tx, Mode: esm.ResolveModeForget})
+			if err != nil {
+				return out, fmt.Errorf("shard %d: forgetting decision %d: %w", shard, tx, err)
+			}
+			if resp.Err != "" {
+				return out, fmt.Errorf("shard %d: forgetting decision %d: %s", shard, tx, resp.Err)
+			}
+			out.Forgotten++
+		}
+	}
+	return out, nil
+}
+
+// ResolveInDoubt runs one resolution sweep over the Router's shards.
+// Serving processes run it periodically after restarts; the crash drill
+// runs it after recovery.
+func (r *Router) ResolveInDoubt() (ResolveOutcome, error) {
+	return ResolveAll(r.trs)
+}

@@ -1,0 +1,726 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/lock"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Affinity, when >= 0, is the shard that receives this session's page
+	// allocations. Partitionable workloads pin each session to its home
+	// shard so single-shard commits stay on the one-phase fast path.
+	// -1 (and the zero value via NewRouter's normalization) rotates
+	// allocations round-robin.
+	Affinity int
+}
+
+// Router is a client-side sharding transport: it implements esm.Transport
+// over N per-shard transports, routing every request by the shard map's
+// deterministic rules and rewriting page/file ids between the global
+// (client) and local (server) id spaces. Transactions are begun lazily on
+// each shard at first touch; a commit that touched one shard forwards the
+// ordinary one-phase OpCommit, while a cross-shard commit runs the
+// presumed-abort two-phase protocol with the first-touched shard as
+// coordinator.
+//
+// A Router carries one session's transaction state but is safe for the
+// session's internal concurrency (prefetch workers issue reads in
+// parallel with the mainline).
+type Router struct {
+	trs      []esm.Transport
+	affinity int
+	rr       atomic.Uint32
+	nextTx   atomic.Uint64
+
+	mu  sync.Mutex
+	txs map[uint64]*routedTx
+
+	stats struct {
+		singleCommits atomic.Int64
+		crossCommits  atomic.Int64
+		prepares      atomic.Int64
+		aborts        atomic.Int64
+		prepareFails  atomic.Int64
+		unresolved    atomic.Int64
+		forgets       atomic.Int64
+	}
+}
+
+// routedTx tracks one global transaction's footprint: the lazily-begun
+// local transaction per touched shard (order preserves first touch — the
+// first shard is the commit coordinator) and the last log LSN each shard
+// assigned the transaction (the per-shard page stamp).
+type routedTx struct {
+	mu      sync.Mutex
+	local   map[int]uint64
+	order   []int
+	lastLSN map[int]uint64
+}
+
+// RouterStats is a snapshot of the Router's protocol counters.
+type RouterStats struct {
+	SingleCommits int64 // one-phase fast-path commits
+	CrossCommits  int64 // two-phase cross-shard commits
+	Prepares      int64 // participant prepares sent (phase 1)
+	Aborts        int64 // transaction aborts fanned out
+	PrepareFails  int64 // phase-1 failures (aborted everywhere)
+	Unresolved    int64 // committed, but a participant missed its verdict
+	Forgets       int64 // decisions forgotten after full acknowledgement
+}
+
+// NewRouter builds a Router over one transport per shard (index = shard
+// id). The Router owns the transports: Close closes them.
+func NewRouter(trs []esm.Transport, cfg Config) (*Router, error) {
+	if len(trs) == 0 || len(trs) > MaxShards {
+		return nil, fmt.Errorf("shard: router needs 1..%d transports, got %d", MaxShards, len(trs))
+	}
+	if cfg.Affinity >= len(trs) {
+		return nil, fmt.Errorf("shard: affinity %d out of range for %d shards", cfg.Affinity, len(trs))
+	}
+	return &Router{
+		trs:      trs,
+		affinity: cfg.Affinity,
+		txs:      map[uint64]*routedTx{},
+	}, nil
+}
+
+// Dial builds a Router straight from a shard map (CLI path): transports
+// are opened with m.DialTransports, replica groups behind Directors.
+func Dial(m Map, dial Dialer, cfg Config) (*Router, error) {
+	trs, err := m.DialTransports(dial)
+	if err != nil {
+		return nil, err
+	}
+	return NewRouter(trs, cfg)
+}
+
+// NumShards returns the cluster width.
+func (r *Router) NumShards() int { return len(r.trs) }
+
+// Stats returns a snapshot of the Router's protocol counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		SingleCommits: r.stats.singleCommits.Load(),
+		CrossCommits:  r.stats.crossCommits.Load(),
+		Prepares:      r.stats.prepares.Load(),
+		Aborts:        r.stats.aborts.Load(),
+		PrepareFails:  r.stats.prepareFails.Load(),
+		Unresolved:    r.stats.unresolved.Load(),
+		Forgets:       r.stats.forgets.Load(),
+	}
+}
+
+// Close implements esm.Transport.
+func (r *Router) Close() error {
+	var first error
+	for _, tr := range r.trs {
+		if err := tr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// call forwards one request to a shard and surfaces remote errors.
+func (r *Router) call(shard int, req *esm.Request) (*esm.Response, error) {
+	if shard < 0 || shard >= len(r.trs) {
+		return nil, fmt.Errorf("shard: id routes to shard %d of %d (foreign-map identifier?)", shard, len(r.trs))
+	}
+	return r.trs[shard].Call(req)
+}
+
+// CallShard sends a raw request to one shard — the sanctioned per-shard
+// access path for observability (the qsstore stats per-shard view).
+func (r *Router) CallShard(shard int, req *esm.Request) (*esm.Response, error) {
+	return r.call(shard, req)
+}
+
+func (r *Router) tx(gid uint64) (*routedTx, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.txs[gid]
+	if t == nil {
+		return nil, fmt.Errorf("shard: unknown transaction %d", gid)
+	}
+	return t, nil
+}
+
+// localFor returns the shard-local transaction id for gid on shard,
+// beginning one lazily at first touch. The first shard touched becomes
+// the transaction's commit coordinator.
+func (r *Router) localFor(t *routedTx, shard int) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.local[shard]; ok {
+		return id, nil
+	}
+	resp, err := r.call(shard, &esm.Request{Op: esm.OpBegin})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("shard %d: begin: %s", shard, resp.Err)
+	}
+	t.local[shard] = resp.N
+	t.order = append(t.order, shard)
+	return resp.N, nil
+}
+
+// Call implements esm.Transport: the full per-op routing table.
+func (r *Router) Call(req *esm.Request) (*esm.Response, error) {
+	switch req.Op {
+	case esm.OpBegin:
+		gid := r.nextTx.Add(1)
+		r.mu.Lock()
+		r.txs[gid] = &routedTx{local: map[int]uint64{}, lastLSN: map[int]uint64{}}
+		r.mu.Unlock()
+		return &esm.Response{N: gid}, nil
+
+	case esm.OpCommit:
+		return r.commit(req)
+
+	case esm.OpAbort:
+		return r.abort(req.Tx)
+
+	case esm.OpReadPage, esm.OpWritePage, esm.OpFreePages:
+		return r.pageOp(req, ShardOfPage(req.Page), LocalPage(req.Page))
+
+	case esm.OpLock:
+		kind := lock.Kind(req.Mode >> 4)
+		switch kind {
+		case lock.KindPage:
+			return r.pageOp(req, ShardOfPage(req.Page), LocalPage(req.Page))
+		case lock.KindFile:
+			return r.pageOp(req, ShardOfFile(req.Page), LocalFile(req.Page))
+		}
+		return nil, fmt.Errorf("shard: lock on unroutable resource kind %d", kind)
+
+	case esm.OpAllocPages:
+		return r.alloc(req)
+
+	case esm.OpLog:
+		return r.logBatch(req)
+
+	case esm.OpReadPages:
+		return r.readPages(req)
+
+	case esm.OpCreateFile, esm.OpOpenFile:
+		shard := ShardOfName(req.Name, len(r.trs))
+		resp, err := r.call(shard, req)
+		if err != nil || resp.Err != "" {
+			return resp, err
+		}
+		if resp.N > localMask {
+			return nil, fmt.Errorf("shard %d: local file id %d overflows the %d-bit local space", shard, resp.N, localBits)
+		}
+		out := *resp
+		out.N = uint64(GlobalFile(shard, uint32(resp.N)))
+		return &out, nil
+
+	case esm.OpGetRoot, esm.OpSetRoot, esm.OpCounter:
+		return r.call(ShardOfName(req.Name, len(r.trs)), req)
+
+	case esm.OpCheckpoint:
+		for shard := range r.trs {
+			resp, err := r.call(shard, req)
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != "" {
+				return resp, nil
+			}
+		}
+		return &esm.Response{}, nil
+
+	case esm.OpStats:
+		return r.aggregateStats(req)
+
+	case esm.OpBeginSnapshot, esm.OpSnapRead, esm.OpEndSnapshot:
+		// Shard 0's prefix is zero, so on a one-shard cluster global and
+		// local ids coincide and snapshots pass straight through. A
+		// cross-shard consistent snapshot needs a coordinated LSN vector;
+		// until then sharded deployments read through transactions.
+		if len(r.trs) == 1 {
+			return r.call(0, req)
+		}
+		return nil, fmt.Errorf("shard: %v not supported on a %d-shard cluster (snapshots are per-shard)", req.Op, len(r.trs))
+	}
+	return nil, fmt.Errorf("shard: unroutable op %v", req.Op)
+}
+
+// pageOp forwards a page-addressed request to its shard with the id
+// localized, re-globalizing the response's page id.
+func (r *Router) pageOp(req *esm.Request, shard int, local uint32) (*esm.Response, error) {
+	fwd := *req
+	fwd.Page = local
+	if req.Tx != 0 {
+		t, err := r.tx(req.Tx)
+		if err != nil {
+			return nil, err
+		}
+		fwd.Tx, err = r.localFor(t, shard)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp, err := r.call(shard, &fwd)
+	if err != nil || resp.Err != "" {
+		return resp, err
+	}
+	if req.Op == esm.OpReadPage {
+		out := *resp
+		out.Page = GlobalPage(shard, resp.Page)
+		return &out, nil
+	}
+	return resp, nil
+}
+
+// alloc routes a page allocation: to the session's affinity shard when
+// configured, round-robin otherwise. The returned run is re-globalized;
+// a shard whose local space cannot hold the run fails loudly rather than
+// handing out ids that alias another shard's pages.
+func (r *Router) alloc(req *esm.Request) (*esm.Response, error) {
+	shard := r.affinity
+	if shard < 0 {
+		shard = int(r.rr.Add(1)-1) % len(r.trs)
+	}
+	fwd := *req
+	if req.Tx != 0 {
+		t, err := r.tx(req.Tx)
+		if err != nil {
+			return nil, err
+		}
+		fwd.Tx, err = r.localFor(t, shard)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp, err := r.call(shard, &fwd)
+	if err != nil || resp.Err != "" {
+		return resp, err
+	}
+	if uint64(resp.Page)+req.N-1 > localMask {
+		return nil, fmt.Errorf("shard %d: allocated run [%d,+%d) overflows the %d-bit local page space", shard, resp.Page, req.N, localBits)
+	}
+	out := *resp
+	out.Page = GlobalPage(shard, resp.Page)
+	return &out, nil
+}
+
+// logBatch splits an OpLog batch by each record's page shard, rewrites
+// page ids local, and fans the per-shard batches out concurrently. Each
+// shard's returned LSN is recorded as the transaction's page stamp for
+// that shard (see StampLSN); the response carries the maximum.
+func (r *Router) logBatch(req *esm.Request) (*esm.Response, error) {
+	if len(req.Data) < 4 {
+		return nil, fmt.Errorf("shard: short log batch (%d bytes)", len(req.Data))
+	}
+	count := int(binary.LittleEndian.Uint32(req.Data))
+	parts := map[int][]byte{}
+	counts := map[int]uint32{}
+	p := 4
+	for i := 0; i < count; i++ {
+		if len(req.Data) < p+11 {
+			return nil, fmt.Errorf("shard: truncated log batch record %d", i)
+		}
+		pid := binary.LittleEndian.Uint32(req.Data[p+1:])
+		oldLen := int(binary.LittleEndian.Uint16(req.Data[p+7:]))
+		newLen := int(binary.LittleEndian.Uint16(req.Data[p+9:]))
+		if len(req.Data) < p+11+oldLen+newLen {
+			return nil, fmt.Errorf("shard: truncated log batch record %d payload", i)
+		}
+		shard := ShardOfPage(pid)
+		if parts[shard] == nil {
+			parts[shard] = make([]byte, 4)
+		}
+		rec := append([]byte(nil), req.Data[p:p+11+oldLen+newLen]...)
+		binary.LittleEndian.PutUint32(rec[1:], LocalPage(pid))
+		parts[shard] = append(parts[shard], rec...)
+		counts[shard]++
+		p += 11 + oldLen + newLen
+	}
+	t, err := r.tx(req.Tx)
+	if err != nil {
+		return nil, err
+	}
+	type result struct {
+		shard int
+		lsn   uint64
+		err   error
+	}
+	results := make(chan result, len(parts))
+	for shard, data := range parts {
+		binary.LittleEndian.PutUint32(data[:4], counts[shard])
+		local, err := r.localFor(t, shard)
+		if err != nil {
+			return nil, err
+		}
+		go func(shard int, local uint64, data []byte) {
+			resp, err := r.call(shard, &esm.Request{Op: esm.OpLog, Tx: local, Data: data})
+			if err == nil && resp.Err != "" {
+				err = fmt.Errorf("shard %d: %s", shard, resp.Err)
+			}
+			if err != nil {
+				results <- result{shard: shard, err: err}
+				return
+			}
+			results <- result{shard: shard, lsn: resp.N}
+		}(shard, local, data)
+	}
+	var max uint64
+	for range parts {
+		res := <-results
+		if res.err != nil {
+			return nil, res.err
+		}
+		t.mu.Lock()
+		t.lastLSN[res.shard] = res.lsn
+		t.mu.Unlock()
+		if res.lsn > max {
+			max = res.lsn
+		}
+	}
+	return &esm.Response{N: max}, nil
+}
+
+// readPages splits a batch read by shard, fans out, and reassembles the
+// page images in request order with global ids.
+func (r *Router) readPages(req *esm.Request) (*esm.Response, error) {
+	if len(req.Data)%4 != 0 || uint64(len(req.Data)/4) != req.N {
+		return nil, fmt.Errorf("shard: malformed ReadPages payload (%d bytes for %d pages)", len(req.Data), req.N)
+	}
+	n := int(req.N)
+	byShard := map[int][]int{} // shard -> indexes into the request order
+	pids := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		pids[i] = binary.LittleEndian.Uint32(req.Data[i*4:])
+		shard := ShardOfPage(pids[i])
+		byShard[shard] = append(byShard[shard], i)
+	}
+	const rec = 4 + disk.PageSize
+	out := make([]byte, n*rec)
+	type result struct {
+		shard int
+		idx   []int
+		resp  *esm.Response
+		err   error
+	}
+	results := make(chan result, len(byShard))
+	for shard, idx := range byShard {
+		payload := make([]byte, 0, len(idx)*4)
+		for _, i := range idx {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], LocalPage(pids[i]))
+			payload = append(payload, b[:]...)
+		}
+		go func(shard int, idx []int, payload []byte) {
+			resp, err := r.call(shard, &esm.Request{Op: esm.OpReadPages, N: uint64(len(idx)), Data: payload})
+			if err == nil && resp.Err != "" {
+				err = fmt.Errorf("shard %d: %s", shard, resp.Err)
+			}
+			results <- result{shard: shard, idx: idx, resp: resp, err: err}
+		}(shard, idx, payload)
+	}
+	for range byShard {
+		res := <-results
+		if res.err != nil {
+			return nil, res.err
+		}
+		if len(res.resp.Data) != len(res.idx)*rec {
+			return nil, fmt.Errorf("shard %d: ReadPages returned %d bytes for %d pages", res.shard, len(res.resp.Data), len(res.idx))
+		}
+		for j, i := range res.idx {
+			src := res.resp.Data[j*rec : (j+1)*rec]
+			dst := out[i*rec : (i+1)*rec]
+			copy(dst, src)
+			binary.LittleEndian.PutUint32(dst[:4], GlobalPage(res.shard, binary.LittleEndian.Uint32(src[:4])))
+		}
+	}
+	return &esm.Response{N: req.N, Data: out}, nil
+}
+
+// StampLSN implements esm.ShardStamper: the page stamp for pid is the
+// last log LSN the transaction was assigned on pid's owning shard, not
+// the session-wide scalar — LSN spaces are per shard.
+func (r *Router) StampLSN(gid uint64, pid disk.PageID) uint64 {
+	r.mu.Lock()
+	t := r.txs[gid]
+	r.mu.Unlock()
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN[ShardOfPage(uint32(pid))]
+}
+
+// splitCommitPayload partitions a commit's page payload (repeated u32
+// global pid + page image) into per-shard payloads with local ids.
+func splitCommitPayload(data []byte) (map[int][]byte, error) {
+	const rec = 4 + disk.PageSize
+	if len(data)%rec != 0 {
+		return nil, fmt.Errorf("shard: malformed commit payload (%d bytes)", len(data))
+	}
+	parts := map[int][]byte{}
+	for p := 0; p < len(data); p += rec {
+		pid := binary.LittleEndian.Uint32(data[p:])
+		shard := ShardOfPage(pid)
+		entry := append([]byte(nil), data[p:p+rec]...)
+		binary.LittleEndian.PutUint32(entry[:4], LocalPage(pid))
+		parts[shard] = append(parts[shard], entry...)
+	}
+	return parts, nil
+}
+
+// commit resolves a transaction: one-phase when a single shard was
+// touched, presumed-abort two-phase otherwise. The first-touched shard
+// coordinates: every participant prepares (votes durably), then the
+// coordinator's single decision record commits the transaction and the
+// verdict fans out. A participant that misses its verdict is left
+// prepared — in doubt — for the resolver (ResolveAll / OpResolveTx).
+func (r *Router) commit(req *esm.Request) (*esm.Response, error) {
+	t, err := r.tx(req.Tx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		r.mu.Lock()
+		delete(r.txs, req.Tx)
+		r.mu.Unlock()
+	}()
+	parts, err := splitCommitPayload(req.Data)
+	if err != nil {
+		return nil, err
+	}
+	// Ensure every shard with shipped pages is a participant (it will be
+	// already — pages are only dirtied under that shard's locks — but a
+	// commit must never silently drop a payload).
+	for shard := range parts {
+		if _, err := r.localFor(t, shard); err != nil {
+			return nil, err
+		}
+	}
+	t.mu.Lock()
+	participants := append([]int(nil), t.order...)
+	locals := make(map[int]uint64, len(t.local))
+	for s, id := range t.local {
+		locals[s] = id
+	}
+	t.mu.Unlock()
+
+	if len(participants) == 0 {
+		//qsvet:ignore quorumack read-only transaction: no shard was ever touched, there is nothing to make durable
+		return &esm.Response{}, nil // touched nothing; nothing to resolve
+	}
+	if len(participants) == 1 {
+		// One-phase fast path, untouched semantics: the ordinary commit.
+		shard := participants[0]
+		resp, err := r.call(shard, &esm.Request{Op: esm.OpCommit, Tx: locals[shard], Data: parts[shard]})
+		if err == nil && resp.Err == "" {
+			r.stats.singleCommits.Add(1)
+		}
+		return resp, err
+	}
+
+	coord := participants[0]
+	coordLocal := locals[coord]
+
+	// Phase 1: prepare every participant concurrently. Any failure aborts
+	// the transaction everywhere — no decision record is ever written, so
+	// abort is the presumed outcome at every participant.
+	type vote struct {
+		shard int
+		err   error
+	}
+	votes := make(chan vote, len(participants))
+	for _, shard := range participants {
+		mode := uint8(0)
+		if shard == coord {
+			mode = esm.PrepareModeCoord
+		}
+		go func(shard int, mode uint8) {
+			resp, err := r.call(shard, &esm.Request{
+				Op:   esm.OpPrepare,
+				Tx:   locals[shard],
+				Page: uint32(coord),
+				N:    coordLocal,
+				Mode: mode,
+				Data: parts[shard],
+			})
+			if err == nil && resp.Err != "" {
+				err = fmt.Errorf("shard %d: %s", shard, resp.Err)
+			}
+			votes <- vote{shard: shard, err: err}
+		}(shard, mode)
+	}
+	r.stats.prepares.Add(int64(len(participants)))
+	var prepareErr error
+	for range participants {
+		if v := <-votes; v.err != nil && prepareErr == nil {
+			prepareErr = v.err
+		}
+	}
+	if prepareErr != nil {
+		r.stats.prepareFails.Add(1)
+		for _, shard := range participants {
+			_, _ = r.call(shard, &esm.Request{Op: esm.OpAbort, Tx: locals[shard]})
+		}
+		return nil, fmt.Errorf("shard: prepare failed, transaction aborted: %w", prepareErr)
+	}
+
+	// Phase 2, decision point: the coordinator's RecDecision is the
+	// transaction's one durable commit record. Until it is forced the
+	// whole transaction can still abort; after it, the outcome is commit
+	// no matter who crashes.
+	resp, err := r.call(coord, &esm.Request{
+		Op:   esm.OpCommitDecision,
+		Tx:   coordLocal,
+		Mode: esm.DecisionCommit | esm.DecisionCoord,
+	})
+	if err == nil && resp.Err != "" {
+		err = fmt.Errorf("shard %d: %s", coord, resp.Err)
+	}
+	if err != nil {
+		// The decision may or may not have been logged: the transaction is
+		// in doubt from this session's point of view. Participants stay
+		// prepared; the resolver settles them against the coordinator's
+		// log once it is back.
+		return nil, fmt.Errorf("shard: commit outcome in doubt (coordinator decision failed): %w", err)
+	}
+	decisionLSN := resp.N
+
+	// Phase 2, fan-out: deliver the verdict to the other participants.
+	acks := make(chan vote, len(participants)-1)
+	for _, shard := range participants {
+		if shard == coord {
+			continue
+		}
+		go func(shard int) {
+			resp, err := r.call(shard, &esm.Request{Op: esm.OpCommitDecision, Tx: locals[shard], Mode: esm.DecisionCommit})
+			if err == nil && resp.Err != "" {
+				err = fmt.Errorf("shard %d: %s", shard, resp.Err)
+			}
+			acks <- vote{shard: shard, err: err}
+		}(shard)
+	}
+	missed := 0
+	for i := 0; i < len(participants)-1; i++ {
+		if a := <-acks; a.err != nil {
+			missed++
+		}
+	}
+	r.stats.crossCommits.Add(1)
+	if missed > 0 {
+		// Still a successful commit — the decision is durable. The missed
+		// participants are in doubt until resolved, and the coordinator
+		// keeps the decision remembered for their inquiry.
+		r.stats.unresolved.Add(int64(missed))
+		//qsvet:ignore quorumack client-side fan-out: durability is the acked coordinator decision; each shard server runs its own quorum gate before acking
+		return &esm.Response{N: decisionLSN}, nil
+	}
+	// Phase 2.5: every participant holds the outcome; the coordinator may
+	// forget the decision (and unpin its checkpoint cut). Best-effort — a
+	// lost forget only delays truncation until the sweep resolver's next
+	// round.
+	if _, ferr := r.call(coord, &esm.Request{Op: esm.OpResolveTx, Tx: coordLocal, Mode: esm.ResolveModeForget}); ferr == nil {
+		r.stats.forgets.Add(1)
+	}
+	//qsvet:ignore quorumack client-side fan-out: durability is the acked coordinator decision; each shard server runs its own quorum gate before acking
+	return &esm.Response{N: decisionLSN}, nil
+}
+
+// abort rolls the transaction back on every touched shard.
+func (r *Router) abort(gid uint64) (*esm.Response, error) {
+	t, err := r.tx(gid)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		r.mu.Lock()
+		delete(r.txs, gid)
+		r.mu.Unlock()
+	}()
+	t.mu.Lock()
+	participants := append([]int(nil), t.order...)
+	locals := make(map[int]uint64, len(t.local))
+	for s, id := range t.local {
+		locals[s] = id
+	}
+	t.mu.Unlock()
+	r.stats.aborts.Add(1)
+	var firstErr error
+	for _, shard := range participants {
+		resp, err := r.call(shard, &esm.Request{Op: esm.OpAbort, Tx: locals[shard]})
+		if err == nil && resp.Err != "" {
+			err = fmt.Errorf("shard %d: %s", shard, resp.Err)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &esm.Response{}, nil
+}
+
+// aggregateStats sums the per-shard ServerStats into one cluster view.
+// Per-shard detail stays available through CallShard.
+func (r *Router) aggregateStats(req *esm.Request) (*esm.Response, error) {
+	var agg esm.ServerStats
+	shards := make([]int, 0, len(r.trs))
+	for shard := range r.trs {
+		shards = append(shards, shard)
+	}
+	sort.Ints(shards)
+	for _, shard := range shards {
+		resp, err := r.call(shard, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Err != "" {
+			return resp, nil
+		}
+		var st esm.ServerStats
+		if err := json.Unmarshal(resp.Data, &st); err != nil {
+			return nil, fmt.Errorf("shard %d: stats: %w", shard, err)
+		}
+		agg.BufferPages += st.BufferPages
+		agg.Resident += st.Resident
+		agg.PoolHits += st.PoolHits
+		agg.PoolMisses += st.PoolMisses
+		agg.PoolEvicted += st.PoolEvicted
+		agg.AllocatedPages += st.AllocatedPages
+		agg.LogRecords += st.LogRecords
+		agg.LogBytes += st.LogBytes
+		agg.DiskReads += st.DiskReads
+		agg.DiskWrites += st.DiskWrites
+		agg.PrefetchPages += st.PrefetchPages
+		agg.PrefetchReads += st.PrefetchReads
+		agg.Commits += st.Commits
+		agg.LogForces += st.LogForces
+		agg.LogPiggybacks += st.LogPiggybacks
+		agg.LockGrants += st.LockGrants
+		agg.LockWaits += st.LockWaits
+		agg.SnapBegins += st.SnapBegins
+		agg.SnapReads += st.SnapReads
+		agg.NetInFlightHW += st.NetInFlightHW
+		agg.NetFlushes += st.NetFlushes
+		agg.NetFrames += st.NetFrames
+		agg.NetBytesOut += st.NetBytesOut
+	}
+	blob, err := json.Marshal(&agg)
+	if err != nil {
+		return nil, err
+	}
+	return &esm.Response{N: uint64(agg.Resident), Data: blob}, nil
+}

@@ -1,0 +1,575 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/lock"
+	"quickstore/internal/wal"
+)
+
+func TestIDTranslation(t *testing.T) {
+	cases := []struct {
+		shard int
+		local uint32
+	}{
+		{0, 0}, {0, 1}, {0, localMask}, {1, 0}, {1, 42}, {3, localMask}, {MaxShards - 1, 7},
+	}
+	for _, c := range cases {
+		g := GlobalPage(c.shard, c.local)
+		if ShardOfPage(g) != c.shard || LocalPage(g) != c.local {
+			t.Fatalf("page round trip (%d,%d) -> %d -> (%d,%d)", c.shard, c.local, g, ShardOfPage(g), LocalPage(g))
+		}
+		gf := GlobalFile(c.shard, c.local)
+		if ShardOfFile(gf) != c.shard || LocalFile(gf) != c.local {
+			t.Fatalf("file round trip (%d,%d) -> %d", c.shard, c.local, gf)
+		}
+	}
+	// Shard 0 ids are the identity: a one-shard cluster is bit-for-bit an
+	// unsharded deployment.
+	if GlobalPage(0, 12345) != 12345 || LocalPage(12345) != 12345 {
+		t.Fatal("shard 0 encoding is not the identity")
+	}
+}
+
+func TestParseMap(t *testing.T) {
+	m, err := ParseMap("a:1,b:1|b:2|b:3, c:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 3 {
+		t.Fatalf("NumShards = %d", m.NumShards())
+	}
+	if _, err := ParseMap("a,,b"); err == nil {
+		t.Fatal("empty endpoint accepted")
+	}
+}
+
+func TestNameRouting(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		for _, name := range []string{"oo7", "bench.0", "bench.1", "x"} {
+			s := ShardOfName(name, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOfName(%q,%d) = %d", name, n, s)
+			}
+			if s != ShardOfName(name, n) {
+				t.Fatal("non-deterministic name hash")
+			}
+		}
+		for target := 0; target < n; target++ {
+			name := NameOnShard("home", target, n)
+			if got := ShardOfName(name, n); got != target {
+				t.Fatalf("NameOnShard(home,%d,%d) = %q lands on %d", target, n, name, got)
+			}
+		}
+	}
+}
+
+// newCluster builds n in-proc shard servers and a Router over them.
+func newCluster(t *testing.T, n int, cfg Config) ([]*esm.Server, *Router) {
+	t.Helper()
+	srvs := make([]*esm.Server, n)
+	trs := make([]esm.Transport, n)
+	for i := range srvs {
+		srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+		trs[i] = esm.NewInProcTransport(srv)
+	}
+	r, err := NewRouter(trs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srvs, r
+}
+
+// makeObject creates one committed object holding val, in a file whose
+// name (and, via affinity, whose pages) live on the given shard.
+func makeObject(t *testing.T, trs []esm.Transport, shard, nShards int, val byte) (esm.OID, string) {
+	t.Helper()
+	r, err := NewRouter(trs, Config{Affinity: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	name := NameOnShard(fmt.Sprintf("obj.%d", shard), shard, nShards)
+	fid, err := c.CreateFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ShardOfFile(fid) != shard {
+		t.Fatalf("file %q got id %d on shard %d, want %d", name, fid, ShardOfFile(fid), shard)
+	}
+	oid, data, err := c.CreateObject(c.NewCluster(fid), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = val
+	}
+	if ShardOfPage(uint32(oid.Page)) != shard {
+		t.Fatalf("object page %d allocated on shard %d, want %d", oid.Page, ShardOfPage(uint32(oid.Page)), shard)
+	}
+	if err := c.SetRoot(name, oid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return oid, name
+}
+
+// update rewrites the first 8 bytes of the object through an open session.
+func update(t *testing.T, c *esm.Client, oid esm.OID, val byte) {
+	t.Helper()
+	data, off, frame, err := c.ReadObjectAt(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := append([]byte(nil), data[:8]...)
+	nw := bytes.Repeat([]byte{val}, 8)
+	copy(data, nw)
+	c.Pool().MarkDirty(frame)
+	c.LogUpdate(oid.Page, off, old, nw)
+}
+
+func readVal(t *testing.T, trs []esm.Transport, oid esm.OID) byte {
+	t.Helper()
+	r, err := NewRouter(trs, Config{Affinity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := c.ReadObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := data[0]
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func transports(srvs []*esm.Server) []esm.Transport {
+	trs := make([]esm.Transport, len(srvs))
+	for i, s := range srvs {
+		trs[i] = esm.NewInProcTransport(s)
+	}
+	return trs
+}
+
+func TestSingleShardFastPath(t *testing.T) {
+	srvs, r := newCluster(t, 2, Config{Affinity: 0})
+	trs := transports(srvs)
+	oid, _ := makeObject(t, trs, 0, 2, 0xAA)
+
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	update(t, c, oid, 0xBB)
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.SingleCommits != 1 || st.CrossCommits != 0 || st.Prepares != 0 {
+		t.Fatalf("stats = %+v, want one single-shard fast-path commit", st)
+	}
+	if got := readVal(t, trs, oid); got != 0xBB {
+		t.Fatalf("value = %#x", got)
+	}
+	for i, s := range srvs {
+		if s.InDoubtCount() != 0 || s.DecisionCount() != 0 {
+			t.Fatalf("shard %d left 2PC state: indoubt=%d decisions=%d", i, s.InDoubtCount(), s.DecisionCount())
+		}
+	}
+}
+
+func TestCrossShardCommit(t *testing.T) {
+	srvs, r := newCluster(t, 2, Config{Affinity: -1})
+	trs := transports(srvs)
+	oid0, _ := makeObject(t, trs, 0, 2, 0x11)
+	oid1, _ := makeObject(t, trs, 1, 2, 0x22)
+
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	update(t, c, oid0, 0x33)
+	update(t, c, oid1, 0x44)
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.CrossCommits != 1 || st.Prepares != 2 || st.SingleCommits != 0 {
+		t.Fatalf("stats = %+v, want one two-participant cross commit", st)
+	}
+	if st.Forgets != 1 || st.Unresolved != 0 {
+		t.Fatalf("stats = %+v, want the decision forgotten in-line", st)
+	}
+	if got := readVal(t, trs, oid0); got != 0x33 {
+		t.Fatalf("shard 0 value = %#x", got)
+	}
+	if got := readVal(t, trs, oid1); got != 0x44 {
+		t.Fatalf("shard 1 value = %#x", got)
+	}
+	for i, s := range srvs {
+		if s.InDoubtCount() != 0 || s.DecisionCount() != 0 {
+			t.Fatalf("shard %d left 2PC state: indoubt=%d decisions=%d", i, s.InDoubtCount(), s.DecisionCount())
+		}
+	}
+}
+
+func TestCrossShardAbort(t *testing.T) {
+	srvs, r := newCluster(t, 2, Config{Affinity: -1})
+	trs := transports(srvs)
+	oid0, _ := makeObject(t, trs, 0, 2, 0x11)
+	oid1, _ := makeObject(t, trs, 1, 2, 0x22)
+
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	update(t, c, oid0, 0x99)
+	update(t, c, oid1, 0x99)
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readVal(t, trs, oid0); got != 0x11 {
+		t.Fatalf("shard 0 value after abort = %#x", got)
+	}
+	if got := readVal(t, trs, oid1); got != 0x22 {
+		t.Fatalf("shard 1 value after abort = %#x", got)
+	}
+	for i, s := range srvs {
+		if s.InDoubtCount() != 0 {
+			t.Fatalf("shard %d holds prepared state after abort", i)
+		}
+	}
+}
+
+func TestRootsAndCountersRouteByName(t *testing.T) {
+	srvs, r := newCluster(t, 4, Config{Affinity: -1})
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("ctr.%d", i)
+		if _, err := c.Counter(name, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Each counter lives on exactly its hash shard; a second pass reads
+	// every one back through the router.
+	c2 := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("ctr.%d", i)
+		got, err := c2.Counter(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(i)+1 {
+			t.Fatalf("counter %s = %d", name, got)
+		}
+	}
+	if err := c2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_ = srvs
+}
+
+func TestStatsAggregate(t *testing.T) {
+	srvs, r := newCluster(t, 2, Config{Affinity: -1})
+	trs := transports(srvs)
+	makeObject(t, trs, 0, 2, 1)
+	makeObject(t, trs, 1, 2, 2)
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One baseline commit per shard: the aggregate is their sum.
+	if st.Commits != 2 {
+		t.Fatalf("aggregate commits = %d, want 2", st.Commits)
+	}
+	_ = srvs
+}
+
+// prepareInDoubt hand-runs phase 1 of a cross-shard commit so the
+// participant is left prepared: coordinator tx on shard 0, participant tx
+// on shard 1 updating the given page, both prepared. Returns the two
+// local tx ids.
+func prepareInDoubt(t *testing.T, trs []esm.Transport, pid uint32, off uint16, old, nw []byte, decide bool) (coordTx, partTx uint64) {
+	t.Helper()
+	call := func(shard int, req *esm.Request) *esm.Response {
+		t.Helper()
+		resp, err := trs[shard].Call(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Err != "" {
+			t.Fatalf("shard %d %v: %s", shard, req.Op, resp.Err)
+		}
+		return resp
+	}
+	coordTx = call(0, &esm.Request{Op: esm.OpBegin}).N
+	partTx = call(1, &esm.Request{Op: esm.OpBegin}).N
+
+	// One logged update on the participant.
+	batch := make([]byte, 4)
+	binary.LittleEndian.PutUint32(batch, 1)
+	rec := make([]byte, 11)
+	rec[0] = byte(wal.RecUpdate)
+	binary.LittleEndian.PutUint32(rec[1:], pid)
+	binary.LittleEndian.PutUint16(rec[5:], off)
+	binary.LittleEndian.PutUint16(rec[7:], uint16(len(old)))
+	binary.LittleEndian.PutUint16(rec[9:], uint16(len(nw)))
+	batch = append(batch, rec...)
+	batch = append(batch, old...)
+	batch = append(batch, nw...)
+	call(1, &esm.Request{Op: esm.OpLog, Tx: partTx, Data: batch})
+
+	call(1, &esm.Request{Op: esm.OpPrepare, Tx: partTx, Page: 0, N: coordTx, Data: nil})
+	call(0, &esm.Request{Op: esm.OpPrepare, Tx: coordTx, Page: 0, N: coordTx, Mode: esm.PrepareModeCoord})
+	if decide {
+		call(0, &esm.Request{Op: esm.OpCommitDecision, Tx: coordTx, Mode: esm.DecisionCommit | esm.DecisionCoord})
+	}
+	return coordTx, partTx
+}
+
+// reopen drops a server and recovers a fresh one from the same volume and
+// log, the way restart would.
+func reopen(t *testing.T, vol disk.Volume, log *wal.Log, cfg esm.ServerConfig) *esm.Server {
+	t.Helper()
+	if cfg.BufferPages == 0 {
+		cfg.BufferPages = 64
+	}
+	srv, err := esm.OpenServer(vol, log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// localOID rewrites a global OID into the owning shard's local id space.
+func localOID(oid esm.OID) esm.OID {
+	return esm.OID{
+		Page:   disk.PageID(LocalPage(uint32(oid.Page))),
+		Slot:   oid.Slot,
+		Unique: oid.Unique,
+		File:   LocalFile(oid.File),
+	}
+}
+
+func TestResolveSweepDeliversCommit(t *testing.T) {
+	vols := []disk.Volume{disk.NewMemVolume(), disk.NewMemVolume()}
+	logs := []*wal.Log{wal.NewMemLog(), wal.NewMemLog()}
+	srvs := make([]*esm.Server, 2)
+	for i := range srvs {
+		srv, err := esm.NewServer(vols[i], logs[i], esm.ServerConfig{BufferPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+	}
+	trs := transports(srvs)
+	oid, _ := makeObject(t, trs, 1, 2, 0x55)
+	for _, s := range srvs {
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := LocalPage(uint32(oid.Page))
+
+	// Read the object's current on-page bytes so the hand-logged update has
+	// a correct old image.
+	rc := esm.NewClient(esm.NewInProcTransport(srvs[1]), esm.ClientConfig{BufferPages: 8})
+	if err := rc.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	data, off, _, err := rc.ReadObjectAt(localOID(oid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := append([]byte(nil), data[:8]...)
+	if err := rc.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	nw := bytes.Repeat([]byte{0x66}, 8)
+	_, _ = prepareInDoubt(t, trs, local, uint16(off), old, nw, true)
+
+	// Participant crashes and restarts: the transaction is in doubt.
+	srvs[1] = reopen(t, vols[1], logs[1], esm.ServerConfig{})
+	trs = transports(srvs)
+	if srvs[1].InDoubtCount() != 1 {
+		t.Fatalf("in-doubt after restart = %d, want 1", srvs[1].InDoubtCount())
+	}
+
+	out, err := ResolveAll(trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InDoubt != 1 || out.Committed != 1 || out.Aborted != 0 {
+		t.Fatalf("resolve outcome = %+v", out)
+	}
+	if srvs[1].InDoubtCount() != 0 {
+		t.Fatal("participant still in doubt after resolution")
+	}
+	if srvs[0].DecisionCount() != 0 {
+		t.Fatal("coordinator decision not forgotten after clean sweep")
+	}
+	if got := readVal(t, trs, oid); got != 0x66 {
+		t.Fatalf("resolved value = %#x, want the committed update", got)
+	}
+}
+
+func TestResolveSweepPresumesAbort(t *testing.T) {
+	vols := []disk.Volume{disk.NewMemVolume(), disk.NewMemVolume()}
+	logs := []*wal.Log{wal.NewMemLog(), wal.NewMemLog()}
+	srvs := make([]*esm.Server, 2)
+	for i := range srvs {
+		srv, err := esm.NewServer(vols[i], logs[i], esm.ServerConfig{BufferPages: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+	}
+	trs := transports(srvs)
+	oid, _ := makeObject(t, trs, 1, 2, 0x55)
+	for _, s := range srvs {
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := LocalPage(uint32(oid.Page))
+
+	rc := esm.NewClient(esm.NewInProcTransport(srvs[1]), esm.ClientConfig{BufferPages: 8})
+	if err := rc.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	data, off, _, err := rc.ReadObjectAt(localOID(oid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := append([]byte(nil), data[:8]...)
+	if err := rc.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	nw := bytes.Repeat([]byte{0x77}, 8)
+	prepareInDoubt(t, trs, local, uint16(off), old, nw, false)
+
+	// Both sides crash before any decision: the coordinator's prepared
+	// transaction dies (presumed abort), the participant restarts in doubt.
+	srvs[0] = reopen(t, vols[0], logs[0], esm.ServerConfig{})
+	srvs[1] = reopen(t, vols[1], logs[1], esm.ServerConfig{})
+	trs = transports(srvs)
+	if srvs[0].InDoubtCount() != 0 {
+		t.Fatal("coordinator held its own prepare in doubt; it must presume abort")
+	}
+	if srvs[1].InDoubtCount() != 1 {
+		t.Fatalf("participant in-doubt = %d, want 1", srvs[1].InDoubtCount())
+	}
+
+	out, err := ResolveAll(trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.InDoubt != 1 || out.Aborted != 1 || out.Committed != 0 {
+		t.Fatalf("resolve outcome = %+v", out)
+	}
+	if srvs[1].InDoubtCount() != 0 {
+		t.Fatal("participant still in doubt after presumed abort")
+	}
+	if got := readVal(t, trs, oid); got != 0x55 {
+		t.Fatalf("value after presumed abort = %#x, want the original", got)
+	}
+}
+
+// In-doubt pages stay exclusively locked until resolution: a new
+// transaction must not read through uncommitted prepared data.
+func TestInDoubtPagesStayLocked(t *testing.T) {
+	vols := []disk.Volume{disk.NewMemVolume(), disk.NewMemVolume()}
+	logs := []*wal.Log{wal.NewMemLog(), wal.NewMemLog()}
+	srvs := make([]*esm.Server, 2)
+	for i := range srvs {
+		srv, err := esm.NewServer(vols[i], logs[i], esm.ServerConfig{BufferPages: 64, LockTimeout: 50 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = srv
+	}
+	trs := transports(srvs)
+	oid, _ := makeObject(t, trs, 1, 2, 0x55)
+	for _, s := range srvs {
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local := LocalPage(uint32(oid.Page))
+
+	rc := esm.NewClient(esm.NewInProcTransport(srvs[1]), esm.ClientConfig{BufferPages: 8})
+	if err := rc.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	data, off, _, err := rc.ReadObjectAt(localOID(oid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := append([]byte(nil), data[:8]...)
+	if err := rc.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	prepareInDoubt(t, trs, local, uint16(off), old, bytes.Repeat([]byte{0x88}, 8), true)
+
+	srvs[1] = reopen(t, vols[1], logs[1], esm.ServerConfig{LockTimeout: 50 * time.Millisecond})
+	trs = transports(srvs)
+
+	// A locking reader (the core layer's 2PL path) must block — and with
+	// the short timeout, fail — on the in-doubt page until resolution.
+	c := esm.NewClient(esm.NewInProcTransport(srvs[1]), esm.ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Lock(lock.KindPage, local, lock.Shared); err == nil {
+		t.Fatal("shared lock on an in-doubt page granted before resolution")
+	}
+	_ = c.Abort()
+
+	if _, err := ResolveAll(trs); err != nil {
+		t.Fatal(err)
+	}
+	if got := readVal(t, trs, oid); got != 0x88 {
+		t.Fatalf("value after resolution = %#x", got)
+	}
+}
+
+func TestSnapshotOpsSingleShardOnly(t *testing.T) {
+	_, r := newCluster(t, 2, Config{Affinity: -1})
+	c := esm.NewClient(r, esm.ClientConfig{BufferPages: 8})
+	if err := c.BeginSnapshot(); err == nil {
+		t.Fatal("cross-shard snapshot begin succeeded")
+	}
+}

@@ -36,7 +36,24 @@ const (
 	RecAbort
 	RecCLR // compensation record written during undo
 	RecCheckpoint
+	// RecPrepare marks a transaction prepared as a 2PC participant: its
+	// updates are durable and its locks held, but the outcome belongs to
+	// the coordinator. Page carries the coordinator's shard id, New the
+	// coordinator-local transaction id, and Off the PrepareCoord flag.
+	RecPrepare
+	// RecDecision is the coordinator's commit verdict for a cross-shard
+	// transaction. It doubles as the coordinator's own commit record —
+	// under presumed abort no record at all means "abort", so aborts log
+	// nothing beyond the usual RecAbort.
+	RecDecision
 )
+
+// PrepareCoord, set in a RecPrepare's Off field, marks the prepare written
+// by the coordinator itself. A restarted coordinator finding such a prepare
+// without a matching RecDecision presumes abort immediately (it is the one
+// shard that would know better); participants instead hold the transaction
+// in doubt until an OpResolveTx inquiry settles it.
+const PrepareCoord uint16 = 1
 
 // String names the record type.
 func (t RecType) String() string {
@@ -53,6 +70,10 @@ func (t RecType) String() string {
 		return "CLR"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecPrepare:
+		return "PREPARE"
+	case RecDecision:
+		return "DECISION"
 	}
 	return fmt.Sprintf("RecType(%d)", uint8(t))
 }
@@ -594,44 +615,100 @@ type PageStore interface {
 	WritePage(id uint32, buf []byte) error
 }
 
+// InDoubt describes one prepared-but-undecided transaction found at
+// restart: a 2PC participant whose coordinator's verdict is not on this
+// log. Its updates are redone (prepared means durably installed) and NOT
+// undone; the caller must hold its locks and resolve it against the
+// coordinator before the pages become visible to conflicting writers.
+type InDoubt struct {
+	Tx         uint64 // participant-local transaction id
+	PrepareLSN LSN    // the RecPrepare's LSN
+	FirstLSN   LSN    // the tx's earliest surviving record; checkpoint-cut floor
+	CoordShard uint32 // coordinator shard id (RecPrepare.Page)
+	CoordTx    uint64 // coordinator-local transaction id (RecPrepare.New)
+	Pages      []uint32
+}
+
 // Recover runs restart recovery against store: analysis (find winners),
 // redo of winner updates whose effects are missing (page LSN < record LSN),
 // then undo of loser updates in reverse LSN order, writing CLRs.
-// It returns the sets of committed and rolled-back transaction ids.
-// pageSize is the store's page size in bytes (callers pass disk.PageSize;
-// wal cannot import disk without a cycle).
-func Recover(l *Log, store PageStore, pageSize int, pageLSNOf func(pageBuf []byte) uint64, setPageLSN func(pageBuf []byte, lsn uint64)) (winners, losers map[uint64]bool, err error) {
+// It returns the sets of committed and rolled-back transaction ids, plus
+// the in-doubt set: transactions prepared as 2PC participants whose
+// coordinator decision is unknown. Those are redone like winners but left
+// unresolved — no RecAbort is appended for them. A prepare carrying the
+// PrepareCoord flag with no RecDecision is presumed aborted (normal loser):
+// the decision record lives on the coordinator's own log, so its absence
+// there IS the verdict. pageSize is the store's page size in bytes (callers
+// pass disk.PageSize; wal cannot import disk without a cycle).
+func Recover(l *Log, store PageStore, pageSize int, pageLSNOf func(pageBuf []byte) uint64, setPageLSN func(pageBuf []byte, lsn uint64)) (winners, losers map[uint64]bool, indoubt map[uint64]*InDoubt, err error) {
 	if pageSize <= 0 {
-		return nil, nil, fmt.Errorf("wal: invalid page size %d", pageSize)
+		return nil, nil, nil, fmt.Errorf("wal: invalid page size %d", pageSize)
 	}
 	winners = map[uint64]bool{}
 	losers = map[uint64]bool{}
+	prepares := map[uint64]Record{}
+	firstLSN := map[uint64]LSN{}
 	var updates []Record
 	err = l.Iterate(func(r Record) bool {
+		if r.Tx != 0 {
+			if _, ok := firstLSN[r.Tx]; !ok {
+				firstLSN[r.Tx] = r.LSN
+			}
+		}
 		switch r.Type {
 		case RecBegin:
 			losers[r.Tx] = true
-		case RecCommit:
+		case RecCommit, RecDecision:
 			delete(losers, r.Tx)
+			delete(prepares, r.Tx)
 			winners[r.Tx] = true
 		case RecAbort:
 			delete(losers, r.Tx)
+			delete(prepares, r.Tx)
+		case RecPrepare:
+			prepares[r.Tx] = r
 		case RecUpdate, RecCLR:
 			updates = append(updates, r)
 		}
 		return true
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	// In-doubt analysis: a prepared loser written by a participant stays in
+	// doubt; a prepared loser written by the coordinator itself (PrepareCoord)
+	// is presumed aborted — the missing decision record is the answer.
+	indoubt = map[uint64]*InDoubt{}
+	for tx, p := range prepares {
+		if !losers[tx] || p.Off&PrepareCoord != 0 {
+			continue
+		}
+		var coordTx uint64
+		if len(p.New) >= 8 {
+			coordTx = binary.LittleEndian.Uint64(p.New)
+		}
+		indoubt[tx] = &InDoubt{
+			Tx:         tx,
+			PrepareLSN: p.LSN,
+			FirstLSN:   firstLSN[tx],
+			CoordShard: p.Page,
+			CoordTx:    coordTx,
+		}
+		delete(losers, tx)
 	}
 	buf := make([]byte, pageSize)
-	// Redo phase: repeat history for winners (and CLRs).
+	// Redo phase: repeat history for winners, CLRs, and in-doubt prepares.
 	for _, r := range updates {
-		if r.Type == RecUpdate && !winners[r.Tx] && !losers[r.Tx] {
+		if r.Type == RecUpdate && !winners[r.Tx] && !losers[r.Tx] && indoubt[r.Tx] == nil {
 			continue // aborted at runtime; undo already applied
 		}
+		if d := indoubt[r.Tx]; d != nil && r.Type == RecUpdate {
+			if len(d.Pages) == 0 || d.Pages[len(d.Pages)-1] != r.Page {
+				d.Pages = append(d.Pages, r.Page)
+			}
+		}
 		if err := store.ReadPage(r.Page, buf); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if LSN(pageLSNOf(buf)) >= r.LSN {
 			continue
@@ -639,17 +716,19 @@ func Recover(l *Log, store PageStore, pageSize int, pageLSNOf func(pageBuf []byt
 		copy(buf[int(r.Off):int(r.Off)+len(r.New)], r.New)
 		setPageLSN(buf, uint64(r.LSN))
 		if err := store.WritePage(r.Page, buf); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	// Undo phase: roll back losers newest-first.
+	// Undo phase: roll back losers newest-first. In-doubt transactions are
+	// deliberately not here: their before-images stay in the log, protected
+	// from truncation by FirstLSN, until the coordinator's verdict arrives.
 	for i := len(updates) - 1; i >= 0; i-- {
 		r := updates[i]
 		if r.Type != RecUpdate || !losers[r.Tx] || len(r.Old) == 0 {
 			continue
 		}
 		if err := store.ReadPage(r.Page, buf); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if LSN(pageLSNOf(buf)) < r.LSN {
 			continue // update never reached the page
@@ -658,11 +737,11 @@ func Recover(l *Log, store PageStore, pageSize int, pageLSNOf func(pageBuf []byt
 		clr := l.Append(Record{Tx: r.Tx, Type: RecCLR, Page: r.Page, Off: r.Off, New: append([]byte(nil), r.Old...)})
 		setPageLSN(buf, uint64(clr))
 		if err := store.WritePage(r.Page, buf); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	for tx := range losers {
 		l.Append(Record{Tx: tx, Type: RecAbort})
 	}
-	return winners, losers, l.Flush()
+	return winners, losers, indoubt, l.Flush()
 }

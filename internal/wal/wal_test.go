@@ -111,7 +111,7 @@ func TestRecoverRedoWinner(t *testing.T) {
 	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 5, Off: 100, Old: []byte{0, 0}, New: []byte{7, 8}})
 	l.Append(Record{Tx: 1, Type: RecCommit})
 	// Crash before the page ever reached disk: page 5 is all zeroes.
-	winners, losers, err := Recover(l, store, 8192, lsnOf, setLSN)
+	winners, losers, _, err := Recover(l, store, 8192, lsnOf, setLSN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRecoverUndoLoser(t *testing.T) {
 	p := store.page(9)
 	p[50], p[51] = 9, 9
 	setLSN(p, uint64(lsn))
-	winners, losers, err := Recover(l, store, 8192, lsnOf, setLSN)
+	winners, losers, _, err := Recover(l, store, 8192, lsnOf, setLSN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,15 +162,90 @@ func TestRecoverIdempotent(t *testing.T) {
 	l.Append(Record{Tx: 1, Type: RecBegin})
 	l.Append(Record{Tx: 1, Type: RecUpdate, Page: 3, Off: 40, Old: []byte{0}, New: []byte{5}})
 	l.Append(Record{Tx: 1, Type: RecCommit})
-	if _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
+	if _, _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
 		t.Fatal(err)
 	}
 	first := append([]byte(nil), store.page(3)...)
-	if _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
+	if _, _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(first, store.page(3)) {
 		t.Fatal("second recovery changed the page")
+	}
+}
+
+// A participant's prepared transaction with no decision stays in doubt:
+// redone like a winner, never undone, no RecAbort appended.
+func TestRecoverInDoubtParticipant(t *testing.T) {
+	l := NewMemLog()
+	store := newMemStore()
+	coordTx := make([]byte, 8)
+	binary.LittleEndian.PutUint64(coordTx, 77)
+	l.Append(Record{Tx: 4, Type: RecBegin})
+	l.Append(Record{Tx: 4, Type: RecUpdate, Page: 6, Off: 200, Old: []byte{0, 0}, New: []byte{3, 4}})
+	prepLSN := l.Append(Record{Tx: 4, Type: RecPrepare, Page: 2, New: coordTx})
+	winners, losers, indoubt, err := Recover(l, store, 8192, lsnOf, setLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(winners) != 0 || len(losers) != 0 {
+		t.Fatalf("winners=%v losers=%v", winners, losers)
+	}
+	d := indoubt[4]
+	if d == nil {
+		t.Fatal("prepared tx not reported in doubt")
+	}
+	if d.CoordShard != 2 || d.CoordTx != 77 || d.PrepareLSN != prepLSN {
+		t.Fatalf("in-doubt info: %+v", d)
+	}
+	if len(d.Pages) != 1 || d.Pages[0] != 6 {
+		t.Fatalf("in-doubt pages: %v", d.Pages)
+	}
+	p := store.page(6)
+	if p[200] != 3 || p[201] != 4 {
+		t.Fatalf("in-doubt update not redone: %v", p[200:202])
+	}
+	l.Iterate(func(r Record) bool {
+		if r.Type == RecAbort || r.Type == RecCLR {
+			t.Fatalf("in-doubt tx resolved by recovery: %v", r.Type)
+		}
+		return true
+	})
+}
+
+// The coordinator's own prepare without a decision record is presumed
+// aborted at restart: it is a normal loser, undone with CLRs. A decision
+// record, conversely, commits the transaction outright.
+func TestRecoverCoordinatorPresumesAbort(t *testing.T) {
+	l := NewMemLog()
+	store := newMemStore()
+	// Tx 5: coordinator-side prepare, crash before decision -> abort.
+	l.Append(Record{Tx: 5, Type: RecBegin})
+	lsn := l.Append(Record{Tx: 5, Type: RecUpdate, Page: 7, Off: 10, Old: []byte{1}, New: []byte{9}})
+	l.Append(Record{Tx: 5, Type: RecPrepare, Page: 0, Off: PrepareCoord})
+	p := store.page(7)
+	p[10] = 9
+	setLSN(p, uint64(lsn))
+	// Tx 6: prepare followed by decision -> winner.
+	l.Append(Record{Tx: 6, Type: RecBegin})
+	l.Append(Record{Tx: 6, Type: RecUpdate, Page: 8, Off: 20, Old: []byte{0}, New: []byte{6}})
+	l.Append(Record{Tx: 6, Type: RecPrepare, Page: 0, Off: PrepareCoord})
+	l.Append(Record{Tx: 6, Type: RecDecision})
+	winners, losers, indoubt, err := Recover(l, store, 8192, lsnOf, setLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indoubt) != 0 {
+		t.Fatalf("coordinator prepares held in doubt: %v", indoubt)
+	}
+	if !losers[5] || !winners[6] {
+		t.Fatalf("winners=%v losers=%v", winners, losers)
+	}
+	if store.page(7)[10] != 1 {
+		t.Fatalf("presumed-abort undo missing: %d", store.page(7)[10])
+	}
+	if store.page(8)[20] != 6 {
+		t.Fatalf("decision redo missing: %d", store.page(8)[20])
 	}
 }
 
@@ -225,7 +300,7 @@ func TestRecoverReplaysHistory(t *testing.T) {
 			want[off] = val
 		}
 		l.Append(Record{Tx: tx, Type: RecCommit})
-		if _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
+		if _, _, _, err := Recover(l, store, 8192, lsnOf, setLSN); err != nil {
 			return false
 		}
 		p := store.page(2)
