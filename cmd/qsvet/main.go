@@ -1,22 +1,30 @@
 // Command qsvet runs the project's static-analysis suite (internal/lint):
-// five analyzers that mechanically enforce the storage manager's
-// concurrency and durability invariants — the documented lock order,
-// the no-I/O-under-latches rule, atomic-access discipline, unchecked
-// durability-critical errors, and the crash-point registry.
+// the analyzers mechanically enforce the storage manager's concurrency
+// and durability invariants — the documented lock order (path-sensitive,
+// including divergent held-sets at merge points), the no-I/O-under-latches
+// rule, release-on-every-path discipline, inferred per-field lock guards,
+// atomic-access discipline, unchecked durability-critical errors, the
+// crash-point registry, quorum-before-ack, and the 2PC force/decision
+// ordering rules.
 //
 // Usage:
 //
-//	qsvet [-checks name,name] [-list] [./... | module-dir]
+//	qsvet [-checks name,name] [-path prefix] [-json] [-list] [./... | module-dir]
 //
 // qsvet loads every non-test package of the module from source (pure
 // go/ast + go/types; no compiled export data, no external tools), runs
 // the analyzers, and prints one `file:line: [check] message` diagnostic
-// per finding. Exit status: 0 clean, 1 findings, 2 driver failure.
-// A finding is suppressed by a `//qsvet:ignore check reason` directive on
-// the flagged line or the line above it.
+// per finding (-json emits the findings as a JSON array instead). -path
+// keeps only findings under the given module-relative prefix — the CI
+// self-lint step runs `qsvet -path internal/lint ./...`. Exit status: 0
+// clean, 1 findings, 2 driver failure. A finding is suppressed by a
+// `//qsvet:ignore check reason` directive on the flagged line or the line
+// above it; a directive that suppresses nothing is itself reported (check
+// `staleignore`) whenever the run included every check it names.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +35,11 @@ import (
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	pathPrefix := flag.String("path", "", "report only findings under this module-relative path prefix")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qsvet [-checks name,name] [-list] [./... | module-dir]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: qsvet [-checks name,name] [-path prefix] [-json] [-list] [./... | module-dir]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -64,13 +74,49 @@ func main() {
 	diags := lint.RunAnalyzers(prog, selected)
 	cwd, _ := os.Getwd()
 	lint.RelativeTo(diags, cwd)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *pathPrefix != "" {
+		kept := diags[:0]
+		for _, d := range diags {
+			if strings.HasPrefix(d.Pos.Filename, *pathPrefix) {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "qsvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qsvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json output shape: one object per diagnostic,
+// stable field names for CI tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
 }
 
 func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {

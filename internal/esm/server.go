@@ -404,6 +404,7 @@ func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error
 	}
 	_ = log.Iterate(func(r wal.Record) bool {
 		if r.Type == wal.RecDecision {
+			//qsvet:ignore guardedfield restart path: Iterate runs synchronously inside OpenServer, before the server is shared with any other goroutine
 			s.decisions[r.Tx] = r.LSN
 		}
 		return true

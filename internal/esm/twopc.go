@@ -125,6 +125,7 @@ func (s *Server) commitDecision(tx uint64, mode uint8) (wal.LSN, error) {
 				// Duplicate decision delivery (a resolver raced the
 				// router): the verdict is already durable.
 				s.mu.Unlock()
+				//qsvet:ignore ackorder the RecDecision this lsn names was already forced by the delivery that logged it; a duplicate ack re-promises durable state
 				return lsn, nil
 			}
 		}

@@ -1,0 +1,422 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ackOps are the dispatch operations whose success acknowledgements
+// promise durability: a vote (OpPrepare), a commit ack (OpCommit), a
+// decision-record ack (OpCommitDecision), and an abort ack (OpAbort —
+// presumed abort still forces the record that lets recovery answer
+// inquiries). Clauses matching these constants, and the WAL-appending
+// implementations they delegate to, carry the force-before-ack
+// obligation.
+var ackOps = map[string]bool{
+	"OpPrepare":        true,
+	"OpCommit":         true,
+	"OpCommitDecision": true,
+	"OpAbort":          true,
+}
+
+// walForceNames are the internal/wal methods that make appended records
+// durable.
+var walForceNames = map[string]bool{
+	"Flush":       true,
+	"FlushTo":     true,
+	"FlushCommit": true,
+}
+
+// AnalyzerAckOrder generalizes quorumack's discipline to the full 2PC
+// surface (DESIGN.md §16): a participant's prepare vote, a commit or
+// abort ack, and a coordinator's decision ack must all be dominated by
+// the WAL force that makes the promised state durable — an ack the force
+// does not dominate is a promise a crash can revoke. The check runs a
+// must-analysis over the CFG: the "forced" fact is true at a point only
+// if every path reaching it passed a wal force (Flush/FlushTo/
+// FlushCommit), a force-gate function wrapping one, or — in dispatch
+// clauses — a call to an obligated implementation; literal nil-error
+// returns where the fact is false are flagged. Only functions that
+// actually append to the WAL (transitively) carry the obligation: a
+// client-side router acks whatever its participants decided and forces
+// nothing of its own.
+//
+// The coordinator rule rides along: a call delivering ResolveModeForget
+// (retiring a decision record) must be dominated in its function by a
+// call delivering the coordinator's decision (a Request naming
+// DecisionCoord) — forgetting a verdict nobody was told loses the
+// outcome of the transaction.
+func AnalyzerAckOrder() *Analyzer {
+	return &Analyzer{
+		Name: "ackorder",
+		Doc:  "2PC vote/ack paths must be dominated by the corresponding WAL force, and coordinator decision records must dominate participant forget",
+		Run:  runAckOrder,
+	}
+}
+
+func runAckOrder(prog *Program, report func(pos token.Pos, format string, args ...interface{})) {
+	s := summarize(prog)
+	appends := walAppenders(prog, s)
+	for _, pkg := range prog.Packages {
+		decls := packageFuncDecls(pkg)
+		obligated := obligatedFuncs(prog, pkg, decls, appends)
+		gates := forceGates(prog, pkg, decls, obligated)
+		checked := map[*ast.FuncDecl]bool{}
+		for fn, fd := range decls {
+			// Obligated implementations: every nil-error return must be
+			// force-dominated.
+			if obligated[fn] && !checked[fd] {
+				checked[fd] = true
+				flagUnforcedReturns(prog, pkg, fd, gates, nil, func(pos token.Pos) {
+					report(pos, "%s success path is not dominated by a WAL force: the ack can outrun durability and a crash revokes the promise", fn.Name())
+				})
+			}
+		}
+		// Dispatch functions: nil-error returns inside obligated clauses
+		// must be force-dominated, where a call to an obligated
+		// implementation counts as the force (it carries the obligation).
+		for fn, fd := range decls {
+			clauses := ackClauses(pkg, fd)
+			if len(clauses) == 0 || !funcLastResultIsError(pkg, fd) {
+				continue
+			}
+			flagUnforcedReturns(prog, pkg, fd, gates, obligated, func(pos token.Pos) {
+				for _, cc := range clauses {
+					if cc.Pos() <= pos && pos <= cc.End() {
+						report(pos, "%s ack in an %s clause is not dominated by a WAL force or an obligated implementation call", fn.Name(), clauseOpName(pkg, cc))
+						return
+					}
+				}
+			})
+		}
+		// Coordinator rule: forget must follow a delivered decision.
+		for _, fd := range decls {
+			checkDecisionBeforeForget(pkg, fd, report)
+		}
+	}
+}
+
+// walAppenders computes the function ids that (transitively) append WAL
+// records — the functions whose acks can have something to force.
+func walAppenders(prog *Program, s *summaries) map[string]bool {
+	walPath := prog.ModulePath + "/internal/wal"
+	appends := map[string]bool{}
+	for _, fn := range s.funcs {
+		if fn.id == "" {
+			continue
+		}
+		for _, cs := range fn.calls {
+			if p := cs.callee.Pkg(); p != nil && p.Path() == walPath {
+				if n := cs.callee.Name(); n == "Append" || n == "AppendRaw" {
+					appends[fn.id] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range s.funcs {
+			if fn.id == "" || appends[fn.id] {
+				continue
+			}
+			for _, cs := range fn.calls {
+				if appends[cs.id] {
+					appends[fn.id] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return appends
+}
+
+// obligatedFuncs collects the same-package implementations the ack
+// clauses delegate to — error-last callees of obligated dispatch clauses,
+// closed over tail calls — restricted to functions that append WAL
+// records.
+func obligatedFuncs(prog *Program, pkg *Package, decls map[*types.Func]*ast.FuncDecl, appends map[string]bool) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	var work []*ast.FuncDecl
+	for _, fd := range decls {
+		for _, cc := range ackClauses(pkg, fd) {
+			for _, st := range cc.Body {
+				ast.Inspect(st, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := staticCallee(pkg, call)
+					if fn == nil || fn.Pkg() != pkg.Types || !appends[fn.FullName()] {
+						return true
+					}
+					if impl := decls[fn]; impl != nil && !out[fn] && funcLastResultIsError(pkg, impl) {
+						out[fn] = true
+						work = append(work, impl)
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Tail-callee closure: an obligated implementation that forwards its
+	// error from another same-package function passes the obligation on.
+	for len(work) > 0 {
+		impl := work[0]
+		work = work[1:]
+		for _, tail := range tailCallees(pkg, decls, impl.Body.List) {
+			fn, ok := pkg.Info.Defs[tail.Name].(*types.Func)
+			if !ok || out[fn] || !appends[fn.FullName()] || !funcLastResultIsError(pkg, tail) {
+				continue
+			}
+			out[fn] = true
+			work = append(work, tail)
+		}
+	}
+	return out
+}
+
+// ackClauses returns fd's case clauses that match one of the ack ops.
+func ackClauses(pkg *Package, fd *ast.FuncDecl) []*ast.CaseClause {
+	var out []*ast.CaseClause
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if ok && clauseOpName(pkg, cc) != "" {
+			out = append(out, cc)
+		}
+		return true
+	})
+	return out
+}
+
+// clauseOpName returns the ack-op constant a case clause matches, or "".
+func clauseOpName(pkg *Package, cc *ast.CaseClause) string {
+	for _, e := range cc.List {
+		var obj types.Object
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj = pkg.Info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = pkg.Info.Uses[e.Sel]
+		}
+		if c, ok := obj.(*types.Const); ok && ackOps[c.Name()] {
+			return c.Name()
+		}
+	}
+	return ""
+}
+
+// forceGates computes same-package functions whose every literal
+// nil-error return is dominated by a wal force: calling one IS forcing.
+// Iterated to a fixed point so gates compose.
+func forceGates(prog *Program, pkg *Package, decls map[*types.Func]*ast.FuncDecl, obligated map[*types.Func]bool) map[*types.Func]bool {
+	gates := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if gates[fn] || !funcLastResultIsError(pkg, fd) {
+				continue
+			}
+			if !containsForce(prog, pkg, fd.Body, gates, nil) {
+				continue
+			}
+			clean := true
+			flagUnforcedReturns(prog, pkg, fd, gates, nil, func(token.Pos) { clean = false })
+			if clean {
+				gates[fn] = true
+				changed = true
+			}
+		}
+	}
+	return gates
+}
+
+// forceFact is the must-analysis fact: true iff every path to this point
+// passed a WAL force (or equivalent gate/obligated call).
+type forceFact bool
+
+type forceLattice struct {
+	prog      *Program
+	pkg       *Package
+	gates     map[*types.Func]bool
+	obligated map[*types.Func]bool // nil outside dispatch checking
+}
+
+func (lt *forceLattice) entry() fact { return forceFact(false) }
+
+func (lt *forceLattice) transfer(f fact, n ast.Node) fact {
+	if bool(f.(forceFact)) {
+		return f
+	}
+	if containsForce(lt.prog, lt.pkg, n, lt.gates, lt.obligated) {
+		return forceFact(true)
+	}
+	return f
+}
+
+func (lt *forceLattice) join(a, b fact) fact {
+	return forceFact(bool(a.(forceFact)) && bool(b.(forceFact)))
+}
+
+func (lt *forceLattice) equal(a, b fact) bool { return a == b }
+
+// flagUnforcedReturns runs the force must-analysis over fd's body and
+// calls flag for every literal nil-error return the force does not
+// dominate.
+func flagUnforcedReturns(prog *Program, pkg *Package, fd *ast.FuncDecl, gates, obligated map[*types.Func]bool, flag func(pos token.Pos)) {
+	if !funcLastResultIsError(pkg, fd) {
+		return
+	}
+	c := buildCFG(fd.Body)
+	lt := &forceLattice{prog: prog, pkg: pkg, gates: gates, obligated: obligated}
+	in, _ := fixpoint(c, lt)
+	replayCFG(c, in, func(f fact, n ast.Node) fact {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if !bool(f.(forceFact)) && returnsNilError(pkg, ret) {
+				flag(ret.Pos())
+			}
+		}
+		return lt.transfer(f, n)
+	})
+}
+
+// containsForce reports whether n's subtree calls a wal force method, a
+// force-gate function, or (when checking dispatch clauses) an obligated
+// implementation. Function literals are skipped: a force inside a closure
+// does not dominate the enclosing path.
+func containsForce(prog *Program, pkg *Package, n ast.Node, gates, obligated map[*types.Func]bool) bool {
+	walPath := prog.ModulePath + "/internal/wal"
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pkg, call)
+		if fn == nil {
+			return true
+		}
+		if p := fn.Pkg(); p != nil && p.Path() == walPath && walForceNames[fn.Name()] {
+			found = true
+		} else if gates[fn] || (obligated != nil && obligated[fn]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDecisionBeforeForget enforces the coordinator rule inside one
+// function: a Request literal delivering ResolveModeForget must be
+// dominated by one delivering the coordinator's decision (DecisionCoord).
+func checkDecisionBeforeForget(pkg *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...interface{})) {
+	hasForget := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok && requestDelivers(pkg, lit, "ResolveModeForget") {
+			hasForget = true
+			return false
+		}
+		return true
+	})
+	if !hasForget {
+		return
+	}
+	c := buildCFG(fd.Body)
+	lt := &decisionLattice{pkg: pkg}
+	in, _ := fixpoint(c, lt)
+	replayCFG(c, in, func(f fact, n ast.Node) fact {
+		after := lt.transfer(f, n)
+		if bool(f.(forceFact)) {
+			return after
+		}
+		ast.Inspect(n, func(nn ast.Node) bool {
+			if _, ok := nn.(*ast.FuncLit); ok {
+				return false
+			}
+			if lit, ok := nn.(*ast.CompositeLit); ok && requestDelivers(pkg, lit, "ResolveModeForget") {
+				report(lit.Pos(), "decision record forgotten before any path delivered the coordinator decision (DecisionCoord): a participant still in doubt loses the verdict")
+				return false
+			}
+			return true
+		})
+		return after
+	})
+}
+
+// decisionLattice: true iff every path passed a coordinator-decision
+// delivery (a Request literal whose Mode names DecisionCoord).
+type decisionLattice struct {
+	pkg *Package
+}
+
+func (lt *decisionLattice) entry() fact { return forceFact(false) }
+
+func (lt *decisionLattice) transfer(f fact, n ast.Node) fact {
+	if bool(f.(forceFact)) {
+		return f
+	}
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		if lit, ok := nn.(*ast.CompositeLit); ok && requestDelivers(lt.pkg, lit, "DecisionCoord") {
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return forceFact(true)
+	}
+	return f
+}
+
+func (lt *decisionLattice) join(a, b fact) fact {
+	return forceFact(bool(a.(forceFact)) && bool(b.(forceFact)))
+}
+
+func (lt *decisionLattice) equal(a, b fact) bool { return a == b }
+
+// requestDelivers reports whether lit is a Request composite literal
+// whose Mode field expression names the given constant/value identifier.
+func requestDelivers(pkg *Package, lit *ast.CompositeLit, name string) bool {
+	named := namedCompositeType(pkg, lit)
+	if named == nil || named.Obj().Name() != "Request" {
+		return false
+	}
+	if p := named.Obj().Pkg(); p == nil || !strings.HasSuffix(p.Path(), "/esm") && p.Path() != "esm" {
+		return false
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Mode" {
+			continue
+		}
+		found := false
+		ast.Inspect(kv.Value, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	return false
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The control-flow graph underlying every path-sensitive analysis. A
+// function body is decomposed into basic blocks of *atomic* nodes — simple
+// statements (assignments, calls, defers, returns) and the controlling
+// expressions of branches (an if condition, a switch tag, a range
+// operand) — connected by the edges control can actually take:
+// if/else arms, loop back-edges, switch/select dispatch, labeled break and
+// continue, goto, and fallthrough. A `return` or an explicit `panic(...)`
+// terminates its block with no successor (the exit); code after it lands
+// in a fresh block with no predecessors, which the dataflow engine treats
+// as unreachable.
+//
+// Composite statements are never added as nodes themselves: an *ast.IfStmt
+// contributes its condition to one block and its arms to others, so a
+// transfer function may inspect each node's full subtree without seeing a
+// statement twice.
+
+// block is one basic block.
+type block struct {
+	idx   int
+	nodes []ast.Node
+	succs []*block
+	preds []*block
+}
+
+// cfg is the control-flow graph of one function body. blocks[0] is the
+// entry. end holds the blocks whose fall-off edge is the function's
+// implicit return (reaching the closing brace).
+type cfg struct {
+	blocks []*block
+	end    map[*block]bool
+}
+
+// cfgTarget is one enclosing breakable/continuable construct.
+type cfgTarget struct {
+	label string // enclosing label, "" if none
+	brk   *block // break lands here (loops, switch, select)
+	cont  *block // continue lands here (loops only)
+}
+
+type cfgBuilder struct {
+	c       *cfg
+	cur     *block // nil after a terminating statement
+	targets []cfgTarget
+	label   string            // pending label for the next loop/switch/select
+	labels  map[string]*block // goto targets
+	gotos   []pendingGoto
+	fall    *block // fallthrough target inside a switch case
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		c:      &cfg{end: map[*block]bool{}},
+		labels: map[string]*block{},
+	}
+	b.cur = b.newBlock()
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.c.end[b.cur] = true
+	}
+	for _, g := range b.gotos {
+		if to := b.labels[g.label]; to != nil {
+			link(g.from, to)
+		}
+	}
+	return b.c
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	bl := &block{idx: len(b.c.blocks)}
+	b.c.blocks = append(b.c.blocks, bl)
+	return bl
+}
+
+func link(from, to *block) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// linkCur links the current block to `to` (no-op after a terminator).
+func (b *cfgBuilder) linkCur(to *block) {
+	if b.cur != nil {
+		link(b.cur, to)
+	}
+}
+
+// add appends an atomic node to the current block, resurrecting an
+// unreachable block for dead code so the AST is still covered by blocks
+// (the engine skips blocks no fact reaches).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// takeLabel consumes the pending label (set by an enclosing LabeledStmt)
+// for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A label is both a goto target and (for loops/switches) the name
+		// break/continue statements refer to.
+		lbl := b.newBlock()
+		b.linkCur(lbl)
+		b.cur = lbl
+		b.labels[s.Label.Name] = lbl
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		label := b.takeLabel()
+		_ = label // if statements are not break targets
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		if cond != nil {
+			link(cond, then)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			if cond != nil {
+				link(cond, els)
+			}
+			b.cur = then
+			b.stmtList(s.Body.List)
+			b.linkCur(join)
+			b.cur = els
+			b.stmt(s.Else)
+			b.linkCur(join)
+		} else {
+			if cond != nil {
+				link(cond, join)
+			}
+			b.cur = then
+			b.stmtList(s.Body.List)
+			b.linkCur(join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.linkCur(head)
+		after := b.newBlock()
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			link(b.cur, after) // condition false
+		}
+		condEnd := b.cur
+		body := b.newBlock()
+		link(condEnd, body)
+		// continue runs Post (when present) before re-testing the condition.
+		contTo := head
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTo = post
+		}
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after, cont: contTo})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		if post != nil {
+			b.linkCur(post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.linkCur(head)
+		} else {
+			b.linkCur(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X) // the ranged operand is evaluated once, before the loop
+		head := b.newBlock()
+		b.linkCur(head)
+		after := b.newBlock()
+		link(head, after) // range exhausted
+		body := b.newBlock()
+		link(head, body)
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.linkCur(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildCases(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		b.buildCases(label, s.Body.List, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		dispatch := b.cur
+		after := b.newBlock()
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			if dispatch != nil {
+				link(dispatch, cb)
+			}
+			b.cur = cb
+			b.stmt(cc.Comm)
+			b.stmtList(cc.Body)
+			b.linkCur(after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		// A select always executes one of its clauses (an empty `select{}`
+		// blocks forever): no dispatch→after edge.
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s, false); t != nil {
+				b.linkCur(t.brk)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(s, true); t != nil {
+				b.linkCur(t.cont)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if b.cur != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.linkCur(b.fall)
+			}
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.cur = nil
+		}
+
+	default:
+		// Assign, Defer, Go, Send, IncDec, Decl: straight-line effects.
+		b.add(s)
+	}
+}
+
+// buildCases lays out the shared case structure of switch and type-switch
+// statements: a dispatch point fanning out to each case body, fallthrough
+// edges between adjacent cases, and an implicit no-match edge to the join
+// when there is no default clause.
+func (b *cfgBuilder) buildCases(label string, clauses []ast.Stmt, assign ast.Stmt) {
+	b.add(assign)
+	dispatch := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	caseBlocks := make([]*block, len(clauses))
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseBlocks[i] = b.newBlock()
+		if dispatch != nil {
+			link(dispatch, caseBlocks[i])
+		}
+	}
+	if !hasDefault && dispatch != nil {
+		link(dispatch, after)
+	}
+	b.targets = append(b.targets, cfgTarget{label: label, brk: after})
+	savedFall := b.fall
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.fall = nil
+		if i+1 < len(caseBlocks) {
+			b.fall = caseBlocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.linkCur(after)
+	}
+	b.fall = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// findTarget resolves a break/continue to its enclosing construct,
+// innermost first, honoring an optional label.
+func (b *cfgBuilder) findTarget(s *ast.BranchStmt, needCont bool) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if s.Label != nil && t.label != s.Label.Name {
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+// Purely syntactic (the builder runs before type information is consulted);
+// a shadowed `panic` would be misread, an idiom this codebase does not use.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

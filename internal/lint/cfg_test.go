@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+// The CFG tests parse a function body containing mark(k) calls and check
+// which marks the dataflow engine can reach, and which marks lie on a
+// path to which: reachability proves the builder's terminator handling
+// (return, panic, labeled break, goto), path traces prove its edges
+// (fallthrough, loop back-edges). Deferred-unlock semantics are dataflow
+// facts, not CFG shape, and are covered by the unlockpath and lockorder
+// fixtures.
+
+// reachLattice: the fact carries no information; a block is interesting
+// only for whether any fact reaches it at all.
+type reachLattice struct{}
+
+func (reachLattice) entry() fact                      { return struct{}{} }
+func (reachLattice) transfer(f fact, n ast.Node) fact { return f }
+func (reachLattice) join(a, b fact) fact              { return a }
+func (reachLattice) equal(a, b fact) bool             { return true }
+
+// traceLattice: the fact is the set of marks some path has passed.
+type traceLattice struct{}
+
+func (traceLattice) entry() fact { return map[int]bool{} }
+
+func (traceLattice) transfer(f fact, n ast.Node) fact {
+	marks := markIDs(n)
+	if len(marks) == 0 {
+		return f
+	}
+	out := map[int]bool{}
+	for k := range f.(map[int]bool) {
+		out[k] = true
+	}
+	for _, k := range marks {
+		out[k] = true
+	}
+	return out
+}
+
+func (traceLattice) join(a, b fact) fact {
+	am, bm := a.(map[int]bool), b.(map[int]bool)
+	out := map[int]bool{}
+	for k := range am {
+		out[k] = true
+	}
+	for k := range bm {
+		out[k] = true
+	}
+	return out
+}
+
+func (traceLattice) equal(a, b fact) bool {
+	am, bm := a.(map[int]bool), b.(map[int]bool)
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func markIDs(n ast.Node) []int {
+	if n == nil {
+		return nil
+	}
+	var out []int
+	ast.Inspect(n, func(nn ast.Node) bool {
+		call, ok := nn.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "mark" {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			if v, err := strconv.Atoi(lit.Value); err == nil {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func parseBody(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	src := "package p\n\nfunc mark(int) {}\n\nfunc f(a, b bool, n int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, file.Decls[1].(*ast.FuncDecl).Body
+}
+
+// reachable runs the reachability analysis and returns mark → reached.
+func reachable(t *testing.T, body string) map[int]bool {
+	t.Helper()
+	_, b := parseBody(t, body)
+	c := buildCFG(b)
+	in, _ := fixpoint(c, reachLattice{})
+	out := map[int]bool{}
+	ast.Inspect(b, func(n ast.Node) bool {
+		for _, k := range markIDs(n) {
+			if _, ok := out[k]; !ok {
+				out[k] = false
+			}
+		}
+		return true
+	})
+	for i, bl := range c.blocks {
+		if in[i] == nil {
+			continue
+		}
+		for _, node := range bl.nodes {
+			for _, k := range markIDs(node) {
+				out[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// marksBefore returns the marks some path passes before reaching target.
+func marksBefore(t *testing.T, body string, target int) map[int]bool {
+	t.Helper()
+	_, b := parseBody(t, body)
+	c := buildCFG(b)
+	in, _ := fixpoint(c, traceLattice{})
+	lat := traceLattice{}
+	for i, bl := range c.blocks {
+		if in[i] == nil {
+			continue
+		}
+		f := in[i]
+		for _, node := range bl.nodes {
+			for _, k := range markIDs(node) {
+				if k == target {
+					return f.(map[int]bool)
+				}
+			}
+			f = lat.transfer(f, node)
+		}
+	}
+	t.Fatalf("mark(%d) not reached", target)
+	return nil
+}
+
+func expectReach(t *testing.T, got map[int]bool, want map[int]bool) {
+	t.Helper()
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("mark(%d): reachable=%v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	expectReach(t, reachable(t, `
+	mark(1)
+	return
+	mark(2)
+`), map[int]bool{1: true, 2: false})
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	expectReach(t, reachable(t, `
+	mark(1)
+	if a {
+		panic("boom")
+		mark(2)
+	}
+	mark(3)
+`), map[int]bool{1: true, 2: false, 3: true})
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// The inner for{} never falls out on its own: mark(2) is reachable
+	// only if `break outer` wrongly targets the inner loop, and mark(3)
+	// only if it correctly exits the outer one.
+	expectReach(t, reachable(t, `
+outer:
+	for {
+		for {
+			if a {
+				break outer
+			}
+			mark(1)
+		}
+		mark(2)
+	}
+	mark(3)
+`), map[int]bool{1: true, 2: false, 3: true})
+}
+
+func TestCFGGoto(t *testing.T) {
+	expectReach(t, reachable(t, `
+	mark(1)
+	goto skip
+	mark(2)
+skip:
+	mark(3)
+`), map[int]bool{1: true, 2: false, 3: true})
+}
+
+func TestCFGDeadLoop(t *testing.T) {
+	// A condition-less loop with no break never reaches the code after it.
+	expectReach(t, reachable(t, `
+	for {
+		mark(1)
+	}
+	mark(2)
+`), map[int]bool{1: true, 2: false})
+}
+
+func TestCFGFallthroughEdge(t *testing.T) {
+	// mark(1) precedes mark(2) on some path only through the fallthrough
+	// edge: the dispatch edge into case 1 does not pass case 0's body.
+	before := marksBefore(t, `
+	switch n {
+	case 0:
+		mark(1)
+		fallthrough
+	case 1:
+		mark(2)
+	default:
+		mark(3)
+	}
+`, 2)
+	if !before[1] {
+		t.Errorf("no path carries mark(1) into case 1: fallthrough edge missing")
+	}
+	if before[3] {
+		t.Errorf("default body precedes case 1 on some path: bogus edge")
+	}
+}
+
+func TestCFGForContinueRunsPost(t *testing.T) {
+	// continue re-enters through the post statement and the condition;
+	// the loop still exits, so mark(2) is reachable and sees mark(1).
+	before := marksBefore(t, `
+	for i := 0; a; i++ {
+		mark(1)
+		continue
+	}
+	mark(2)
+`, 2)
+	if !before[1] {
+		t.Errorf("loop body does not precede the loop exit: back edge missing")
+	}
+}
+
+func TestCFGSelectExecutesExactlyOneClause(t *testing.T) {
+	// No dispatch→after edge: every path past the select runs one clause.
+	_, b := parseBody(t, `
+	select {
+	case <-ch:
+		mark(1)
+	case ch <- n:
+		mark(2)
+	}
+	mark(3)
+`)
+	c := buildCFG(b)
+	in, _ := fixpoint(c, traceLattice{})
+	for i, bl := range c.blocks {
+		if in[i] == nil {
+			continue
+		}
+		for _, node := range bl.nodes {
+			for _, k := range markIDs(node) {
+				if k == 3 {
+					f := in[i].(map[int]bool)
+					if !f[1] && !f[2] {
+						t.Errorf("a path reaches past the select through no clause")
+					}
+					if len(bl.preds) != 2 {
+						t.Errorf("after-select block has %d preds, want 2 (one per clause)", len(bl.preds))
+					}
+				}
+			}
+		}
+	}
+}
+
+// mustTraceLattice: the fact is the set of marks EVERY path has passed —
+// the intersection join exercises the engine's optimistic nil handling,
+// the same shape the ackorder must-analysis relies on.
+type mustTraceLattice struct{ traceLattice }
+
+func (mustTraceLattice) join(a, b fact) fact {
+	am, bm := a.(map[int]bool), b.(map[int]bool)
+	out := map[int]bool{}
+	for k := range am {
+		if bm[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// mustMarksBefore returns the marks every path passes before target.
+func mustMarksBefore(t *testing.T, body string, target int) map[int]bool {
+	t.Helper()
+	_, b := parseBody(t, body)
+	c := buildCFG(b)
+	var lat mustTraceLattice
+	in, _ := fixpoint(c, lat)
+	for i, bl := range c.blocks {
+		if in[i] == nil {
+			continue
+		}
+		f := in[i]
+		for _, node := range bl.nodes {
+			for _, k := range markIDs(node) {
+				if k == target {
+					return f.(map[int]bool)
+				}
+			}
+			f = lat.transfer(f, node)
+		}
+	}
+	t.Fatalf("mark(%d) not reached", target)
+	return nil
+}
+
+func TestCFGSwitchNoDefaultSkips(t *testing.T) {
+	// Without a default clause the dispatch can bypass every case: no
+	// mark is on every path to mark(2).
+	must := mustMarksBefore(t, `
+	switch n {
+	case 0:
+		mark(1)
+	}
+	mark(2)
+`, 2)
+	if len(must) != 0 {
+		t.Errorf("want a case-free path to mark(2), but every path passes %v", must)
+	}
+	// With a default clause the dispatch cannot: some mark dominates.
+	must = mustMarksBefore(t, `
+	switch n {
+	case 0:
+		mark(1)
+	default:
+		mark(1)
+	}
+	mark(2)
+`, 2)
+	if !must[1] {
+		t.Errorf("defaulted switch reached mark(2) on a body-free path")
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import "go/ast"
+
+// The generic forward-dataflow engine. An analysis supplies a lattice —
+// an entry fact, a pure transfer function over the CFG's atomic nodes, a
+// join (least upper bound) for merge points, and fact equality — and the
+// engine runs a worklist to a fixed point. Facts are treated as immutable
+// values: transfer and join return fresh facts (or share unmodified ones),
+// never mutate their arguments, so a fact may safely flow along multiple
+// edges.
+//
+// Blocks no fact reaches (dead code after return/panic, the body of a
+// `for {}` that never breaks as seen from after the loop) keep a nil fact
+// and are skipped by replayCFG. Joining with an unreached predecessor is
+// the identity, which makes the same engine serve both may-analyses
+// (union join, e.g. held lock sets) and must-analyses (intersection join,
+// e.g. "a WAL force dominates this point"): an unreached edge contributes
+// nothing, exactly the optimistic initialization a must-analysis wants.
+
+// fact is one dataflow fact. nil means "unreached".
+type fact interface{}
+
+// lattice is one forward dataflow analysis.
+type lattice interface {
+	// entry is the fact at function entry.
+	entry() fact
+	// transfer applies one atomic CFG node to f, returning the fact after
+	// it. It must be pure: no recording, no mutation of f.
+	transfer(f fact, n ast.Node) fact
+	// join combines two reaching facts at a merge point.
+	join(a, b fact) fact
+	// equal reports whether two facts are the same lattice point.
+	equal(a, b fact) bool
+}
+
+// fixpoint runs lat over c to convergence and returns each block's
+// converged entry and exit facts (indexed by block idx; nil = unreached).
+func fixpoint(c *cfg, lat lattice) (in, out []fact) {
+	n := len(c.blocks)
+	in = make([]fact, n)
+	out = make([]fact, n)
+	if n == 0 {
+		return in, out
+	}
+	in[0] = lat.entry()
+	queued := make([]bool, n)
+	work := []int{0}
+	queued[0] = true
+	for len(work) > 0 {
+		idx := work[0]
+		work = work[1:]
+		queued[idx] = false
+		b := c.blocks[idx]
+		f := in[idx]
+		for _, node := range b.nodes {
+			f = lat.transfer(f, node)
+		}
+		out[idx] = f
+		for _, s := range b.succs {
+			var nf fact
+			if in[s.idx] == nil {
+				nf = f
+			} else {
+				nf = lat.join(in[s.idx], f)
+			}
+			if in[s.idx] == nil || !lat.equal(in[s.idx], nf) {
+				in[s.idx] = nf
+				if !queued[s.idx] {
+					queued[s.idx] = true
+					work = append(work, s.idx)
+				}
+			}
+		}
+	}
+	return in, out
+}
+
+// replayCFG walks every reached block in creation order, invoking visit on
+// each node with the converged fact holding *before* the node; visit
+// returns the fact after the node (normally the lattice's own transfer,
+// now with recording side effects). Recording happens here, once per
+// node, after the fixpoint has settled.
+func replayCFG(c *cfg, in []fact, visit func(f fact, n ast.Node) fact) {
+	for i, b := range c.blocks {
+		if in[i] == nil {
+			continue
+		}
+		f := in[i]
+		for _, node := range b.nodes {
+			f = visit(f, node)
+		}
+	}
+}

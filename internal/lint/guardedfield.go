@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// guardedPkgs are the module-relative packages whose struct fields the
+// lockset inference covers: the concurrent core of the storage manager.
+var guardedPkgs = map[string]bool{
+	"internal/esm":    true,
+	"internal/buffer": true,
+	"internal/wal":    true,
+	"internal/lock":   true,
+	"internal/repl":   true,
+	"internal/mvcc":   true,
+	"internal/shard":  true,
+}
+
+// AnalyzerGuardedField infers, for each struct field in the concurrent
+// core packages, the lock that guards it — the intersection of the
+// classified locks held across its access sites — and flags writes that
+// bypass a consistently established guard. This is static lockset
+// inference in the RacerX/Eraser tradition: `-race` only sees the
+// schedules the tests happen to execute; a field guarded at nine of ten
+// sites with one bare write is a data race on the schedule nobody ran.
+//
+// A guard is inferred only on strong evidence: at least two guarded
+// accesses, at least three quarters of all sites guarded, and a non-empty
+// lock intersection. Constructor code is exempt — a function that builds
+// the owning struct (or returns it), and helpers called only from such
+// functions, access fields before the value is shared, so their bare
+// accesses neither weaken nor violate the guard. Fields whose address
+// escapes, channel-typed fields, and sync/atomic fields (their own
+// synchronization) are out of scope.
+func AnalyzerGuardedField() *Analyzer {
+	return &Analyzer{
+		Name: "guardedfield",
+		Doc:  "infer per-field lock guards from held-sets at access sites; a consistently guarded field with an unguarded write is a static data race",
+		Run:  runGuardedField,
+	}
+}
+
+func runGuardedField(prog *Program, report func(pos token.Pos, format string, args ...interface{})) {
+	s := summarize(prog)
+	exempt := constructorExempt(s)
+	callerHeld := callerHeldSets(s)
+	type use struct {
+		pos  token.Pos
+		kind int
+		objs map[types.Object]bool // locks held: at the site ∪ at every caller
+	}
+	type stats struct {
+		uses    []use
+		escaped bool
+	}
+	byField := map[types.Object]*stats{}
+	var order []types.Object
+	for _, fn := range s.funcs {
+		ctx := callerHeld[fn.id]
+		for _, u := range fn.fields {
+			owner := s.owner[u.obj]
+			if owner == nil || !coveredOwner(prog, owner) {
+				continue
+			}
+			if excludedFieldType(u.obj.Type()) || s.locks[u.obj] != nil {
+				continue
+			}
+			st := byField[u.obj]
+			if st == nil {
+				st = &stats{}
+				byField[u.obj] = st
+				order = append(order, u.obj)
+			}
+			if u.kind == fieldEscape {
+				st.escaped = true
+				continue
+			}
+			if exempt[fn][owner] {
+				continue // pre-publication access in a constructor path
+			}
+			objs := heldObjects(u.held)
+			for o := range ctx {
+				objs[o] = true
+			}
+			st.uses = append(st.uses, use{pos: u.pos, kind: u.kind, objs: objs})
+		}
+	}
+	for _, obj := range order {
+		st := byField[obj]
+		if st.escaped {
+			continue // the field aliases beyond its selector sites
+		}
+		total := len(st.uses)
+		var guardedUses []use
+		for _, u := range st.uses {
+			if len(u.objs) > 0 {
+				guardedUses = append(guardedUses, u)
+			}
+		}
+		if len(guardedUses) < 2 || len(guardedUses)*4 < total*3 {
+			continue // no consistently established guard
+		}
+		guard := guardedUses[0].objs
+		for _, u := range guardedUses[1:] {
+			guard = intersectObjects(guard, u.objs)
+			if len(guard) == 0 {
+				break
+			}
+		}
+		if len(guard) == 0 {
+			continue // guarded sites disagree on which lock
+		}
+		guardName := describeGuard(s, guard)
+		for _, u := range st.uses {
+			if u.kind != fieldWrite || intersects(u.objs, guard) {
+				continue
+			}
+			report(u.pos, "write to %s bypasses its inferred guard %s (held at %d of %d access sites): unguarded write is a data race",
+				fieldDisplay(s, obj), guardName, len(guardedUses), total)
+		}
+	}
+}
+
+// callerHeldSets computes, per unexported declared function, the
+// classified locks held at *every* static call site — the calling
+// convention of `...Locked` helpers ("caller holds mu") made checkable.
+// A greatest fixpoint seeded with the full lock set lets the context flow
+// through helper chains (Release → promoteLocked → grantLocked); the
+// contribution of each call site is the locks held at the site plus the
+// caller's own inherited context. Exported functions get no context:
+// they are reachable from other packages and through interfaces the
+// static call graph cannot see.
+func callerHeldSets(s *summaries) map[string]map[types.Object]bool {
+	top := map[types.Object]bool{}
+	for obj := range s.locks {
+		top[obj] = true
+	}
+	type site struct {
+		caller *funcNode
+		objs   map[types.Object]bool
+	}
+	sites := map[string][]site{}
+	for _, fn := range s.funcs {
+		for _, cs := range fn.calls {
+			sites[cs.id] = append(sites[cs.id], site{caller: fn, objs: heldObjects(cs.held)})
+		}
+	}
+	sets := map[string]map[types.Object]bool{}
+	for _, fn := range s.funcs {
+		if fn.id != "" && !funcExported(fn) && len(sites[fn.id]) > 0 {
+			sets[fn.id] = top
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, cur := range sets {
+			var next map[types.Object]bool
+			for _, cs := range sites[id] {
+				contrib := map[types.Object]bool{}
+				for o := range cs.objs {
+					contrib[o] = true
+				}
+				for o := range sets[cs.caller.id] {
+					contrib[o] = true
+				}
+				if next == nil {
+					next = contrib
+				} else {
+					next = intersectObjects(next, contrib)
+				}
+			}
+			if len(next) != len(cur) {
+				sets[id] = next
+				changed = true
+			}
+		}
+	}
+	for id, set := range sets {
+		if len(set) == 0 {
+			delete(sets, id)
+		}
+	}
+	return sets
+}
+
+// funcExported reports whether a summarized function's own name is
+// exported (the receiver does not matter: an exported method on an
+// unexported type is still interface-dispatchable).
+func funcExported(fn *funcNode) bool {
+	name := fn.name
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	if name == "" {
+		return true
+	}
+	r := name[0]
+	return r >= 'A' && r <= 'Z'
+}
+
+func intersects(a, b map[types.Object]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// constructorExempt computes, per function, the struct types whose fields
+// it may access bare: types it constructs or returns, propagated to
+// functions reachable only from already-exempt callers (an OpenServer
+// helper initializing server state is still pre-publication).
+func constructorExempt(s *summaries) map[*funcNode]map[*types.TypeName]bool {
+	exempt := map[*funcNode]map[*types.TypeName]bool{}
+	callers := map[string][]*funcNode{}
+	for _, fn := range s.funcs {
+		if len(fn.makes) > 0 {
+			m := map[*types.TypeName]bool{}
+			for t := range fn.makes {
+				m[t] = true
+			}
+			exempt[fn] = m
+		}
+		for _, cs := range fn.calls {
+			callers[cs.id] = append(callers[cs.id], fn)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range s.funcs {
+			if fn.id == "" {
+				continue
+			}
+			cs := callers[fn.id]
+			if len(cs) == 0 {
+				continue
+			}
+			// Types every static caller is exempt for.
+			inter := map[*types.TypeName]bool{}
+			for t := range exempt[cs[0]] {
+				inter[t] = true
+			}
+			for _, c := range cs[1:] {
+				for t := range inter {
+					if !exempt[c][t] {
+						delete(inter, t)
+					}
+				}
+			}
+			for t := range inter {
+				if !exempt[fn][t] {
+					if exempt[fn] == nil {
+						exempt[fn] = map[*types.TypeName]bool{}
+					}
+					exempt[fn][t] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return exempt
+}
+
+// coveredOwner reports whether a field's declaring struct lives in one of
+// the covered core packages.
+func coveredOwner(prog *Program, owner *types.TypeName) bool {
+	pkg := owner.Pkg()
+	if pkg == nil {
+		return false
+	}
+	rel := strings.TrimPrefix(pkg.Path(), prog.ModulePath+"/")
+	return guardedPkgs[rel]
+}
+
+// excludedFieldType reports field types with synchronization of their own:
+// sync and sync/atomic types (also behind pointers) and channels.
+func excludedFieldType(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Chan:
+			return true
+		case *types.Named:
+			if pkg := u.Obj().Pkg(); pkg != nil {
+				if p := pkg.Path(); p == "sync" || p == "sync/atomic" {
+					return true
+				}
+			}
+			t = u.Underlying()
+			continue
+		}
+		return false
+	}
+}
+
+func heldObjects(held []heldLock) map[types.Object]bool {
+	m := map[types.Object]bool{}
+	for _, h := range held {
+		m[h.obj] = true
+	}
+	return m
+}
+
+func intersectObjects(a, b map[types.Object]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// describeGuard names an inferred guard set by its lock classes.
+func describeGuard(s *summaries, guard map[types.Object]bool) string {
+	var names []string
+	for obj := range guard {
+		if c := s.locks[obj]; c != nil {
+			names = append(names, c.name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, " + ")
+}
+
+// fieldDisplay renders a field as Type.field for diagnostics.
+func fieldDisplay(s *summaries, obj types.Object) string {
+	if owner := s.owner[obj]; owner != nil {
+		pkg := ""
+		if p := owner.Pkg(); p != nil {
+			parts := strings.Split(p.Path(), "/")
+			pkg = parts[len(parts)-1] + "."
+		}
+		return fmt.Sprintf("%s%s.%s", pkg, owner.Name(), obj.Name())
+	}
+	return obj.Name()
+}

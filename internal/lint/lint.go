@@ -56,6 +56,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerQuorumAck(),
 		AnalyzerSnapRead(),
 		AnalyzerShardMap(),
+		AnalyzerUnlockPath(),
+		AnalyzerGuardedField(),
+		AnalyzerAckOrder(),
 	}
 }
 
@@ -72,6 +75,13 @@ func AnalyzerNames() []string {
 // surviving diagnostics, sorted by position: findings on lines carrying a
 // `//qsvet:ignore` directive naming the check (or `all`) are dropped, as
 // are findings whose preceding line is such a directive comment.
+//
+// Suppression is audited: a directive that suppressed nothing — though
+// every check it names was part of this run — is itself reported as a
+// `staleignore` finding, so outdated exemptions rot out of the tree
+// instead of silently disarming future findings. Directives naming checks
+// outside the run (a `-checks` subset, a single-analyzer fixture run) are
+// left alone: the run could not have told whether they still suppress.
 func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -85,7 +95,13 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(prog, report)
 	}
+	for _, dirs := range prog.ignores {
+		for _, dir := range dirs {
+			dir.fired = false
+		}
+	}
 	diags = prog.filterIgnored(diags)
+	diags = append(diags, prog.staleIgnores(analyzers)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -107,6 +123,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
 type ignoreDirective struct {
 	checks []string
 	line   int
+	fired  bool // suppressed at least one finding in the current run
 }
 
 func (d *ignoreDirective) matches(check string) bool {
@@ -154,12 +171,57 @@ func (p *Program) filterIgnored(diags []Diagnostic) []Diagnostic {
 	for _, d := range diags {
 		dirs := p.ignores[d.Pos.Filename]
 		if dir := dirs[d.Pos.Line]; dir != nil && dir.matches(d.Check) {
+			dir.fired = true
 			continue
 		}
 		if dir := dirs[d.Pos.Line-1]; dir != nil && dir.matches(d.Check) {
+			dir.fired = true
 			continue
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// staleIgnores reports directives that suppressed nothing, restricted to
+// those this run was competent to judge: every check the directive names
+// must have run ("all" requires the full registered suite). staleignore
+// findings are not themselves suppressible — a directive cannot vouch for
+// its own continued relevance.
+func (p *Program) staleIgnores(analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, name := range AnalyzerNames() {
+		if !ran[name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Diagnostic
+	for file, dirs := range p.ignores {
+		for _, dir := range dirs {
+			if dir.fired {
+				continue
+			}
+			judged := true
+			for _, c := range dir.checks {
+				if c == "all" && !fullSuite || c != "all" && !ran[c] {
+					judged = false
+					break
+				}
+			}
+			if !judged {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:     token.Position{Filename: file, Line: dir.line, Column: 1},
+				Check:   "staleignore",
+				Message: fmt.Sprintf("directive suppresses no finding of %s: delete it (stale exemptions disarm future findings)", strings.Join(dir.checks, ", ")),
+			})
+		}
 	}
 	return out
 }

@@ -54,14 +54,23 @@ func checkGolden(t *testing.T, fixture string, diags []Diagnostic) {
 // //qsvet:ignore directive; the golden file is the caught set.
 func TestGoldenFixtures(t *testing.T) {
 	fixtures := map[string]*Analyzer{
-		"lockorder":   AnalyzerLockOrder(),
-		"latchio":     AnalyzerLatchIO(),
-		"atomicfield": AnalyzerAtomicField(),
-		"mustcheck":   AnalyzerMustCheck(),
-		"crashpoint":  AnalyzerCrashPoint(),
-		"quorumack":   AnalyzerQuorumAck(),
-		"snapread":    AnalyzerSnapRead(),
-		"shardmap":    AnalyzerShardMap(),
+		// The lockorder and latchio goldens predate the CFG dataflow
+		// engine: passing unchanged, they are the regression proof that
+		// the port reproduces the syntactic walker's findings.
+		"lockorder":    AnalyzerLockOrder(),
+		"latchio":      AnalyzerLatchIO(),
+		"atomicfield":  AnalyzerAtomicField(),
+		"mustcheck":    AnalyzerMustCheck(),
+		"crashpoint":   AnalyzerCrashPoint(),
+		"quorumack":    AnalyzerQuorumAck(),
+		"snapread":     AnalyzerSnapRead(),
+		"shardmap":     AnalyzerShardMap(),
+		"unlockpath":   AnalyzerUnlockPath(),
+		"guardedfield": AnalyzerGuardedField(),
+		"ackorder":     AnalyzerAckOrder(),
+		// Divergent held-sets at a merge are a lockorder finding of the
+		// path-sensitive engine; this fixture exists only on it.
+		"lockdiverge": AnalyzerLockOrder(),
 	}
 	for fixture, analyzer := range fixtures {
 		t.Run(fixture, func(t *testing.T) {
@@ -87,6 +96,37 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 		if strings.Contains(d.Pos.Filename, "srv.go") && d.Pos.Line >= 29 {
 			t.Errorf("finding inside suppressed(): %s", d)
 		}
+	}
+}
+
+// A directive that suppresses nothing is itself a finding — when the run
+// included every check it names.
+func TestStaleIgnoreAudit(t *testing.T) {
+	prog, err := LoadModule(filepath.Join("testdata", "src", "staleignore"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(prog, Analyzers())
+	RelativeTo(diags, prog.Root)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the stale directive finding, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "staleignore" || !strings.Contains(d.Pos.Filename, "srv.go") {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// The audit keeps quiet when the run could not judge the directive: a
+// `-checks` subset that skips the named check must not call it stale.
+func TestStaleIgnoreSkipsUnjudgedChecks(t *testing.T) {
+	prog, err := LoadModule(filepath.Join("testdata", "src", "staleignore"))
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := RunAnalyzers(prog, []*Analyzer{AnalyzerLockOrder()})
+	if len(diags) != 0 {
+		t.Errorf("directive naming mustcheck judged by a lockorder-only run: %v", diags)
 	}
 }
 

@@ -39,6 +39,13 @@ func runLockOrder(prog *Program, report func(pos token.Pos, format string, args 
 				}
 			}
 		}
+		// Merge points where the branches disagree on what is held: one
+		// path arrives still holding a lock another path has already
+		// released (or arranged to release) — the signature of a branch
+		// that leaked its unlock.
+		for _, d := range fn.diverges {
+			report(d.pos, "control-flow paths merge here with divergent held locks (%s vs %s): every path into a join must agree on what is held", d.a, d.b)
+		}
 		// Acquisitions reached through calls made with locks held.
 		for _, cs := range fn.calls {
 			if len(cs.held) == 0 {

@@ -1,0 +1,94 @@
+// Package esm is the ackorder fixture: a 2PC dispatch with a vote acked
+// before its force (the seeded bug), an inline ack with no force at all,
+// clean force-dominated paths, and the coordinator decision-before-forget
+// rule exercised both ways.
+package esm
+
+import "quickstore/internal/wal"
+
+type Op int
+
+const (
+	OpBegin Op = iota
+	OpPrepare
+	OpCommit
+	OpCommitDecision
+	OpResolveTx
+)
+
+const (
+	DecisionCommit uint8 = 1 << iota
+	DecisionCoord
+)
+
+const ResolveModeForget uint8 = 7
+
+type Request struct {
+	Op   Op
+	Tx   uint64
+	Mode uint8
+}
+
+type Response struct {
+	N   uint64
+	Err string
+}
+
+type Transport interface {
+	Call(req *Request) (*Response, error)
+}
+
+type Server struct {
+	log *wal.Log
+}
+
+func (s *Server) handle(req *Request) (*Response, error) {
+	switch req.Op {
+	case OpBegin:
+		return &Response{N: req.Tx}, nil // not an ack path: clean
+	case OpPrepare:
+		lsn, err := s.prepare(req)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{N: uint64(lsn)}, nil // dominated by s.prepare: clean
+	case OpCommit:
+		if req.Tx == 0 {
+			return &Response{}, nil // acked with no force anywhere: violation
+		}
+		lsn, err := s.commit(req)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{N: uint64(lsn)}, nil
+	}
+	return nil, nil
+}
+
+// prepare logs the vote but acks one path before forcing it: a crash
+// after that ack revokes a vote the coordinator already counted.
+func (s *Server) prepare(req *Request) (wal.LSN, error) {
+	lsn, err := s.log.Append(nil)
+	if err != nil {
+		return 0, err
+	}
+	if req.Mode == 9 {
+		return lsn, nil // vote acked before the force below: violation
+	}
+	if err := s.log.FlushCommit(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// commit forces before every ack: clean.
+func (s *Server) commit(req *Request) (wal.LSN, error) {
+	lsn, err := s.log.Append(nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.log.FlushCommit(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}

@@ -1,0 +1,24 @@
+package esm
+
+// forgetEarly retires a decision record no path has delivered: a
+// participant still in doubt loses the verdict — violation.
+func forgetEarly(tr Transport, tx uint64) error {
+	_, err := tr.Call(&Request{Op: OpResolveTx, Tx: tx, Mode: ResolveModeForget})
+	return err
+}
+
+// forgetAfterDecision delivers the coordinator decision first: clean.
+func forgetAfterDecision(tr Transport, tx uint64) error {
+	if _, err := tr.Call(&Request{Op: OpCommitDecision, Tx: tx, Mode: DecisionCommit | DecisionCoord}); err != nil {
+		return err
+	}
+	_, err := tr.Call(&Request{Op: OpResolveTx, Tx: tx, Mode: ResolveModeForget})
+	return err
+}
+
+// forgetMaint sweeps a cluster known to be empty; suppressed.
+func forgetMaint(tr Transport, tx uint64) error {
+	//qsvet:ignore ackorder test-only sweep of a cluster verified empty of in-doubt participants
+	_, err := tr.Call(&Request{Op: OpResolveTx, Tx: tx, Mode: ResolveModeForget})
+	return err
+}

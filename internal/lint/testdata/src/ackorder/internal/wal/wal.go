@@ -1,0 +1,22 @@
+// Package wal is the ackorder fixture's miniature log: append assigns
+// LSNs, the force methods make them durable.
+package wal
+
+type LSN uint64
+
+type Log struct {
+	lsn LSN
+}
+
+func (l *Log) Append(rec []byte) (LSN, error) {
+	l.lsn++
+	return l.lsn, nil
+}
+
+func (l *Log) Flush() error {
+	return nil
+}
+
+func (l *Log) FlushCommit(lsn LSN) error {
+	return nil
+}

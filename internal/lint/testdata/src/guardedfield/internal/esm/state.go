@@ -1,0 +1,84 @@
+// Package esm is the guardedfield fixture: a counter consistently
+// guarded by mu at most sites, one bare write (the seeded race), a
+// helper guarded through its callers, constructor writes, an escaped
+// field, and a suppressed maintenance write.
+package esm
+
+import "sync"
+
+type Server struct {
+	mu    sync.Mutex
+	count int
+	tag   string
+	note  string
+}
+
+// New's bare writes are pre-publication: constructor-exempt.
+func New() *Server {
+	s := &Server{}
+	s.count = 1
+	s.note = "fresh"
+	return s
+}
+
+func (s *Server) Inc() {
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+func (s *Server) Dec() {
+	s.mu.Lock()
+	s.count--
+	s.mu.Unlock()
+}
+
+func (s *Server) Add(n int) {
+	s.mu.Lock()
+	s.count += n
+	s.mu.Unlock()
+}
+
+func (s *Server) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func (s *Server) IsZero() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count == 0
+}
+
+func (s *Server) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resetLocked()
+}
+
+// resetLocked's bare write is guarded through every caller: clean.
+func (s *Server) resetLocked() {
+	s.count = 0
+}
+
+// Racy writes the guarded counter with no lock: the seeded data race.
+func (s *Server) Racy() {
+	s.count = 42
+}
+
+// Maint is a documented single-threaded entry point; suppressed.
+func (s *Server) Maint() {
+	//qsvet:ignore guardedfield maintenance entry point, documented single-threaded
+	s.count = -1
+}
+
+// Escape hands out the address of tag: the field aliases beyond its
+// selector sites and is out of the inference's scope.
+func (s *Server) Escape() *string {
+	return &s.tag
+}
+
+func (s *Server) WriteTag(v string) {
+	s.tag = v
+}

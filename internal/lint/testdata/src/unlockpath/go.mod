@@ -1,0 +1,3 @@
+module quickstore
+
+go 1.21

@@ -1,0 +1,74 @@
+// Package esm is the unlockpath fixture: acquisitions that leak on an
+// error return or panic path, next to clean deferred, branching, and
+// deliberately suppressed shapes.
+package esm
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type Server struct {
+	mu    sync.Mutex
+	count int
+}
+
+// leakOnError releases mu on the success path only: the early error
+// return leaves it held — violation.
+func (s *Server) leakOnError(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errFail
+	}
+	s.count++
+	s.mu.Unlock()
+	return nil
+}
+
+// leakOnPanic leaves mu held when the guard trips — violation.
+func (s *Server) leakOnPanic(n int) {
+	s.mu.Lock()
+	if n < 0 {
+		panic("negative count")
+	}
+	s.count = n
+	s.mu.Unlock()
+}
+
+// deferred registers the release up front: clean on every path.
+func (s *Server) deferred(fail bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fail {
+		return errFail
+	}
+	s.count++
+	return nil
+}
+
+// branches releases explicitly on each path: clean.
+func (s *Server) branches(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.count++
+		s.mu.Unlock()
+		return
+	}
+	s.count--
+	s.mu.Unlock()
+}
+
+// handoff deliberately leaves mu held for its caller (the fixture's
+// stand-in for a documented lock-handoff protocol); the directive keeps
+// it out of the findings.
+func (s *Server) handoff() {
+	//qsvet:ignore unlockpath deliberate handoff: the caller releases via release()
+	s.mu.Lock()
+	s.count++
+}
+
+func (s *Server) release() {
+	s.mu.Unlock()
+}

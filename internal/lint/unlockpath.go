@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// AnalyzerUnlockPath verifies release discipline: every classified lock or
+// latch acquisition must be released — by a direct unlock or a registered
+// `defer` — on every path out of the function: ordinary returns, error
+// returns, explicit panics, and falling off the end.
+//
+// The check reads the converged held-set facts at each exit site. A held
+// entry whose unlock is neither performed nor deferred by the time control
+// leaves is reported at its acquisition site, naming the escaping exit.
+// Functions that intentionally hand a held lock to their caller are not a
+// pattern this codebase uses (the pool hands out pins, not latches); a
+// genuine handoff would carry a `//qsvet:ignore unlockpath` with its
+// protocol documented.
+func AnalyzerUnlockPath() *Analyzer {
+	return &Analyzer{
+		Name: "unlockpath",
+		Doc:  "every classified lock/latch acquisition must be released on every exit path (returns, error paths, panics)",
+		Run:  runUnlockPath,
+	}
+}
+
+func runUnlockPath(prog *Program, report func(pos token.Pos, format string, args ...interface{})) {
+	s := summarize(prog)
+	for _, fn := range s.funcs {
+		// One report per acquisition site, naming the first leaking exit.
+		leaked := map[token.Pos]exitSite{}
+		for _, e := range fn.exits {
+			for _, h := range e.held {
+				if h.deferred {
+					continue
+				}
+				if _, ok := leaked[h.pos]; !ok {
+					leaked[h.pos] = e
+				}
+			}
+		}
+		if len(leaked) == 0 {
+			continue
+		}
+		positions := make([]token.Pos, 0, len(leaked))
+		for pos := range leaked {
+			positions = append(positions, pos)
+		}
+		sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+		for _, pos := range positions {
+			e := leaked[pos]
+			class := "lock"
+			for _, h := range e.held {
+				if h.pos == pos {
+					class = h.class.name
+					break
+				}
+			}
+			report(pos, "%s acquired here is still held at %s: release it on every exit path (unlock or defer)",
+				class, prog.exitDescription(e))
+		}
+	}
+}

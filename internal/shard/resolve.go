@@ -114,6 +114,7 @@ func ResolveAll(trs []esm.Transport) (ResolveOutcome, error) {
 	}
 	for shard, txs := range decisions {
 		for _, tx := range txs {
+			//qsvet:ignore ackorder verdict delivery happens in the sweep loop above (and by the router); forget is gated on a second listing finding no in-doubt participant anywhere
 			resp, err := trs[shard].Call(&esm.Request{Op: esm.OpResolveTx, Tx: tx, Mode: esm.ResolveModeForget})
 			if err != nil {
 				return out, fmt.Errorf("shard %d: forgetting decision %d: %w", shard, tx, err)
