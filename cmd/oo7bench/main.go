@@ -43,6 +43,13 @@
 // below 3x the single-shard throughput or any transaction is left
 // unresolved.
 //
+// "-warm" runs only the warm-cache coherence bench (DESIGN.md §18): a
+// reader session that keeps its buffer warm across transactions, with a
+// concurrent writer mutating the shared database, A/B'd against the
+// drop-and-refetch baseline. The table goes to BENCH_warmcache.json; the
+// run fails if the coherent mode ships less than 5x fewer bytes on the
+// wire, or if either mode ever observes a stale read.
+//
 // With -json, each experiment's tables are additionally written to
 // BENCH_<exp>.json in the current directory, for tracking results across
 // revisions.
@@ -73,6 +80,7 @@ func main() {
 	addr := flag.String("addr", "", "with -net: benchmark an external page server at host:port instead of an in-process one")
 	snapshot := flag.Int("snapshot", 0, "run only the snapshot-read sweep, 1..N reader sessions vs the locked baseline (writes BENCH_snapshot.json); N<0 uses the default 8")
 	shards := flag.Int("shards", 0, "run only the horizontal scale-out sweep over 1..N shards (writes BENCH_shards.json); N<0 uses the default 4")
+	warm := flag.Bool("warm", false, "run only the warm-cache coherence bench: LSN-validated reuse vs drop-and-refetch (writes BENCH_warmcache.json)")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +90,22 @@ func main() {
 		return
 	}
 	suite := harness.NewSuite(os.Stdout, *medium)
+	if *warm {
+		res, err := suite.WarmExp(harness.WarmCacheOpts{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := writeJSON("warmcache", suite.TakeTables()); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		if err := checkWarmGate(res); err != nil {
+			fmt.Fprintln(os.Stderr, "oo7bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *shards != 0 {
 		opts := harness.ShardBenchOpts{}
 		if *shards > 0 {
@@ -172,6 +196,20 @@ func checkShardGate(pts []harness.ShardPoint) error {
 		if p.Shards == 4 && p.Speedup < 3 {
 			return fmt.Errorf("4-shard speedup %.2fx is below the 3x acceptance floor", p.Speedup)
 		}
+	}
+	return nil
+}
+
+// checkWarmGate enforces the warm-cache acceptance floor: the coherent
+// run must ship at least 5x fewer bytes than drop-and-refetch, and
+// neither run may ever return a value older than the oracle's.
+func checkWarmGate(res harness.WarmCacheResult) error {
+	if res.Coherent.StaleReads != 0 || res.Baseline.StaleReads != 0 {
+		return fmt.Errorf("warm-cache bench observed stale reads (coherent=%d refetch=%d)",
+			res.Coherent.StaleReads, res.Baseline.StaleReads)
+	}
+	if res.Reduction < 5 {
+		return fmt.Errorf("warm-cache byte reduction %.2fx is below the 5x acceptance floor", res.Reduction)
 	}
 	return nil
 }

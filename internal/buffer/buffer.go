@@ -31,6 +31,15 @@ type Frame struct {
 	// is cleared on first real use (ConsumePrefetched); a frame evicted or
 	// dropped with the flag still set was a wasted prefetch.
 	Prefetched bool
+	// LSN is the coherence token the server vended with this page image
+	// (the LSN of the commit that produced it). Zero means unversioned:
+	// the frame always revalidates as a full read. Maintained by the ESM
+	// client; the pool only clears it on install/evict.
+	LSN uint64
+	// Stale marks a frame the server has flagged out of date (piggybacked
+	// invalidation hint or a stale lock grant). The next access must
+	// revalidate against the server before trusting the bytes.
+	Stale bool
 }
 
 // Policy selects a victim frame for replacement. It may assume the pool's
@@ -131,6 +140,8 @@ func (p *Pool) Put(pid disk.PageID, load func(buf []byte) error) (int, error) {
 	f.Ref = true
 	f.Pin = 0
 	f.Prefetched = false
+	f.LSN = 0
+	f.Stale = false
 	p.index[pid] = i
 	return i, nil
 }
@@ -175,6 +186,8 @@ func (p *Pool) PutPrefetched(pid disk.PageID, data []byte) (idx int, ok bool) {
 	f.Ref = false
 	f.Pin = 0
 	f.Prefetched = true
+	f.LSN = 0
+	f.Stale = false
 	p.index[pid] = i
 	return i, true
 }
@@ -241,6 +254,8 @@ func (p *Pool) Evict(i int) error {
 	f.Dirty = false
 	f.Ref = false
 	f.Prefetched = false
+	f.LSN = 0
+	f.Stale = false
 	p.evicted++
 	if wasted && p.OnPrefetchDrop != nil {
 		p.OnPrefetchDrop(pid)
@@ -295,6 +310,8 @@ func (p *Pool) DropAll() {
 			f.Ref = false
 			f.Pin = 0
 			f.Prefetched = false
+			f.LSN = 0
+			f.Stale = false
 			if wasted && p.OnPrefetchDrop != nil {
 				p.OnPrefetchDrop(pid)
 			}

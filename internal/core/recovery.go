@@ -3,11 +3,11 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"quickstore/internal/disk"
 	"quickstore/internal/page"
+	"quickstore/internal/pagedelta"
 	"quickstore/internal/sim"
 	"quickstore/internal/vmem"
 	"quickstore/internal/wal"
@@ -117,78 +117,16 @@ type region struct{ off, n int }
 // clean gap between them: a separate record pays hdr header bytes, a merged
 // record pays 2*gap payload bytes (old and new images of the gap). This is
 // the paper's example: bytes 1 and 1024 of an object become two records,
-// bytes 1, 3 and 5 become one.
+// bytes 1, 3 and 5 become one. The SWAR scan itself lives in
+// internal/pagedelta, shared with the page server's warm-cache delta
+// shipping (DESIGN.md §18).
 func diffRegions(old, cur []byte, hdr int) []region {
-	n := len(cur)
-	if len(old) < n {
-		n = len(old)
-	}
-	var regs []region
-	i := 0
-	for i < n {
-		i = skipEqual(old, cur, i, n)
-		if i >= n {
-			break
-		}
-		j := skipDiff(old, cur, i+1, n)
-		if len(regs) > 0 {
-			last := &regs[len(regs)-1]
-			gap := i - (last.off + last.n)
-			if 2*gap <= hdr {
-				last.n = j - last.off
-				i = j
-				continue
-			}
-		}
-		regs = append(regs, region{off: i, n: j - i})
-		i = j
-	}
-	// Bytes past the shorter buffer (page growth) form one final region.
-	if len(cur) > len(old) {
-		regs = append(regs, region{off: len(old), n: len(cur) - len(old)})
+	pd := pagedelta.Regions(old, cur, hdr)
+	regs := make([]region, len(pd))
+	for i, r := range pd {
+		regs[i] = region{off: r.Off, n: r.N}
 	}
 	return regs
-}
-
-// swarOnes has the low bit of every byte lane set; swarHighs the high bit.
-// They drive the classic "does this word contain a zero byte" test:
-// (v - swarOnes) & ^v & swarHighs is nonzero iff some byte of v is zero,
-// and its lowest set bit sits in the word's first zero byte.
-const (
-	swarOnes  = 0x0101010101010101
-	swarHighs = 0x8080808080808080
-)
-
-// skipEqual advances i past bytes where old and cur agree, eight at a time:
-// the XOR of two equal words is zero, and when a word finally differs the
-// first mismatching byte is the XOR's lowest nonzero byte.
-func skipEqual(old, cur []byte, i, n int) int {
-	for ; i+8 <= n; i += 8 {
-		x := binary.LittleEndian.Uint64(old[i:]) ^ binary.LittleEndian.Uint64(cur[i:])
-		if x != 0 {
-			return i + bits.TrailingZeros64(x)>>3
-		}
-	}
-	for i < n && old[i] == cur[i] {
-		i++
-	}
-	return i
-}
-
-// skipDiff advances j past bytes where old and cur differ, eight at a time:
-// a word extends the run iff its XOR has no zero byte, and when a run ends
-// the first agreeing byte is the XOR's first zero byte.
-func skipDiff(old, cur []byte, j, n int) int {
-	for ; j+8 <= n; j += 8 {
-		x := binary.LittleEndian.Uint64(old[j:]) ^ binary.LittleEndian.Uint64(cur[j:])
-		if zeros := (x - swarOnes) & ^x & swarHighs; zeros != 0 {
-			return j + bits.TrailingZeros64(zeros)>>3
-		}
-	}
-	for j < n && old[j] != cur[j] {
-		j++
-	}
-	return j
 }
 
 // logWholePage emits a redo-only record carrying a fresh page's entire

@@ -211,6 +211,7 @@ func newStore(c *esm.Client, cfg Config) (*Store, error) {
 	s.space.SetHandler(s.handleFault)
 	pool := c.Pool()
 	pool.OnEvict = s.onEvict
+	c.OnRefresh = s.onRefresh
 	if !cfg.TraditionalClock {
 		s.policy = NewSimplifiedClock(s)
 		pool.SetPolicy(s.policy)
@@ -487,6 +488,25 @@ func (s *Store) onEvict(pid disk.PageID, frame int) {
 	_ = s.space.Unmap(d.Lo)
 	s.clock.Charge(sim.CtrMmapCall, 1)
 	d.FrameIdx = -1
+	delete(s.byPid, pid)
+}
+
+// onRefresh handles a coherence repair rewriting a resident frame in
+// place: the frame now holds another session's committed image — pointers
+// swizzled to THAT session's address assignments, not this one's — so the
+// mapping is revoked and the swizzle state discarded exactly as if the
+// page had been evicted and refetched. The next access faults, finds the
+// page still resident, and re-processes its mapping object (SeenTx zero
+// forces this even within the same transaction).
+func (s *Store) onRefresh(pid disk.PageID, frame int) {
+	d, ok := s.byPid[pid]
+	if !ok {
+		return
+	}
+	_ = s.space.Unmap(d.Lo)
+	s.clock.Charge(sim.CtrMmapCall, 1)
+	d.FrameIdx = -1
+	d.SeenTx = 0
 	delete(s.byPid, pid)
 }
 

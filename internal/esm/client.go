@@ -12,6 +12,7 @@ import (
 	"quickstore/internal/disk"
 	"quickstore/internal/faultinject"
 	"quickstore/internal/lock"
+	"quickstore/internal/pagedelta"
 	"quickstore/internal/sim"
 	"quickstore/internal/wal"
 )
@@ -41,6 +42,13 @@ type ClientConfig struct {
 	Policy      buffer.Policy // replacement policy; nil = traditional clock
 	Clock       *sim.Clock    // cost-model clock; nil = free clock
 	Retry       RetryPolicy   // transient-fault retry; zero value disables
+
+	// NoCoherence disables the warm-cache coherence protocol: no Begin
+	// revalidation, no versioned reads, no invalidation hints. Resident
+	// frames are then reused blindly across transactions — correct only
+	// when this client is the sole writer (the protocol's off switch for
+	// the full-refetch baseline in benchmarks).
+	NoCoherence bool
 }
 
 // Client is one application session against the page server. It owns the
@@ -83,10 +91,25 @@ type Client struct {
 	stamper  ShardStamper         // per-shard LSN source when the transport shards (nil otherwise)
 	rawPages map[disk.PageID]bool // large-object data pages: never LSN-stamped
 
+	// Warm-cache coherence (DESIGN.md §18). coherent gates the whole
+	// protocol; sid is the server-minted hint session (0 until the first
+	// Begin, always 0 under sharding); pinLeaks counts frames Abort found
+	// still pinned — an object-layer bug Abort used to paper over.
+	coherent bool
+	sid      uint64
+	pinLeaks int64
+
 	// BeforeSteal, if set, runs before a dirty page is shipped to the
 	// server mid-transaction (buffer-pool steal). QuickStore hooks this to
 	// diff the page and emit its log records first, preserving WAL order.
 	BeforeSteal func(pid disk.PageID, data []byte) error
+
+	// OnRefresh, if set, runs after the coherence protocol rewrites a
+	// resident frame's bytes in place (a delta or full repair). QuickStore
+	// hooks it to unmap the page and discard its swizzle state: the frame
+	// now holds the committed disk image, not this session's swizzled
+	// view, so the next access must re-fault and re-process the mapping.
+	OnRefresh func(pid disk.PageID, frame int)
 
 	// LogStructure makes the client WAL-log its own structural page edits —
 	// the headers and slot directories it writes in CreateObject,
@@ -106,7 +129,7 @@ func NewClient(tr Transport, cfg ClientConfig) *Client {
 	if cfg.Clock == nil {
 		cfg.Clock = sim.NewClock(sim.CostModel{})
 	}
-	c := &Client{tr: tr, clock: cfg.Clock, retry: cfg.Retry, rawPages: map[disk.PageID]bool{}}
+	c := &Client{tr: tr, clock: cfg.Clock, retry: cfg.Retry, rawPages: map[disk.PageID]bool{}, coherent: !cfg.NoCoherence}
 	if st, ok := tr.(ShardStamper); ok {
 		c.stamper = st
 	}
@@ -132,7 +155,7 @@ func (c *Client) Clock() *sim.Clock { return c.clock }
 func retryable(op Op) bool {
 	switch op {
 	case OpReadPage, OpReadPages, OpGetRoot, OpOpenFile, OpStats, OpLock,
-		OpBeginSnapshot, OpSnapRead:
+		OpBeginSnapshot, OpSnapRead, OpValidatePages:
 		// The snapshot ops are read-only; re-beginning pins the same (or a
 		// newer) snapshot and re-reading a page at a pinned LSN is stable.
 		// OpEndSnapshot is deliberately absent: replaying it would unpin a
@@ -185,7 +208,11 @@ func (c *Client) call(req *Request) (*Response, error) {
 // Retries reports how many requests were re-sent after transient faults.
 func (c *Client) Retries() int64 { return c.retries.Load() }
 
-// Begin starts a transaction.
+// Begin starts a transaction. With coherence on it also revalidates the
+// whole resident set against the server's version table in one batched
+// OpValidatePages round trip: current frames are kept as-is, stale ones
+// are repaired in place (delta patch or full image) or evicted, so
+// everything still resident afterwards is the last committed image.
 func (c *Client) Begin() error {
 	if c.tx != 0 {
 		return fmt.Errorf("esm: transaction %d already active", c.tx)
@@ -193,11 +220,122 @@ func (c *Client) Begin() error {
 	if c.snap != 0 {
 		return fmt.Errorf("esm: snapshot session at %d open; end it before writing", c.snap)
 	}
-	resp, err := c.call(&Request{Op: OpBegin})
+	req := &Request{Op: OpBegin}
+	if c.coherent && c.stamper == nil {
+		// Hint sessions are single-server only: the shard Router begins
+		// distributed transactions itself and never forwards session ids.
+		req.Mode = BeginSession
+		req.N = c.sid
+	}
+	resp, err := c.call(req)
 	if err != nil {
 		return err
 	}
 	c.tx = resp.N
+	if req.Mode&BeginSession != 0 {
+		c.sid = uint64(resp.Page)
+	}
+	if c.coherent {
+		if err := c.validateResident(); err != nil {
+			return fmt.Errorf("esm: revalidating warm cache: %w", err)
+		}
+	}
+	return nil
+}
+
+// validateChunk caps the entries in one OpValidatePages request so a huge
+// resident set cannot produce an unbounded frame.
+const validateChunk = 512
+
+// validateResident revalidates every clean resident frame at Begin. No
+// sim-clock time is charged anywhere on this path — warm hits were free
+// in the uncoherent model too, and the protocol's cost is measured in
+// wire bytes (the warm-cache bench), not simulated I/O.
+func (c *Client) validateResident() error {
+	idxs := make([]int, 0, validateChunk)
+	entries := make([]byte, 0, validateChunk*ValidateReqEntryBytes)
+	for i := 0; i < c.pool.Len(); i++ {
+		f := c.pool.Frame(i)
+		if f.Page == disk.InvalidPage || f.Dirty {
+			continue
+		}
+		// Token 0 means unversioned (raw large-object pages discard their
+		// tokens — see noteToken). The server can never prove such a frame
+		// current, so shipping it would force a full repair every Begin.
+		// These frames keep the legacy trust model; commit-piggybacked
+		// invalidation hints still mark them Stale when a peer writes them.
+		if f.LSN == 0 {
+			continue
+		}
+		entries = AppendValidateEntry(entries, uint32(f.Page), f.LSN)
+		idxs = append(idxs, i)
+		if len(idxs) == validateChunk {
+			if err := c.validateChunkCall(idxs, entries); err != nil {
+				return err
+			}
+			idxs, entries = idxs[:0], entries[:0]
+		}
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	return c.validateChunkCall(idxs, entries)
+}
+
+// validateChunkCall ships one OpValidatePages batch and applies its
+// verdicts: repairs land in the frames in place (a repaired prefetched
+// frame keeps its Prefetched flag — the deferred-cost accounting is
+// orthogonal to coherence), stale frames without a repair are evicted.
+func (c *Client) validateChunkCall(idxs []int, entries []byte) error {
+	resp, err := c.call(&Request{Op: OpValidatePages, Tx: c.tx, N: uint64(len(idxs)), Data: entries})
+	if err != nil {
+		return err
+	}
+	stale, repairs, err := ParseValidateResponse(resp.Data, len(idxs))
+	if err != nil {
+		return err
+	}
+	repairBy := make(map[uint32]*ValidateRepair, len(repairs))
+	for i := range repairs {
+		repairBy[repairs[i].Page] = &repairs[i]
+	}
+	for k, i := range idxs {
+		f := c.pool.Frame(i)
+		if !stale[k] {
+			f.Stale = false
+			continue
+		}
+		rep := repairBy[uint32(f.Page)]
+		if rep != nil {
+			repaired := false
+			switch rep.Kind {
+			case PageFull:
+				if len(rep.Patch) == len(f.Data) {
+					copy(f.Data, rep.Patch)
+					repaired = true
+				}
+			case PageDelta:
+				repaired = pagedelta.Apply(f.Data, rep.Patch) == nil
+			}
+			if repaired {
+				f.LSN = c.noteToken(f.Page, rep.Token)
+				f.Stale = false
+				if c.OnRefresh != nil {
+					c.OnRefresh(f.Page, i)
+				}
+				continue
+			}
+		}
+		// No repair (or a malformed one): drop the frame; the next access
+		// refetches the committed image.
+		if f.Pin != 0 {
+			f.Stale = true // pinned across Begin — revalidated on next fetch
+			continue
+		}
+		if err := c.pool.Evict(i); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -269,17 +407,84 @@ func (c *Client) FetchPage(pid disk.PageID) (int, error) {
 	}
 	if i, ok := c.pool.Get(pid); ok {
 		c.ConsumePrefetch(i)
+		if c.coherent && c.pool.Frame(i).Stale && !c.pool.Frame(i).Dirty {
+			if err := c.revalidateFrame(i); err != nil {
+				return 0, err
+			}
+		}
 		return i, nil
 	}
-	return c.pool.Put(pid, func(buf []byte) error {
+	var token uint64
+	i, err := c.pool.Put(pid, func(buf []byte) error {
 		c.clock.Charge(sim.CtrClientRead, 1)
-		resp, err := c.call(&Request{Op: OpReadPage, Tx: c.tx, Page: uint32(pid)})
+		req := &Request{Op: OpReadPage, Tx: c.tx, Page: uint32(pid)}
+		if c.coherent {
+			req.Mode = ReadVersioned
+		}
+		resp, err := c.call(req)
 		if err != nil {
 			return err
 		}
 		copy(buf, resp.Data)
+		token = resp.N
 		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
+	if c.coherent {
+		c.pool.Frame(i).LSN = c.noteToken(pid, token)
+	}
+	return i, nil
+}
+
+// revalidateFrame refreshes a resident frame the server flagged stale (a
+// piggybacked invalidation hint or a stale lock grant): one versioned
+// read that comes back as not-modified, a delta patch, or a full image.
+// Only the full-image answer charges a client read — the other two are
+// exactly the warm hit the uncoherent model never charged for.
+func (c *Client) revalidateFrame(i int) error {
+	f := c.pool.Frame(i)
+	resp, err := c.call(&Request{Op: OpReadPage, Tx: c.tx, Page: uint32(f.Page), N: f.LSN, Mode: ReadVersioned})
+	if err != nil {
+		return err
+	}
+	refreshed := false
+	switch resp.Mode {
+	case PageCurrent:
+	case PageDelta:
+		if err := pagedelta.Apply(f.Data, resp.Data); err != nil {
+			return fmt.Errorf("esm: delta repair of page %d: %w", f.Page, err)
+		}
+		refreshed = true
+	default: // PageFull
+		if len(resp.Data) != len(f.Data) {
+			return fmt.Errorf("esm: versioned read of page %d returned %d bytes", f.Page, len(resp.Data))
+		}
+		c.clock.Charge(sim.CtrClientRead, 1)
+		copy(f.Data, resp.Data)
+		refreshed = true
+	}
+	f.LSN = c.noteToken(f.Page, resp.N)
+	f.Stale = false
+	if refreshed && c.OnRefresh != nil {
+		c.OnRefresh(f.Page, i)
+	}
+	return nil
+}
+
+// noteToken filters a server-vended coherence token before the client
+// retains it. Raw (headerless large-object) pages carry object data where
+// header-bearing pages carry their LSN, so the server's header-fallback
+// token for them is arbitrary bytes that a later commit LSN could collide
+// with — a false "not modified". Only the client knows which pages are
+// raw, so it drops their tokens: a raw page always revalidates as a full
+// read.
+func (c *Client) noteToken(pid disk.PageID, token uint64) uint64 {
+	if c.rawPages[pid] {
+		return 0
+	}
+	return token
 }
 
 // fetchSnapPage serves a page fault inside a snapshot session. A resident
@@ -327,44 +532,64 @@ func (c *Client) ConsumePrefetch(i int) bool {
 }
 
 // ReadPagesBatch fetches a batch of page images with one OpReadPages round
-// trip and returns them in request order. It never touches the client pool,
-// so the prefetcher may call it from worker goroutines while the session's
-// main thread is blocked in the pump; installation (InstallPrefetched)
-// stays on the main thread.
-func (c *Client) ReadPagesBatch(pids []disk.PageID) ([][]byte, error) {
+// trip and returns them in request order, along with their coherence
+// tokens (nil when the session runs uncoherent). It never touches the
+// client pool, so the prefetcher may call it from worker goroutines while
+// the session's main thread is blocked in the pump; installation
+// (InstallPrefetched) stays on the main thread.
+func (c *Client) ReadPagesBatch(pids []disk.PageID) ([][]byte, []uint64, error) {
 	if len(pids) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	payload := make([]byte, 4*len(pids))
 	for i, pid := range pids {
 		binary.LittleEndian.PutUint32(payload[i*4:], uint32(pid))
 	}
-	resp, err := c.call(&Request{Op: OpReadPages, Tx: c.tx, N: uint64(len(pids)), Data: payload})
-	if err != nil {
-		return nil, err
+	req := &Request{Op: OpReadPages, Tx: c.tx, N: uint64(len(pids)), Data: payload}
+	rec := 4 + disk.PageSize
+	if c.coherent {
+		req.Mode = ReadVersioned
+		rec += 8
 	}
-	const rec = 4 + disk.PageSize
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, nil, err
+	}
 	if len(resp.Data) != rec*len(pids) {
-		return nil, fmt.Errorf("esm: ReadPages returned %d bytes for %d pages", len(resp.Data), len(pids))
+		return nil, nil, fmt.Errorf("esm: ReadPages returned %d bytes for %d pages", len(resp.Data), len(pids))
 	}
 	images := make([][]byte, len(pids))
+	var tokens []uint64
+	if c.coherent {
+		tokens = make([]uint64, len(pids))
+	}
 	for i := range pids {
 		p := i * rec
 		got := disk.PageID(binary.LittleEndian.Uint32(resp.Data[p:]))
 		if got != pids[i] {
-			return nil, fmt.Errorf("esm: ReadPages record %d is page %d, want %d", i, got, pids[i])
+			return nil, nil, fmt.Errorf("esm: ReadPages record %d is page %d, want %d", i, got, pids[i])
 		}
-		images[i] = resp.Data[p+4 : p+rec : p+rec]
+		p += 4
+		if c.coherent {
+			tokens[i] = c.noteToken(pids[i], binary.LittleEndian.Uint64(resp.Data[p:]))
+			p += 8
+		}
+		images[i] = resp.Data[p : p+disk.PageSize : p+disk.PageSize]
 	}
-	return images, nil
+	return images, tokens, nil
 }
 
 // InstallPrefetched lands a pre-read page image in the client pool as a
 // speculative frame (see buffer.PutPrefetched for the non-displacement
-// rules). No time is charged here: the cost of a useful prefetch is settled
-// at consumption, and a dropped one counts only as waste.
-func (c *Client) InstallPrefetched(pid disk.PageID, data []byte) bool {
-	_, ok := c.pool.PutPrefetched(pid, data)
+// rules), stamped with its coherence token so the next Begin's validation
+// treats it like any other warm frame. No time is charged here: the cost
+// of a useful prefetch is settled at consumption, and a dropped one counts
+// only as waste.
+func (c *Client) InstallPrefetched(pid disk.PageID, data []byte, token uint64) bool {
+	i, ok := c.pool.PutPrefetched(pid, data)
+	if ok && c.coherent {
+		c.pool.Frame(i).LSN = c.noteToken(pid, token)
+	}
 	return ok
 }
 
@@ -543,6 +768,7 @@ func (c *Client) Commit() error {
 		return err
 	}
 	var payload []byte
+	var shipped []int
 	for i := 0; i < c.pool.Len(); i++ {
 		f := c.pool.Frame(i)
 		if f.Page == disk.InvalidPage || !f.Dirty {
@@ -554,6 +780,7 @@ func (c *Client) Commit() error {
 		payload = append(payload, pidb[:]...)
 		payload = append(payload, f.Data...)
 		f.Dirty = false
+		shipped = append(shipped, i)
 		c.clock.Charge(sim.CtrClientWrite, 1)
 		c.clock.Charge(sim.CtrCommitFlushPage, 1)
 	}
@@ -565,8 +792,46 @@ func (c *Client) Commit() error {
 	if resp.N > c.lastSeen {
 		c.lastSeen = resp.N // read-your-writes floor for snapshot begins
 	}
+	if c.coherent {
+		// Invalidation hints piggybacked on the commit ack: pages this
+		// session caches that other transactions committed over. Advisory
+		// only — Begin validation is the correctness backstop — but acting
+		// on them here turns the next Begin's repair into a cheap delta.
+		if resp.Mode&RespHintsAll != 0 {
+			for i := 0; i < c.pool.Len(); i++ {
+				if f := c.pool.Frame(i); f.Page != disk.InvalidPage {
+					f.Stale = true
+				}
+			}
+		} else if resp.Mode&RespHints != 0 {
+			for off := 0; off+4 <= len(resp.Data); off += 4 {
+				pid := disk.PageID(binary.LittleEndian.Uint32(resp.Data[off:]))
+				if i, ok := c.pool.Lookup(pid); ok {
+					c.pool.Frame(i).Stale = true
+				}
+			}
+		}
+		// The shipped frames hold exactly the bytes the server just
+		// committed: stamp them with the commit token so the next Begin
+		// answers "not modified" for them. Under sharding the single
+		// response LSN is not the per-shard commit LSN, so the frames stay
+		// unversioned and revalidate as full reads.
+		tok := resp.N
+		if c.stamper != nil {
+			tok = 0
+		}
+		for _, i := range shipped {
+			f := c.pool.Frame(i)
+			f.LSN = c.noteToken(f.Page, tok)
+			f.Stale = false
+		}
+	}
 	return nil
 }
+
+// AbortPinLeaks reports how many frames Abort found still pinned — each
+// one an object-layer bug that would otherwise have been silently erased.
+func (c *Client) AbortPinLeaks() int64 { return c.pinLeaks }
 
 // Abort discards the transaction: buffered log records and dirty resident
 // pages are dropped (their disk versions are intact), and the server undoes
@@ -582,8 +847,15 @@ func (c *Client) Abort() error {
 		if f.Page != disk.InvalidPage && f.Dirty {
 			// Drop the stale image without shipping it; a reread fetches
 			// the committed version from the server.
+			if f.Pin != 0 {
+				// A pin held across Abort is an object-layer leak. Count
+				// it — silently zeroing the pin used to erase the evidence
+				// — then clear it anyway so the frame can be reclaimed and
+				// the session stays usable.
+				c.pinLeaks++
+				f.Pin = 0
+			}
 			f.Dirty = false
-			f.Pin = 0
 			if err := c.pool.Evict(i); err != nil {
 				return err
 			}
@@ -594,13 +866,34 @@ func (c *Client) Abort() error {
 	return err
 }
 
-// Lock acquires a lock from the server's lock manager.
+// Lock acquires a lock from the server's lock manager. For page locks the
+// cached frame's coherence token rides along, and the grant response says
+// whether that cached copy is still current as of the moment the lock was
+// granted — closing the window where a page validated at Begin goes stale
+// while this transaction waits for its lock. A stale grant marks the
+// frame for revalidation on its next fetch.
 func (c *Client) Lock(kind lock.Kind, id uint32, mode lock.Mode) error {
 	if c.tx == 0 {
 		return ErrNoTx
 	}
-	_, err := c.call(&Request{Op: OpLock, Tx: c.tx, Page: id, Mode: uint8(kind)<<4 | uint8(mode)})
-	return err
+	req := &Request{Op: OpLock, Tx: c.tx, Page: id, Mode: uint8(kind)<<4 | uint8(mode)}
+	if c.coherent && kind == lock.KindPage {
+		if i, ok := c.pool.Lookup(disk.PageID(id)); ok {
+			if f := c.pool.Frame(i); !f.Dirty && !f.Stale {
+				req.N = f.LSN
+			}
+		}
+	}
+	resp, err := c.call(req)
+	if err != nil {
+		return err
+	}
+	if resp.Mode&RespStale != 0 {
+		if i, ok := c.pool.Lookup(disk.PageID(id)); ok {
+			c.pool.Frame(i).Stale = true
+		}
+	}
+	return nil
 }
 
 // AllocPages reserves n contiguous pages on the volume.

@@ -1,0 +1,480 @@
+package esm
+
+import (
+	"fmt"
+	"testing"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/lock"
+	"quickstore/internal/sim"
+	"quickstore/internal/wal"
+)
+
+// seedCohObject commits one small object holding val and returns its OID.
+func seedCohObject(t *testing.T, srv *Server, val string) OID {
+	t.Helper()
+	c := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	fid, err := c.CreateFile("coh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewCluster(fid)
+	oid, data, err := c.CreateObject(cl, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, val)
+	if err := c.SetRoot("coh", oid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return oid
+}
+
+// updateCohObject overwrites the object's first bytes with val in one
+// committed transaction. old and val must have equal length.
+func updateCohObject(t *testing.T, c *Client, oid OID, old, val string) {
+	t.Helper()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	obj, off, idx, err := c.ReadObjectAt(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(obj[:len(old)]); got != old {
+		t.Fatalf("writer read %q, want %q", got, old)
+	}
+	copy(obj, val)
+	c.Pool().MarkDirty(idx)
+	c.LogUpdate(oid.Page, off, []byte(old), []byte(val))
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readCohObject reads the object's first n bytes in one committed
+// transaction.
+func readCohObject(t *testing.T, c *Client, oid OID, n int) string {
+	t.Helper()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	obj, _, err := c.ReadObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(obj[:n])
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func cohStats(t *testing.T, c *Client) *ServerStats {
+	t.Helper()
+	st, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestTwoClientStaleReadRegression is the warm-cache sharing regression
+// test: client A keeps a page cached across transactions while client B
+// commits over it. Without coherence, A's next transaction would reuse
+// the cached frame and read B's overwritten value — the exact stale read
+// the Begin-validation protocol exists to prevent.
+func TestTwoClientStaleReadRegression(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "value-00")
+
+	a := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	b := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+
+	if got := readCohObject(t, a, oid, 8); got != "value-00" {
+		t.Fatalf("A's first read: %q", got)
+	}
+	prev := "value-00"
+	for round := 1; round <= 4; round++ {
+		val := fmt.Sprintf("value-%02d", round)
+		updateCohObject(t, b, oid, prev, val)
+		// A's page is still resident from the previous transaction; Begin
+		// validation must observe B's commit before A reads through it.
+		if got := readCohObject(t, a, oid, 8); got != val {
+			t.Fatalf("round %d: A read %q, want %q (stale cached page)", round, got, val)
+		}
+		prev = val
+	}
+
+	st := cohStats(t, a)
+	if st.CohValidates == 0 {
+		t.Error("no OpValidatePages reached the server")
+	}
+	if st.CohDeltas+st.CohFulls == 0 {
+		t.Error("no validation ever repaired a stale frame")
+	}
+}
+
+// TestBeginValidationNotModified: with no writer in between, Begin
+// validation must keep the resident frames — same token, no repair bytes,
+// and no simulated read charge (warm hits were free before coherence and
+// must stay free).
+func TestBeginValidationNotModified(t *testing.T) {
+	clock := sim.NewClock(sim.DefaultCostModel())
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "steady")
+
+	c := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8, Clock: clock})
+	if got := readCohObject(t, c, oid, 6); got != "steady" {
+		t.Fatalf("first read: %q", got)
+	}
+	i, ok := c.Pool().Lookup(oid.Page)
+	if !ok {
+		t.Fatal("page not resident after commit")
+	}
+	token := c.Pool().Frame(i).LSN
+	if token == 0 {
+		t.Fatal("cached header page has no coherence token")
+	}
+
+	st0 := cohStats(t, c)
+	reads0 := clock.Count(sim.CtrClientRead)
+	for round := 0; round < 3; round++ {
+		if got := readCohObject(t, c, oid, 6); got != "steady" {
+			t.Fatalf("round %d: %q", round, got)
+		}
+	}
+	st1 := cohStats(t, c)
+	if st1.CohValidates <= st0.CohValidates {
+		t.Error("Begin did not validate the resident set")
+	}
+	if st1.CohDeltas != st0.CohDeltas || st1.CohFulls != st0.CohFulls {
+		t.Errorf("unmodified frames were repaired: deltas %d->%d fulls %d->%d",
+			st0.CohDeltas, st1.CohDeltas, st0.CohFulls, st1.CohFulls)
+	}
+	if n := clock.Count(sim.CtrClientRead); n != reads0 {
+		t.Errorf("warm revalidation charged %d client reads", n-reads0)
+	}
+	i2, ok := c.Pool().Lookup(oid.Page)
+	if !ok {
+		t.Fatal("frame evicted by clean validation")
+	}
+	if got := c.Pool().Frame(i2).LSN; got != token {
+		t.Errorf("token moved %d -> %d without a write", token, got)
+	}
+}
+
+// TestDeltaRepairShipsPatch: a small committed change to a cached page is
+// repaired with a pagedelta patch, not a full page.
+func TestDeltaRepairShipsPatch(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "delta-v1")
+
+	a := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	b := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	if got := readCohObject(t, a, oid, 8); got != "delta-v1" {
+		t.Fatalf("A's first read: %q", got)
+	}
+	st0 := cohStats(t, a)
+	updateCohObject(t, b, oid, "delta-v1", "delta-v2")
+	if got := readCohObject(t, a, oid, 8); got != "delta-v2" {
+		t.Fatalf("A after repair: %q", got)
+	}
+	st1 := cohStats(t, a)
+	if st1.CohDeltas != st0.CohDeltas+1 {
+		t.Fatalf("deltas %d -> %d, want exactly one patch repair", st0.CohDeltas, st1.CohDeltas)
+	}
+	if grew := st1.CohDeltaBytes - st0.CohDeltaBytes; grew <= 0 || grew >= disk.PageSize {
+		t.Errorf("delta bytes grew by %d, want a small patch", grew)
+	}
+}
+
+// TestLockResponseStaleFlag covers the mid-transaction hole Begin
+// validation cannot see: A validates a page, B commits over it while A's
+// transaction is open, then A locks the page. The grant must flag A's
+// cached copy stale, and A's next fetch must revalidate to B's bytes.
+func TestLockResponseStaleFlag(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "lock-v1")
+
+	a := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	b := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.ReadObject(oid); err != nil {
+		t.Fatal(err)
+	}
+	// B slips a commit in while A's transaction is open (A holds no lock
+	// on the page yet).
+	updateCohObject(t, b, oid, "lock-v1", "lock-v2")
+
+	if err := a.Lock(lock.KindPage, uint32(oid.Page), lock.Shared); err != nil {
+		t.Fatal(err)
+	}
+	i, ok := a.Pool().Lookup(oid.Page)
+	if !ok {
+		t.Fatal("page not resident")
+	}
+	if !a.Pool().Frame(i).Stale {
+		t.Fatal("stale grant did not flag the cached frame")
+	}
+	obj, _, err := a.ReadObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(obj[:7]); got != "lock-v2" {
+		t.Fatalf("A read %q through a stale grant, want lock-v2", got)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitHintsMarkFramesStale: B's commit over a page A's session is
+// known to cache queues an invalidation hint, and A's own commit response
+// piggybacks it — the frame is marked stale without any extra round trip.
+func TestCommitHintsMarkFramesStale(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "hint-v1")
+
+	a := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	b := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+
+	if err := a.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.ReadObject(oid); err != nil {
+		t.Fatal(err)
+	}
+	updateCohObject(t, b, oid, "hint-v1", "hint-v2")
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	i, ok := a.Pool().Lookup(oid.Page)
+	if !ok {
+		t.Fatal("page not resident after A's commit")
+	}
+	if !a.Pool().Frame(i).Stale {
+		t.Error("commit response carried no invalidation hint for the page")
+	}
+	// The flagged frame revalidates on the next transaction.
+	if got := readCohObject(t, a, oid, 7); got != "hint-v2" {
+		t.Fatalf("A read %q after hint, want hint-v2", got)
+	}
+}
+
+// TestAbortPinLeakCounter: a pin held across Abort used to be zeroed
+// silently, erasing the evidence of an object-layer leak. It must now be
+// counted — and the frame still reclaimed so the session stays usable.
+func TestAbortPinLeakCounter(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "pinned-1")
+
+	c := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	obj, idx, err := c.ReadObject(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(obj, "pinned-2")
+	c.Pool().MarkDirty(idx)
+	c.Pin(idx) // leaked: never unpinned before Abort
+	if err := c.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.AbortPinLeaks(); n != 1 {
+		t.Fatalf("AbortPinLeaks = %d, want 1", n)
+	}
+	if _, ok := c.Pool().Lookup(oid.Page); ok {
+		t.Error("dirty frame survived Abort despite the leaked pin")
+	}
+	// The session is still usable and sees the committed value.
+	if got := readCohObject(t, c, oid, 8); got != "pinned-1" {
+		t.Fatalf("post-abort read: %q", got)
+	}
+	if n := c.AbortPinLeaks(); n != 1 {
+		t.Errorf("clean commit changed the leak count to %d", n)
+	}
+}
+
+// TestRawPagesStayUnversioned: raw large-object data pages carry object
+// bytes where header pages carry an LSN, so the client must never retain
+// tokens for them — and Begin validation must skip them instead of
+// full-repairing them every transaction.
+func TestRawPagesStayUnversioned(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 16})
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	fid, err := c.CreateFile("raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewCluster(fid)
+	large, info, err := c.CreateLarge(cl, 3*disk.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 3*disk.PageSize)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := c.LargeWriteAt(large, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRoot("raw", large, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	readBack := func() {
+		t.Helper()
+		if err := c.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		if err := c.LargeReadAt(large, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != payload[i] {
+				t.Fatalf("large object byte %d: %d != %d", i, got[i], payload[i])
+			}
+		}
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readBack()
+	for p := uint32(0); p < info.Pages; p++ {
+		pid := info.First + disk.PageID(p)
+		if i, ok := c.Pool().Lookup(pid); ok {
+			if lsn := c.Pool().Frame(i).LSN; lsn != 0 {
+				t.Errorf("raw page %d retained token %d", pid, lsn)
+			}
+		}
+	}
+	// Repeated transactions over the resident raw pages must not trigger
+	// a repair storm: unversioned frames are skipped at Begin.
+	st0 := cohStats(t, c)
+	readBack()
+	readBack()
+	st1 := cohStats(t, c)
+	if st1.CohFulls != st0.CohFulls || st1.CohDeltas != st0.CohDeltas {
+		t.Errorf("raw pages were repaired every Begin: fulls %d->%d deltas %d->%d",
+			st0.CohFulls, st1.CohFulls, st0.CohDeltas, st1.CohDeltas)
+	}
+}
+
+// TestNoCoherenceOptOut: a session with NoCoherence set must behave like
+// the legacy protocol — no tokens retained, no validation traffic.
+func TestNoCoherenceOptOut(t *testing.T) {
+	srv, err := NewServer(disk.NewMemVolume(), wal.NewMemLog(), ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "legacy-1")
+	c := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8, NoCoherence: true})
+	if got := readCohObject(t, c, oid, 8); got != "legacy-1" {
+		t.Fatalf("read: %q", got)
+	}
+	if i, ok := c.Pool().Lookup(oid.Page); ok {
+		if lsn := c.Pool().Frame(i).LSN; lsn != 0 {
+			t.Errorf("uncoherent session retained token %d", lsn)
+		}
+	}
+	st := cohStats(t, c)
+	if st.CohValidates != 0 {
+		t.Errorf("uncoherent session sent %d validations", st.CohValidates)
+	}
+}
+
+// TestVersionTableSurvivesRestart: tokens handed out before a crash must
+// never validate as current after restart if the page changed — and the
+// restarted server must still serve correct bytes for tokens it cannot
+// prove current.
+func TestVersionTableSurvivesRestart(t *testing.T) {
+	vol := disk.NewMemVolume()
+	logf := wal.NewMemLog()
+	srv, err := NewServer(vol, logf, ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := seedCohObject(t, srv, "restart1")
+	a := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	if got := readCohObject(t, a, oid, 8); got != "restart1" {
+		t.Fatalf("read: %q", got)
+	}
+	i, ok := a.Pool().Lookup(oid.Page)
+	if !ok {
+		t.Fatal("page not resident")
+	}
+	oldToken := a.Pool().Frame(i).LSN
+	if oldToken == 0 {
+		t.Fatal("no token before restart")
+	}
+	// Writer commits over the page; a checkpoint truncates the log so the
+	// restart's version table cannot lean on the log tail; then the server
+	// "restarts" (recovery rebuilds the table from the page headers).
+	b := NewClient(NewInProcTransport(srv), ClientConfig{BufferPages: 8})
+	updateCohObject(t, b, oid, "restart1", "restart2")
+	if err := srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := OpenServer(vol, logf, ServerConfig{BufferPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present A's pre-restart token to the restarted server. The page
+	// changed after the token was handed out, so "not modified" here would
+	// be a silent stale read — the staleness invariant's worst violation.
+	resp := srv2.Handle(&Request{Op: OpReadPage, Page: uint32(oid.Page), N: oldToken, Mode: ReadVersioned})
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if resp.Mode == PageCurrent {
+		t.Fatal("restarted server validated a pre-restart token for a changed page")
+	}
+	if resp.Mode == PageFull && len(resp.Data) != disk.PageSize {
+		t.Fatalf("full versioned read returned %d bytes", len(resp.Data))
+	}
+	// A fresh session sees the committed value.
+	a2 := NewClient(NewInProcTransport(srv2), ClientConfig{BufferPages: 8})
+	if got := readCohObject(t, a2, oid, 8); got != "restart2" {
+		t.Fatalf("restarted server served %q, want restart2", got)
+	}
+}

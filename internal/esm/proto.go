@@ -69,6 +69,16 @@ const (
 	OpPrepare
 	OpCommitDecision
 	OpResolveTx
+	// OpValidatePages is the warm-cache coherence batch (DESIGN.md §18):
+	// at Begin the client revalidates its whole resident set in one round
+	// trip. The request's Data carries repeated (u32 pid, u64 token)
+	// entries (count in N, Tx set when a transaction is open); the
+	// response's Data opens with a stale-bitmap — bit i set means entry
+	// i's cached copy is no longer current — followed by repair entries
+	// (delta patch or full image plus the new token) for the stale pages
+	// the server could repair. A stale page without a repair entry must be
+	// evicted. Validation is read-only and idempotent, so it is retryable.
+	OpValidatePages
 )
 
 // String names the operation for diagnostics.
@@ -78,7 +88,7 @@ func (o Op) String() string {
 		"COUNTER", "CHECKPOINT", "STATS", "READPAGES",
 		"REPLAPPEND", "REPLACK", "REPLSNAPSHOT",
 		"BEGINSNAP", "SNAPREAD", "ENDSNAP",
-		"PREPARE", "DECIDE", "RESOLVETX"}
+		"PREPARE", "DECIDE", "RESOLVETX", "VALIDATEPAGES"}
 	if int(o) < len(names) {
 		return names[o]
 	}
@@ -157,6 +167,188 @@ func ParseResolveEntries(data []byte) (coordShards []uint32, coordTxs, localTxs 
 	return coordShards, coordTxs, localTxs, nil
 }
 
+// Warm-cache coherence wire pieces (DESIGN.md §18).
+//
+// A page *token* is the server's version stamp for a page image: the LSN
+// of the commit (or CLR) that produced it. Tokens are opaque to the
+// client and compared only for equality; token 0 means "unversioned" and
+// never matches, so a page whose current image cannot safely be cached
+// (e.g. it carries a not-yet-committed stolen install) is served with
+// token 0 and refetched next time.
+
+// OpReadPage request mode flags.
+const (
+	// ReadVersioned marks a versioned read: Request.N carries the token of
+	// the client's cached copy (0 for none) and the response may be
+	// PageCurrent or PageDelta instead of a full image.
+	ReadVersioned uint8 = 1
+)
+
+// OpBegin request mode flags.
+const (
+	// BeginSession asks the server to track this client as a coherence
+	// session: Request.N carries the session id from a previous Begin (0
+	// to mint one) and the response's Page returns it. Sessions exist only
+	// for invalidation hints; a server that dropped the session silently
+	// mints a new one.
+	BeginSession uint8 = 1
+)
+
+// Versioned-read response kinds (low nibble of Response.Mode on
+// OpReadPage and inside OpValidatePages repair entries). Response.N
+// carries the new token.
+const (
+	// PageFull: Data is the complete page image. Also the zero value, so
+	// unversioned reads are wire-compatible with older clients.
+	PageFull uint8 = 0
+	// PageCurrent: the client's cached copy is current; Data is empty.
+	PageCurrent uint8 = 1
+	// PageDelta: Data is a pagedelta patch transforming the client's
+	// cached image into the current one.
+	PageDelta uint8 = 2
+)
+
+// Piggybacked-invalidation flags (high nibble of Response.Mode on
+// OpLock and OpCommit responses).
+const (
+	// RespStale on a page-lock response: the token the lock request
+	// carried in Request.N no longer matches the page's current version,
+	// so the client must revalidate its cached copy before reading it.
+	RespStale uint8 = 0x10
+	// RespHints on a commit response: Data carries repeated u32 page ids
+	// the session is known to cache whose versions have moved on.
+	RespHints uint8 = 0x20
+	// RespHintsAll on a commit response: the server lost track of the
+	// session's cached set (bounded map overflowed); every resident frame
+	// must be treated as possibly stale.
+	RespHintsAll uint8 = 0x40
+)
+
+// ValidateReqEntryBytes is the wire size of one OpValidatePages request
+// entry: u32 page id + u64 token.
+const ValidateReqEntryBytes = 4 + 8
+
+// AppendValidateEntry marshals one (pid, token) request entry onto dst.
+func AppendValidateEntry(dst []byte, pid uint32, token uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], pid)
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint64(tmp[:], token)
+	return append(dst, tmp[:]...)
+}
+
+// ParseValidateEntries decodes an OpValidatePages request payload,
+// enforcing that the entry count matches the request's declared N.
+func ParseValidateEntries(data []byte, want uint64) (pids []uint32, tokens []uint64, err error) {
+	if len(data)%ValidateReqEntryBytes != 0 {
+		return nil, nil, fmt.Errorf("esm: validate payload %d bytes, not a multiple of %d", len(data), ValidateReqEntryBytes)
+	}
+	n := len(data) / ValidateReqEntryBytes
+	if uint64(n) != want {
+		return nil, nil, fmt.Errorf("esm: validate payload has %d entries, request declares %d", n, want)
+	}
+	pids = make([]uint32, n)
+	tokens = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		off := i * ValidateReqEntryBytes
+		pids[i] = binary.LittleEndian.Uint32(data[off:])
+		tokens[i] = binary.LittleEndian.Uint64(data[off+4:])
+	}
+	return pids, tokens, nil
+}
+
+// ValidateRepair is one OpValidatePages response repair entry: how the
+// client brings a stale cached page current without a separate read.
+type ValidateRepair struct {
+	Page  uint32
+	Kind  uint8  // PageDelta or PageFull
+	Token uint64 // the version the repair produces (0: uncacheable)
+	Patch []byte // pagedelta patch (PageDelta) or full image (PageFull)
+}
+
+// AppendValidateResponse marshals an OpValidatePages response payload:
+// u32 bit count, the stale bitmap, then each repair entry as
+// u32 pid | u8 kind | u64 token | u32 len | payload.
+func AppendValidateResponse(dst []byte, stale []bool, repairs []ValidateRepair) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(stale)))
+	dst = append(dst, tmp[:4]...)
+	bitmapAt := len(dst)
+	dst = append(dst, make([]byte, (len(stale)+7)/8)...)
+	for i, s := range stale {
+		if s {
+			dst[bitmapAt+i/8] |= 1 << (i % 8)
+		}
+	}
+	for _, r := range repairs {
+		binary.LittleEndian.PutUint32(tmp[:4], r.Page)
+		dst = append(dst, tmp[:4]...)
+		dst = append(dst, r.Kind)
+		binary.LittleEndian.PutUint64(tmp[:], r.Token)
+		dst = append(dst, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Patch)))
+		dst = append(dst, tmp[:4]...)
+		dst = append(dst, r.Patch...)
+	}
+	return dst
+}
+
+// ParseValidateResponse decodes an OpValidatePages response payload. The
+// declared bit count must equal want — the number of entries the client
+// sent — so a lying or truncated bitmap can never silently mark fewer
+// pages stale than the client asked about.
+func ParseValidateResponse(data []byte, want int) (stale []bool, repairs []ValidateRepair, err error) {
+	if len(data) < 4 {
+		return nil, nil, errShortMessage
+	}
+	nbits := int(binary.LittleEndian.Uint32(data[0:]))
+	if nbits != want {
+		return nil, nil, fmt.Errorf("esm: validate response declares %d bits, expected %d", nbits, want)
+	}
+	p := 4
+	bmLen := (nbits + 7) / 8
+	if len(data) < p+bmLen {
+		return nil, nil, errShortMessage
+	}
+	stale = make([]bool, nbits)
+	for i := range stale {
+		stale[i] = data[p+i/8]&(1<<(i%8)) != 0
+	}
+	p += bmLen
+	for p < len(data) {
+		if len(data)-p < 17 {
+			return nil, nil, fmt.Errorf("esm: truncated validate repair header at %d", p)
+		}
+		r := ValidateRepair{
+			Page:  binary.LittleEndian.Uint32(data[p:]),
+			Kind:  data[p+4],
+			Token: binary.LittleEndian.Uint64(data[p+5:]),
+		}
+		plen := int(binary.LittleEndian.Uint32(data[p+13:]))
+		p += 17
+		if len(data)-p < plen {
+			return nil, nil, fmt.Errorf("esm: truncated validate repair payload at %d (want %d, have %d)", p, plen, len(data)-p)
+		}
+		if plen > 0 {
+			r.Patch = append([]byte(nil), data[p:p+plen]...)
+		}
+		p += plen
+		repairs = append(repairs, r)
+	}
+	return stale, repairs, nil
+}
+
+// RequestWireSize is the framed size of a request on the wire, for byte
+// accounting in benchmarks and transports that meter traffic.
+func RequestWireSize(r *Request) int {
+	return frameHdrSize + 28 + len(r.Name) + len(r.Data)
+}
+
+// ResponseWireSize is the framed size of a response on the wire.
+func ResponseWireSize(r *Response) int {
+	return frameHdrSize + 19 + len(r.Err) + len(r.Data)
+}
+
 // Request is one client-to-server message.
 type Request struct {
 	Op   Op
@@ -173,6 +365,7 @@ type Response struct {
 	Err  string
 	Page uint32
 	N    uint64
+	Mode uint8 // versioned-read kind / invalidation flags (coherence)
 	Data []byte
 }
 
@@ -394,6 +587,7 @@ func (r *Response) appendTo(dst []byte) []byte {
 	dst = append(dst, tmp[:4]...)
 	binary.LittleEndian.PutUint64(tmp[:], r.N)
 	dst = append(dst, tmp[:]...)
+	dst = append(dst, r.Mode)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
 	dst = append(dst, tmp[:4]...)
 	dst = append(dst, r.Data...)
@@ -409,7 +603,7 @@ func (r *Response) unmarshal(buf []byte, copyData bool) error {
 	}
 	errLen := int(binary.LittleEndian.Uint16(buf[0:]))
 	p := 2
-	if len(buf) < p+errLen+16 {
+	if len(buf) < p+errLen+17 {
 		return errShortMessage
 	}
 	if errLen > 0 {
@@ -420,8 +614,9 @@ func (r *Response) unmarshal(buf []byte, copyData bool) error {
 	p += errLen
 	r.Page = binary.LittleEndian.Uint32(buf[p:])
 	r.N = binary.LittleEndian.Uint64(buf[p+4:])
-	dataLen := int(binary.LittleEndian.Uint32(buf[p+12:]))
-	p += 16
+	r.Mode = buf[p+12]
+	dataLen := int(binary.LittleEndian.Uint32(buf[p+13:]))
+	p += 17
 	if len(buf) < p+dataLen {
 		return errShortMessage
 	}

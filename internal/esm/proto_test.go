@@ -14,7 +14,7 @@ var allOps = []Op{
 	OpBegin, OpCommit, OpAbort, OpReadPage, OpWritePage, OpAllocPages,
 	OpFreePages, OpLock, OpLog, OpCreateFile, OpOpenFile, OpGetRoot,
 	OpSetRoot, OpCounter, OpCheckpoint, OpStats, OpReadPages,
-	OpPrepare, OpCommitDecision, OpResolveTx,
+	OpPrepare, OpCommitDecision, OpResolveTx, OpValidatePages,
 }
 
 func TestOpStrings(t *testing.T) {
@@ -71,6 +71,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Page: 1234, N: 99},
 		{Err: "e", Page: 1, N: 2, Data: []byte{9, 8, 7}},
 		{Data: bytes.Repeat([]byte{0x5A}, 3*8192)},
+		{Page: 7, N: 0xDEAD, Mode: PageCurrent},
+		{Page: 7, N: 0xBEEF, Mode: PageDelta, Data: []byte{0, 0, 2, 0, 9, 9}},
+		{N: 3, Mode: RespHints | RespStale, Data: []byte{1, 0, 0, 0}},
 	}
 	for i, want := range cases {
 		got, err := unmarshalResponse(want.marshal())

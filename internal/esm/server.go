@@ -15,6 +15,7 @@ import (
 	"quickstore/internal/faultinject"
 	"quickstore/internal/lock"
 	"quickstore/internal/mvcc"
+	"quickstore/internal/pagedelta"
 	"quickstore/internal/sim"
 	"quickstore/internal/wal"
 )
@@ -163,6 +164,12 @@ type Server struct {
 	// (atomicity with lastCommitLSN), without mu on capture and lookup.
 	mv *mvcc.Store
 
+	// coh is the warm-cache coherence state (DESIGN.md §18): the per-page
+	// version table, delta bases, and session hint maps. Its own lock is
+	// taken under mu (commit/abort bookkeeping) and under frame content
+	// latches (abort undo), never the other way around.
+	coh *cohState
+
 	// snapFloor is the oldest snapshot LSN this server can serve
 	// faithfully: a reopened server's version store is empty, so a
 	// snapshot pinned before the restart (a failover survivor) could be
@@ -180,6 +187,15 @@ type Server struct {
 	catVersion uint64
 	catMu      sync.Mutex
 	catWritten uint64
+
+	// Coherence counters: validation batches served, not-modified
+	// answers, delta repairs (and their encoded bytes), and full-page
+	// ships on versioned paths. Atomics: stats reads race ops by design.
+	cohValidates   atomic.Int64
+	cohNotModified atomic.Int64
+	cohDeltas      atomic.Int64
+	cohDeltaBytes  atomic.Int64
+	cohFulls       atomic.Int64
 
 	// prefetchPages counts pages served through OpReadPages batches;
 	// commits counts committed transactions; snapBegins/snapReads count
@@ -345,6 +361,16 @@ type ServerStats struct {
 	// Repl is present only when the server runs under internal/repl:
 	// quorum-commit, shipping, and election telemetry.
 	Repl *ReplStats `json:"repl,omitempty"`
+
+	// Warm-cache coherence traffic. CohNotModified counts validation and
+	// versioned-read answers that shipped no page bytes; CohDeltas pages
+	// repaired by patch (CohDeltaBytes patch payload total); CohFulls
+	// versioned answers that fell back to a whole-page image.
+	CohValidates   int64 `json:"coh_validates,omitempty"`
+	CohNotModified int64 `json:"coh_not_modified,omitempty"`
+	CohDeltas      int64 `json:"coh_deltas,omitempty"`
+	CohDeltaBytes  int64 `json:"coh_delta_bytes,omitempty"`
+	CohFulls       int64 `json:"coh_fulls,omitempty"`
 }
 
 // NewServer creates a server over a fresh volume: the catalog page is
@@ -424,6 +450,12 @@ func OpenServer(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, error
 	// failover promotion: no previously acknowledged commit has a higher LSN.
 	s.lastCommitLSN = log.FlushedLSN()
 	s.snapFloor = s.lastCommitLSN
+	// The warm-cache version table restarts from the recovered pages'
+	// own header LSNs; every token handed out before the crash misses
+	// against it, so no survivor can be told "not modified" about bytes
+	// recovery changed. A promoted replication follower comes through
+	// here too, carrying the table across failover.
+	s.rebuildVersionTable()
 	return s, nil
 }
 
@@ -446,6 +478,7 @@ func newServerCommon(vol disk.Volume, log *wal.Log, cfg ServerConfig) (*Server, 
 		firstTxLSN: map[uint64]wal.LSN{},
 		prepared:   map[uint64]*preparedTx{},
 		decisions:  map[uint64]wal.LSN{},
+		coh:        newCohState(),
 	}
 	if cfg.MVCC {
 		s.mv = mvcc.New(cfg.MVCCMaxBytes)
@@ -594,9 +627,16 @@ func (s *Server) handle(req *Request) (*Response, error) {
 		s.lastTxLSN[tx] = first
 		s.firstTxLSN[tx] = first
 		s.mu.Unlock()
-		return &Response{N: tx}, nil
+		resp := &Response{N: tx}
+		if req.Mode&BeginSession != 0 {
+			resp.Page = uint32(s.coh.bindSession(req.N, tx))
+		}
+		return resp, nil
 
 	case OpReadPage:
+		if req.Mode&ReadVersioned != 0 {
+			return s.readPageVersioned(req)
+		}
 		return s.readPage(disk.PageID(req.Page))
 
 	case OpWritePage:
@@ -618,8 +658,22 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			return nil, err
 		}
 		// The commit LSN rides back so sessions can track their last-seen
-		// commit for read-your-writes snapshot begins.
-		return &Response{N: uint64(lsn)}, nil
+		// commit for read-your-writes snapshot begins. Invalidation hints
+		// piggyback alongside: pages this session is known to cache that
+		// other transactions have committed over since.
+		resp := &Response{N: uint64(lsn)}
+		if pids, all := s.coh.takeHints(req.Tx); all {
+			resp.Mode |= RespHintsAll
+		} else if len(pids) > 0 {
+			resp.Mode |= RespHints
+			var tmp [4]byte
+			for _, pid := range pids {
+				binary.LittleEndian.PutUint32(tmp[:], uint32(pid))
+				resp.Data = append(resp.Data, tmp[:]...)
+			}
+		}
+		s.coh.dropTx(req.Tx)
+		return resp, nil
 
 	case OpAbort:
 		return nil, s.abort(req.Tx)
@@ -637,8 +691,22 @@ func (s *Server) handle(req *Request) (*Response, error) {
 	case OpLock:
 		kind := lock.Kind(req.Mode >> 4)
 		mode := lock.Mode(req.Mode & 0xF)
-		err := s.locks.Acquire(req.Tx, lock.Resource{Kind: kind, ID: uint64(req.Page)}, mode)
-		return nil, err
+		if err := s.locks.Acquire(req.Tx, lock.Resource{Kind: kind, ID: uint64(req.Page)}, mode); err != nil {
+			return nil, err
+		}
+		// Piggybacked staleness check (DESIGN.md §18): a page-lock request
+		// carries the token of the client's cached copy in N. Commits
+		// clear their version-table and pending state before releasing
+		// locks, so a version probe after the grant is authoritative: a
+		// mismatch means a committed writer got in since the client cached
+		// the page, and the client must revalidate before reading the
+		// frame. This closes the mid-transaction hole Begin-validation
+		// cannot see (cache page, then another client commits, then we
+		// lock it).
+		if kind == lock.KindPage && req.N != 0 && !s.coh.isCurrent(disk.PageID(req.Page), req.N) {
+			return &Response{Mode: RespStale}, nil
+		}
+		return nil, nil
 
 	case OpCreateFile:
 		s.mu.Lock()
@@ -720,6 +788,11 @@ func (s *Server) handle(req *Request) (*Response, error) {
 			NetFlushes:     s.netFlushes.Load(),
 			NetFrames:      s.netFrames.Load(),
 			NetBytesOut:    s.netBytesOut.Load(),
+			CohValidates:   s.cohValidates.Load(),
+			CohNotModified: s.cohNotModified.Load(),
+			CohDeltas:      s.cohDeltas.Load(),
+			CohDeltaBytes:  s.cohDeltaBytes.Load(),
+			CohFulls:       s.cohFulls.Load(),
 		}
 		if q := s.replWaiter(); q != nil {
 			st.Repl = q.ReplStats()
@@ -762,8 +835,132 @@ func (s *Server) handle(req *Request) (*Response, error) {
 
 	case OpResolveTx:
 		return s.resolveTx(req)
+
+	case OpValidatePages:
+		return s.validatePages(req)
 	}
 	return nil, fmt.Errorf("esm: unknown op %v", req.Op)
+}
+
+// readPageVersioned serves a ReadVersioned OpReadPage: the request's N is
+// the token of the client's cached copy. A token match answers a few
+// bytes of "current"; a known previous image answers a pagedelta patch;
+// anything else ships the full page with its token. The fast not-modified
+// path charges nothing to the cost model — coherence traffic must leave
+// the paper experiments' deterministic counters untouched — while the
+// byte-shipping paths charge exactly what a legacy read would.
+func (s *Server) readPageVersioned(req *Request) (*Response, error) {
+	pid := disk.PageID(req.Page)
+	ver1, pending1 := s.coh.probe(pid)
+	if pending1 == 0 && req.N != 0 && ver1 == req.N {
+		s.cohNotModified.Add(1)
+		if req.Tx != 0 {
+			s.coh.noteServed(req.Tx, pid, ver1)
+		}
+		return &Response{Page: req.Page, N: ver1, Mode: PageCurrent}, nil
+	}
+	out := make([]byte, disk.PageSize)
+	ref, loaded, err := s.pool.Load(pid, func(buf []byte) error {
+		s.clock.Charge(sim.CtrServerDiskRead, 1)
+		s.clock.Charge(sim.CtrServerBufferHit, 1) // network leg of the transfer
+		return s.vol.ReadPage(pid, buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !loaded {
+		s.clock.Charge(sim.CtrServerBufferHit, 1)
+	}
+	ref.Read(func(data []byte) { copy(out, data) })
+	ref.Release()
+	token, current, base := s.coh.answer(pid, req.N, out, ver1, pending1)
+	if req.Tx != 0 {
+		s.coh.noteServed(req.Tx, pid, token)
+	}
+	if current {
+		s.cohNotModified.Add(1)
+		return &Response{Page: req.Page, N: token, Mode: PageCurrent}, nil
+	}
+	if base != nil {
+		if patch := pagedelta.Encode(base, out); patch != nil {
+			s.cohDeltas.Add(1)
+			s.cohDeltaBytes.Add(int64(len(patch)))
+			return &Response{Page: req.Page, N: token, Mode: PageDelta, Data: patch}, nil
+		}
+	}
+	s.cohFulls.Add(1)
+	return &Response{Page: req.Page, N: token, Mode: PageFull, Data: out}, nil
+}
+
+// validatePages serves one OpValidatePages batch: for every (pid, token)
+// entry the client's resident set holds, decide current vs stale, and
+// repair stale entries in place with a delta patch or a full image where
+// a committed image is safely available. Stale entries without a repair
+// (an uncommitted install pending on the page, an unstable interleaving,
+// a page the volume lost) must be evicted by the client. The whole path
+// reads through the non-perturbing pool snapshot and charges nothing to
+// the cost model: validation is coherence traffic, not simulated I/O, and
+// must not shift the deterministic experiment counters.
+func (s *Server) validatePages(req *Request) (*Response, error) {
+	pids, tokens, err := ParseValidateEntries(req.Data, req.N)
+	if err != nil {
+		return nil, err
+	}
+	s.cohValidates.Add(1)
+	stale := make([]bool, len(pids))
+	var repairs []ValidateRepair
+	buf := make([]byte, disk.PageSize)
+	for i, pid32 := range pids {
+		pid := disk.PageID(pid32)
+		token := tokens[i]
+		if s.coh.isCurrent(pid, token) {
+			s.cohNotModified.Add(1)
+			if req.Tx != 0 {
+				s.coh.noteServed(req.Tx, pid, token)
+			}
+			continue
+		}
+		stale[i] = true
+		ver1, pending1 := s.coh.probe(pid)
+		if pending1 > 0 {
+			// The frame may hold another transaction's uncommitted bytes;
+			// there is no committed image to repair from without a lock.
+			continue
+		}
+		if !s.pool.Snapshot(pid, buf) {
+			if err := s.vol.ReadPage(pid, buf); err != nil {
+				continue
+			}
+		}
+		newTok, current, base := s.coh.answer(pid, token, buf, ver1, pending1)
+		if current {
+			stale[i] = false
+			s.cohNotModified.Add(1)
+			continue
+		}
+		if newTok == 0 {
+			continue
+		}
+		rep := ValidateRepair{Page: pid32, Token: newTok}
+		if base != nil {
+			if patch := pagedelta.Encode(base, buf); patch != nil {
+				rep.Kind = PageDelta
+				rep.Patch = patch
+				s.cohDeltas.Add(1)
+				s.cohDeltaBytes.Add(int64(len(patch)))
+			}
+		}
+		if rep.Patch == nil {
+			rep.Kind = PageFull
+			rep.Patch = append([]byte(nil), buf...)
+			s.cohFulls.Add(1)
+		}
+		if req.Tx != 0 {
+			s.coh.noteServed(req.Tx, pid, newTok)
+		}
+		repairs = append(repairs, rep)
+	}
+	return &Response{N: req.N, Data: AppendValidateResponse(nil, stale, repairs)}, nil
 }
 
 // beginSnapshot opens a read-only snapshot session at the newest commit
@@ -952,13 +1149,31 @@ func (s *Server) readPagesBatch(req *Request) (*Response, error) {
 	if len(req.Data)%4 != 0 || uint64(len(req.Data)/4) != req.N {
 		return nil, fmt.Errorf("esm: malformed ReadPages payload (%d bytes for %d pages)", len(req.Data), req.N)
 	}
+	versioned := req.Mode&ReadVersioned != 0
 	n := int(req.N)
-	out := make([]byte, 0, n*(4+disk.PageSize))
+	rec := 4 + disk.PageSize
+	if versioned {
+		// Versioned batch records carry the page's coherence token
+		// between the id and the image, so speculative pre-reads enter
+		// the client cache revalidatable like any demand-loaded page.
+		rec += 8
+	}
+	out := make([]byte, 0, n*rec)
 	for i := 0; i < n; i++ {
 		pid := disk.PageID(binary.LittleEndian.Uint32(req.Data[i*4:]))
-		var pidb [4]byte
-		binary.LittleEndian.PutUint32(pidb[:], uint32(pid))
-		out = append(out, pidb[:]...)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(pid))
+		out = append(out, tmp[:4]...)
+		tokenAt := -1
+		if versioned {
+			tokenAt = len(out)
+			out = append(out, tmp[:]...) // placeholder, filled below
+		}
+		var ver1 uint64
+		var pending1 int
+		if versioned {
+			ver1, pending1 = s.coh.probe(pid)
+		}
 		out = out[:len(out)+disk.PageSize]
 		dst := out[len(out)-disk.PageSize:]
 		if !s.pool.Snapshot(pid, dst) {
@@ -966,6 +1181,13 @@ func (s *Server) readPagesBatch(req *Request) (*Response, error) {
 				return nil, fmt.Errorf("esm: ReadPages(%d): %w", pid, err)
 			}
 			s.clock.Charge(sim.CtrPrefetchDiskRead, 1)
+		}
+		if versioned {
+			token, _, _ := s.coh.answer(pid, 0, dst, ver1, pending1)
+			binary.LittleEndian.PutUint64(out[tokenAt:], token)
+			if req.Tx != 0 {
+				s.coh.noteServed(req.Tx, pid, token)
+			}
 		}
 		s.prefetchPages.Add(1)
 	}
@@ -1000,7 +1222,7 @@ func (s *Server) readPage(pid disk.PageID) (*Response, error) {
 // is deduplicated per (transaction, page) inside the store, so a page a
 // transaction installs repeatedly (steal, then commit) is captured once.
 func (s *Server) installPage(tx uint64, pid disk.PageID, data []byte) error {
-	if s.mv != nil && tx != 0 {
+	if tx != 0 {
 		before := make([]byte, disk.PageSize)
 		if !s.pool.Snapshot(pid, before) {
 			if err := s.vol.ReadPage(pid, before); err != nil {
@@ -1014,7 +1236,14 @@ func (s *Server) installPage(tx uint64, pid disk.PageID, data []byte) error {
 				}
 			}
 		}
-		s.mv.CaptureBefore(uint32(pid), tx, before)
+		if s.mv != nil {
+			s.mv.CaptureBefore(uint32(pid), tx, before)
+		}
+		// Coherence capture, before the frame bytes change: raises the
+		// page's pending count (versioned reads stop vending tokens for
+		// it) and keeps the committed image as the delta base the commit
+		// will publish.
+		s.coh.captureInstall(tx, pid, before)
 	}
 	ref, _, err := s.pool.Load(pid, func(buf []byte) error {
 		copy(buf, data)
@@ -1106,7 +1335,15 @@ func (s *Server) commit(tx uint64, data []byte) (wal.LSN, error) {
 		// this LSN must find these versions already retired to committed.
 		s.mv.Commit(tx, lsn)
 	}
+	// Same atomicity for the coherence table: the moment the commit LSN
+	// is chosen, the installed pages' versions move to it and their
+	// pending counts drop — a versioned read that sees the new bytes must
+	// also see the new version.
+	s.coh.commitTx(tx, uint64(lsn))
 	s.mu.Unlock()
+	if err := s.fault.Hit(faultinject.PtCohAfterBump); err != nil {
+		return 0, err
+	}
 	if err := s.fault.Hit(faultinject.PtCommitBeforeFlush); err != nil {
 		return 0, err
 	}
@@ -1189,6 +1426,9 @@ func (s *Server) abort(tx uint64) error {
 			clr := s.log.Append(wal.Record{Tx: tx, Type: wal.RecCLR, Page: r.Page, Off: r.Off, New: append([]byte(nil), r.Old...)})
 			copy(data[int(r.Off):int(r.Off)+len(r.Old)], r.Old)
 			setPageLSN(data, uint64(clr))
+			// Still under the content latch: any token vended for the page
+			// before this undo must stop matching the moment the bytes move.
+			s.coh.bump(pid, uint64(clr))
 			applied = true
 		})
 		if applied {
@@ -1200,7 +1440,7 @@ func (s *Server) abort(tx uint64) error {
 		return err
 	}
 	s.mu.Lock()
-	s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecAbort})
+	abortLSN := s.log.Append(wal.Record{PrevLSN: s.lastTxLSN[tx], Tx: tx, Type: wal.RecAbort})
 	s.mu.Unlock()
 	if err := s.fault.Hit(faultinject.PtAbortBeforeFlush); err != nil {
 		return err
@@ -1228,6 +1468,13 @@ func (s *Server) abort(tx uint64) error {
 		// aborting transaction's half-rolled-back frames.
 		s.mv.Abort(tx)
 	}
+	// Sweep pages the transaction installed but never logged updates for
+	// (whole-page commit-time installs): their bytes never changed back
+	// under a CLR, but their pending counts must drop and any page whose
+	// frame got scribbled must stop matching old tokens. Undone pages were
+	// already bumped to their CLR LSNs above; bumping again to the abort
+	// LSN is equally correct (monotone, never equals a vended token).
+	s.coh.abortTx(tx, uint64(abortLSN))
 	s.mu.Unlock()
 	s.locks.ReleaseAll(tx)
 	return nil

@@ -1,0 +1,199 @@
+package esm
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestValidateEntriesRoundTrip(t *testing.T) {
+	var entries []byte
+	wantPids := []uint32{1, 7, 0xFFFFFFFF}
+	wantTokens := []uint64{0, 42, 1<<63 + 5}
+	for i := range wantPids {
+		entries = AppendValidateEntry(entries, wantPids[i], wantTokens[i])
+	}
+	pids, tokens, err := ParseValidateEntries(entries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pids, wantPids) || !reflect.DeepEqual(tokens, wantTokens) {
+		t.Fatalf("round trip: pids=%v tokens=%v", pids, tokens)
+	}
+
+	// Count mismatch with the declared N must be rejected, both ways.
+	if _, _, err := ParseValidateEntries(entries, 2); err == nil {
+		t.Error("payload with more entries than declared accepted")
+	}
+	if _, _, err := ParseValidateEntries(entries, 4); err == nil {
+		t.Error("payload with fewer entries than declared accepted")
+	}
+	// Ragged payloads (not a multiple of the entry size) must be rejected.
+	for cut := 1; cut < ValidateReqEntryBytes; cut++ {
+		if _, _, err := ParseValidateEntries(entries[:len(entries)-cut], 3); err == nil {
+			t.Errorf("ragged payload (cut %d) accepted", cut)
+		}
+	}
+}
+
+func TestValidateResponseRoundTrip(t *testing.T) {
+	stale := []bool{false, true, true, false, true, false, false, false, true, false}
+	repairs := []ValidateRepair{
+		{Page: 2, Kind: PageDelta, Token: 77, Patch: []byte{0, 0, 2, 0, 9, 9}},
+		{Page: 4, Kind: PageFull, Token: 78, Patch: bytes.Repeat([]byte{0xAB}, 64)},
+		{Page: 8, Kind: PageFull, Token: 79}, // empty payload is legal on the wire
+	}
+	data := AppendValidateResponse(nil, stale, repairs)
+	gotStale, gotRepairs, err := ParseValidateResponse(data, len(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotStale, stale) {
+		t.Errorf("stale bitmap: got %v want %v", gotStale, stale)
+	}
+	if !reflect.DeepEqual(gotRepairs, repairs) {
+		t.Errorf("repairs:\n got %+v\nwant %+v", gotRepairs, repairs)
+	}
+
+	// Zero entries round-trips too (a session with nothing resident).
+	data = AppendValidateResponse(nil, nil, nil)
+	gotStale, gotRepairs, err = ParseValidateResponse(data, 0)
+	if err != nil || len(gotStale) != 0 || len(gotRepairs) != 0 {
+		t.Fatalf("empty response: stale=%v repairs=%v err=%v", gotStale, gotRepairs, err)
+	}
+}
+
+// TestValidateResponseLyingBitmap: a response whose declared bit count
+// disagrees with the number of entries the client sent must be rejected —
+// a short bitmap silently marking fewer pages stale than asked would turn
+// a framing bug into a stale read.
+func TestValidateResponseLyingBitmap(t *testing.T) {
+	stale := []bool{true, false, true}
+	data := AppendValidateResponse(nil, stale, nil)
+	if _, _, err := ParseValidateResponse(data, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{0, 1, 2, 4, 64} {
+		if _, _, err := ParseValidateResponse(data, want); err == nil {
+			t.Errorf("bit count 3 accepted against %d entries", want)
+		}
+	}
+	// Declared count larger than the bitmap actually present.
+	bad := append([]byte(nil), data...)
+	bad[0] = 200 // claims 200 bits; only one bitmap byte follows
+	if _, _, err := ParseValidateResponse(bad, 200); err == nil {
+		t.Error("bitmap shorter than its declared bit count accepted")
+	}
+}
+
+// TestValidateResponseTruncatedRepairs: every proper prefix that cuts into
+// the repair stream must fail cleanly — truncated headers, truncated delta
+// payloads, and payload lengths that lie past the end of the buffer.
+func TestValidateResponseTruncatedRepairs(t *testing.T) {
+	stale := []bool{true, true}
+	repairs := []ValidateRepair{
+		{Page: 1, Kind: PageDelta, Token: 5, Patch: []byte{0, 0, 4, 0, 1, 2, 3, 4}},
+		{Page: 2, Kind: PageFull, Token: 6, Patch: bytes.Repeat([]byte{7}, 32)},
+	}
+	data := AppendValidateResponse(nil, stale, repairs)
+	whole := 4 + 1 // count + bitmap for 2 bits
+	// A prefix ending exactly between repairs is a legal (shorter) stream;
+	// every other cut must be rejected.
+	boundary := map[int]bool{whole + 17 + len(repairs[0].Patch): true}
+	for n := whole + 1; n < len(data); n++ {
+		if boundary[n] {
+			continue
+		}
+		if _, _, err := ParseValidateResponse(data[:n], 2); err == nil {
+			t.Errorf("repair stream truncated to %d bytes accepted", n)
+		}
+	}
+	// A repair whose payload length points past the end of the buffer.
+	bad := append([]byte(nil), data...)
+	bad[whole+13] = 0xFF // first repair's plen low byte
+	bad[whole+14] = 0xFF
+	if _, _, err := ParseValidateResponse(bad, 2); err == nil {
+		t.Error("repair with lying payload length accepted")
+	}
+}
+
+func FuzzParseValidateResponse(f *testing.F) {
+	f.Add(AppendValidateResponse(nil, []bool{true, false}, []ValidateRepair{
+		{Page: 1, Kind: PageDelta, Token: 5, Patch: []byte{0, 0, 2, 0, 1, 2}},
+	}), 2)
+	f.Add(AppendValidateResponse(nil, nil, nil), 0)
+	f.Add([]byte{200, 0, 0, 0}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, want int) {
+		if want < 0 || want > 1<<16 {
+			return
+		}
+		stale, repairs, err := ParseValidateResponse(data, want)
+		if err != nil {
+			return
+		}
+		if len(stale) != want {
+			t.Fatalf("accepted response with %d bits against %d entries", len(stale), want)
+		}
+		// Whatever decoded must re-encode to a payload that decodes to the
+		// same verdicts (the repair stream is self-delimiting).
+		again, _, err := ParseValidateResponse(AppendValidateResponse(nil, stale, repairs), want)
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, stale) {
+			t.Fatal("re-encoded bitmap changed")
+		}
+	})
+}
+
+func FuzzParseValidateEntries(f *testing.F) {
+	f.Add(AppendValidateEntry(nil, 7, 42), uint64(1))
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, want uint64) {
+		pids, tokens, err := ParseValidateEntries(data, want)
+		if err != nil {
+			return
+		}
+		if uint64(len(pids)) != want || uint64(len(tokens)) != want {
+			t.Fatalf("accepted %d/%d entries against declared %d", len(pids), len(tokens), want)
+		}
+	})
+}
+
+// TestMuxDuplicateSeqPoisonsValidate: a duplicated response to an
+// OpValidatePages call is a framing violation like any other — the
+// duplicate must poison the transport, and the retry layer must NOT
+// replay the validate against a poisoned stream in a way that delivers
+// another call's bytes as repair verdicts.
+func TestMuxDuplicateSeqPoisonsValidate(t *testing.T) {
+	entries := AppendValidateEntry(nil, 3, 99)
+	reply := AppendValidateResponse(nil, []bool{false}, nil)
+	tr := fakeServer(t, time.Second, func(conn net.Conn) {
+		seq, _, err := readOneFrame(conn)
+		if err != nil {
+			return
+		}
+		frame := appendResponseFrame(nil, seq, &Response{N: 1, Data: reply})
+		conn.Write(append(frame, frame...)) // the same response, twice
+	})
+	resp, err := tr.Call(&Request{Op: OpValidatePages, N: 1, Data: entries})
+	if err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if _, _, err := ParseValidateResponse(resp.Data, 1); err != nil {
+		t.Fatalf("first response: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := tr.Call(&Request{Op: OpValidatePages, N: 1, Data: entries}); err != nil {
+			wantBroken(t, err)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate seq never poisoned the transport")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -13,6 +14,7 @@ import (
 	"quickstore/internal/disk"
 	"quickstore/internal/esm"
 	"quickstore/internal/faultinject"
+	"quickstore/internal/pagedelta"
 	"quickstore/internal/wal"
 )
 
@@ -80,6 +82,35 @@ type drillObj struct {
 // server mid-transaction, and neighbors on a stolen page carry each
 // other's uncommitted bytes.
 const payloadSize = 2000
+
+// drillCohFrame is one clean, tokened client frame captured right before
+// the kill: what a warm client cache would still hold when it reconnects
+// to the recovered server. The post-restart sweep presents the token back
+// and checks the staleness invariant: "not modified" only if the cached
+// bytes equal the committed image (modulo the 8-byte header LSN).
+type drillCohFrame struct {
+	pid   disk.PageID
+	token uint64
+	img   []byte
+}
+
+// captureCohFrames snapshots a client pool's clean versioned frames.
+func captureCohFrames(c *esm.Client) []drillCohFrame {
+	var out []drillCohFrame
+	pool := c.Pool()
+	for i := 0; i < pool.Len(); i++ {
+		f := pool.Frame(i)
+		if f.Page == disk.InvalidPage || f.Dirty || f.LSN == 0 {
+			continue
+		}
+		out = append(out, drillCohFrame{
+			pid:   f.Page,
+			token: f.LSN,
+			img:   append([]byte(nil), f.Data...),
+		})
+	}
+	return out
+}
 
 // putValue encodes value and its checksum into the first 12 payload
 // bytes. The checksum rides inside the page, so any torn or misdirected
@@ -254,7 +285,7 @@ func RunCrashDrill(opts DrillOpts) (*DrillReport, error) {
 		rep.Crashed = plane.Crashed()
 		rep.Retries = atomic.LoadInt64(&retries)
 		rep.Trace = plane.Trace()
-		return drillVerify(opts, rep, objs, workers, atomic.LoadInt64(&attempts), volPath, logPath, vol, logf)
+		return drillVerify(opts, rep, objs, workers, atomic.LoadInt64(&attempts), volPath, logPath, vol, logf, nil)
 	}
 
 	w := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{
@@ -315,7 +346,14 @@ workload:
 	rep.Crashed = plane.Crashed()
 	rep.Retries = w.Retries()
 	rep.Trace = plane.Trace()
-	return drillVerify(opts, rep, objs, workers, atomic.LoadInt64(&attempts), volPath, logPath, vol, logf)
+	// Capture the workload client's surviving warm cache: clean frames and
+	// the coherence tokens the server handed out before the kill. The
+	// verify sweep presents these to the recovered server.
+	cohFrames := captureCohFrames(w)
+	if drillDebugCoh != nil {
+		drillDebugCoh(len(cohFrames))
+	}
+	return drillVerify(opts, rep, objs, workers, atomic.LoadInt64(&attempts), volPath, logPath, vol, logf, cohFrames)
 }
 
 // drillWorker is one concurrent workload session: seeded update
@@ -393,7 +431,8 @@ func drillWorker(srv *esm.Server, part []*drillObj, wk int, opts DrillOpts,
 // drillVerify kills the server, reopens the files the way restart would
 // find them, and sweeps every recovery invariant.
 func drillVerify(opts DrillOpts, rep *DrillReport, objs []*drillObj, workers int,
-	attempts int64, volPath, logPath string, vol *disk.FileVolume, logf *wal.Log) (*DrillReport, error) {
+	attempts int64, volPath, logPath string, vol *disk.FileVolume, logf *wal.Log,
+	cohFrames []drillCohFrame) (*DrillReport, error) {
 	// Kill the process: no checkpoint, no close, just drop the handles.
 	// Abandon/Close release descriptors without writing anything back.
 	if err := vol.Abandon(); err != nil {
@@ -432,6 +471,43 @@ func drillVerify(opts DrillOpts, rep *DrillReport, objs []*drillObj, workers int
 	if err != nil {
 		rep.violate("restart recovery: %v", err)
 		return rep, nil
+	}
+
+	// Invariant: coherence across the crash. For every clean tokened frame
+	// the pre-crash client still held, a versioned read against the
+	// recovered server may answer "not modified" ONLY if the cached bytes
+	// are byte-identical to the committed image (modulo the 8-byte header
+	// LSN clients never read) — a too-old "not modified" after recovery is
+	// a silent stale read. A delta answer must reconstruct exactly the
+	// committed image when applied over the cached bytes.
+	for _, f := range cohFrames {
+		full := srv2.Handle(&esm.Request{Op: esm.OpReadPage, Page: uint32(f.pid)})
+		if full.Err != "" {
+			rep.violate("coherence sweep: page %d unreadable after restart: %s", f.pid, full.Err)
+			continue
+		}
+		resp := srv2.Handle(&esm.Request{Op: esm.OpReadPage, Page: uint32(f.pid), N: f.token, Mode: esm.ReadVersioned})
+		if resp.Err != "" {
+			rep.violate("coherence sweep: versioned read of page %d: %s", f.pid, resp.Err)
+			continue
+		}
+		switch resp.Mode {
+		case esm.PageCurrent:
+			if !bytes.Equal(f.img[8:], full.Data[8:]) {
+				rep.violate("coherence sweep: recovery served not-modified for page %d (token %#x) but the committed bytes differ", f.pid, f.token)
+			}
+		case esm.PageDelta:
+			patched := append([]byte(nil), f.img...)
+			if err := pagedelta.Apply(patched, resp.Data); err != nil {
+				rep.violate("coherence sweep: delta repair of page %d unappliable: %v", f.pid, err)
+			} else if !bytes.Equal(patched[8:], full.Data[8:]) {
+				rep.violate("coherence sweep: delta repair of page %d does not reconstruct the committed image", f.pid)
+			}
+		case esm.PageFull:
+			if !bytes.Equal(resp.Data[8:], full.Data[8:]) {
+				rep.violate("coherence sweep: full versioned read of page %d disagrees with the committed image", f.pid)
+			}
+		}
 	}
 
 	v := esm.NewClient(esm.NewInProcTransport(srv2), esm.ClientConfig{BufferPages: 8})
@@ -534,3 +610,7 @@ func inDoubtAlt(o *drillObj) string {
 	}
 	return fmt.Sprintf(" or in-doubt %#x", o.inDoubt)
 }
+
+// drillDebugCoh, when set by a test, observes the pre-kill coherence
+// capture size (vacuity check for the sweep).
+var drillDebugCoh func(int)

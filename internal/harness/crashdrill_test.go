@@ -300,3 +300,28 @@ func TestCheckpointUnderLoadDrill(t *testing.T) {
 	t.Logf("checkpoint drill: %d combinations, %d crashed, %d transactions committed",
 		runs, crashes, committed)
 }
+
+// TestCrashDrillCoherenceSweepNonVacuous pins down that the pre-kill
+// coherence capture actually collects clean tokened frames — otherwise the
+// post-restart staleness sweep (never serve a too-old "not modified")
+// passes vacuously.
+func TestCrashDrillCoherenceSweepNonVacuous(t *testing.T) {
+	total := 0
+	drillDebugCoh = func(n int) { total += n }
+	defer func() { drillDebugCoh = nil }()
+	for seed := int64(1); seed <= 5; seed++ {
+		rep, err := RunCrashDrill(DrillOpts{Seed: seed, Point: faultinject.PtCohAfterBump, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Crashed {
+			t.Errorf("seed %d: coherence.after-bump never fired", seed)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+	}
+	if total == 0 {
+		t.Error("no coherence frames captured; the sweep is vacuous")
+	}
+}

@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"quickstore/internal/disk"
+	"quickstore/internal/esm"
+	"quickstore/internal/wal"
+)
+
+// WarmCacheOpts configures the inter-transaction cache-coherence bench
+// (DESIGN.md §18): one reader session keeps its buffer warm across
+// transactions while a writer session keeps mutating a slice of the
+// shared database. The coherent run revalidates the warm cache with
+// LSN tokens at every Begin (not-modified answers and delta repairs);
+// the baseline models the only correct alternative without coherence —
+// dropping the cache and refetching every page in full each round.
+type WarmCacheOpts struct {
+	Objects       int // shared objects; 0 = 128
+	ObjectSize    int // payload bytes per object; 0 = 1024
+	Rounds        int // measured writer/reader rounds; 0 = 20
+	DirtyPerRound int // objects the writer updates each round; 0 = Objects/10
+}
+
+func (o WarmCacheOpts) withDefaults() WarmCacheOpts {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&o.Objects, 128)
+	def(&o.ObjectSize, 1024)
+	def(&o.Rounds, 20)
+	def(&o.DirtyPerRound, o.Objects/10)
+	return o
+}
+
+// WarmCachePoint is one measured mode of the sharing bench.
+type WarmCachePoint struct {
+	Mode        string `json:"mode"`           // "coherent" or "refetch"
+	Bytes       int64  `json:"bytes_on_wire"`  // reader traffic over the measured rounds
+	StaleReads  int64  `json:"stale_reads"`    // values that disagreed with the oracle; must be 0
+	Validates   int64  `json:"coh_validates"`  // OpValidatePages batches served
+	NotModified int64  `json:"coh_not_modified"`
+	Deltas      int64  `json:"coh_deltas"`
+	DeltaBytes  int64  `json:"coh_delta_bytes"`
+	Fulls       int64  `json:"coh_fulls"`
+}
+
+// WarmCacheResult pairs the two runs with the headline reduction.
+type WarmCacheResult struct {
+	Coherent  WarmCachePoint `json:"coherent"`
+	Baseline  WarmCachePoint `json:"baseline"`
+	Reduction float64        `json:"reduction"` // baseline bytes / coherent bytes
+}
+
+// meteredTransport counts the framed wire size of every request and
+// response passing through it, so the bench reports what a real network
+// would carry rather than in-process pointer passing.
+type meteredTransport struct {
+	tr    esm.Transport
+	bytes atomic.Int64
+}
+
+func (m *meteredTransport) Call(req *esm.Request) (*esm.Response, error) {
+	n := int64(esm.RequestWireSize(req))
+	resp, err := m.tr.Call(req)
+	if resp != nil {
+		n += int64(esm.ResponseWireSize(resp))
+	}
+	m.bytes.Add(n)
+	return resp, err
+}
+
+func (m *meteredTransport) Close() error { return m.tr.Close() }
+
+// runWarmCacheMode runs one seeded server with a writer session and one
+// metered reader session for o.Rounds rounds and returns the reader's
+// wire traffic plus the server's coherence counters.
+func runWarmCacheMode(o WarmCacheOpts, coherent bool) (WarmCachePoint, error) {
+	pt := WarmCachePoint{Mode: "refetch"}
+	if coherent {
+		pt.Mode = "coherent"
+	}
+	srv, err := esm.NewServer(disk.NewMemVolume(), wal.NewMemLog(), esm.ServerConfig{BufferPages: 512})
+	if err != nil {
+		return pt, err
+	}
+
+	// Seed the shared database and the oracle of committed values.
+	seed := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 64})
+	if err := seed.Begin(); err != nil {
+		return pt, err
+	}
+	fid, err := seed.CreateFile("warmcache")
+	if err != nil {
+		return pt, err
+	}
+	cl := seed.NewCluster(fid)
+	oids := make([]esm.OID, o.Objects)
+	oracle := make([]uint64, o.Objects)
+	for i := range oids {
+		id, data, err := seed.CreateObject(cl, o.ObjectSize)
+		if err != nil {
+			return pt, err
+		}
+		oracle[i] = uint64(i)
+		putValue(data, oracle[i])
+		oids[i] = id
+	}
+	if err := seed.Commit(); err != nil {
+		return pt, err
+	}
+
+	// The writer is deliberately non-coherent: commits bump the server's
+	// version table regardless, and this keeps the Coh* counters below
+	// attributable to the reader alone.
+	writer := esm.NewClient(esm.NewInProcTransport(srv), esm.ClientConfig{BufferPages: 64, NoCoherence: true})
+	meter := &meteredTransport{tr: esm.NewInProcTransport(srv)}
+	reader := esm.NewClient(meter, esm.ClientConfig{BufferPages: 256, NoCoherence: !coherent})
+
+	readAll := func() (int64, error) {
+		var stale int64
+		if err := reader.Begin(); err != nil {
+			return 0, err
+		}
+		for i, oid := range oids {
+			data, _, _, err := reader.ReadObjectAt(oid)
+			if err != nil {
+				return 0, err
+			}
+			if v, ok := getValue(data); !ok || v != oracle[i] {
+				stale++
+			}
+		}
+		return stale, reader.Commit()
+	}
+
+	// Warm-up round: the initial full fetch is identical in both modes
+	// and is not what the bench compares, so it runs unmetered.
+	if _, err := readAll(); err != nil {
+		return pt, err
+	}
+	before, err := writer.ServerStats()
+	if err != nil {
+		return pt, err
+	}
+	meter.bytes.Store(0)
+
+	for r := 1; r <= o.Rounds; r++ {
+		if err := writer.Begin(); err != nil {
+			return pt, err
+		}
+		for k := 0; k < o.DirtyPerRound; k++ {
+			i := (r*o.DirtyPerRound + k) % o.Objects
+			data, off, frame, err := writer.ReadObjectAt(oids[i])
+			if err != nil {
+				return pt, err
+			}
+			old := append([]byte(nil), data[:12]...)
+			oracle[i] = uint64(r)<<32 | uint64(i)
+			putValue(data, oracle[i])
+			writer.Pool().MarkDirty(frame)
+			writer.LogUpdate(oids[i].Page, off, old, append([]byte(nil), data[:12]...))
+		}
+		if err := writer.Commit(); err != nil {
+			return pt, err
+		}
+		if !coherent {
+			// Without coherence a warm cache cannot be trusted: the only
+			// correct move is to drop it and refetch everything.
+			reader.Pool().DropAll()
+		}
+		stale, err := readAll()
+		if err != nil {
+			return pt, err
+		}
+		pt.StaleReads += stale
+	}
+
+	pt.Bytes = meter.bytes.Load()
+	after, err := writer.ServerStats()
+	if err != nil {
+		return pt, err
+	}
+	pt.Validates = after.CohValidates - before.CohValidates
+	pt.NotModified = after.CohNotModified - before.CohNotModified
+	pt.Deltas = after.CohDeltas - before.CohDeltas
+	pt.DeltaBytes = after.CohDeltaBytes - before.CohDeltaBytes
+	pt.Fulls = after.CohFulls - before.CohFulls
+	return pt, nil
+}
+
+// RunWarmCacheBench measures the coherent warm cache against the
+// drop-and-refetch baseline on identical workloads.
+func RunWarmCacheBench(opts WarmCacheOpts) (WarmCacheResult, error) {
+	o := opts.withDefaults()
+	var res WarmCacheResult
+	var err error
+	if res.Coherent, err = runWarmCacheMode(o, true); err != nil {
+		return res, fmt.Errorf("coherent run: %w", err)
+	}
+	if res.Baseline, err = runWarmCacheMode(o, false); err != nil {
+		return res, fmt.Errorf("refetch run: %w", err)
+	}
+	res.Reduction = ratio(float64(res.Baseline.Bytes), float64(res.Coherent.Bytes))
+	return res, nil
+}
+
+// WarmExp ("oo7bench -warm") runs the warm-cache sharing bench, emits
+// its table, and returns the result so the CLI can enforce the
+// acceptance gate (≥5x fewer bytes on the wire, zero stale reads).
+func (s *Suite) WarmExp(opts WarmCacheOpts) (WarmCacheResult, error) {
+	o := opts.withDefaults()
+	res, err := RunWarmCacheBench(o)
+	if err != nil {
+		return res, err
+	}
+	t := Table{
+		Title: fmt.Sprintf("Warm-cache coherence: %d objects, %d/%d updated per round, %d rounds",
+			o.Objects, o.DirtyPerRound, o.Objects, o.Rounds),
+		Columns: []string{"mode", "KB on wire", "validates", "not-mod", "deltas", "delta KB", "fulls", "stale reads"},
+	}
+	for _, p := range []WarmCachePoint{res.Coherent, res.Baseline} {
+		t.AddRow(
+			p.Mode,
+			f1(float64(p.Bytes)/1024),
+			d(p.Validates),
+			d(p.NotModified),
+			d(p.Deltas),
+			f1(float64(p.DeltaBytes)/1024),
+			d(p.Fulls),
+			d(p.StaleReads),
+		)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("coherent run ships %.1fx fewer bytes than drop-and-refetch", res.Reduction),
+		"refetch baseline drops the reader cache every round: the only safe plan without coherence tokens",
+	)
+	s.emit(t)
+	return res, nil
+}

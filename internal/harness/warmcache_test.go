@@ -1,0 +1,39 @@
+package harness
+
+import "testing"
+
+// A scaled-down run: correctness of the machinery (zero stale reads in
+// both modes, coherence traffic only in the coherent mode, bytes
+// actually saved), not the 5x performance claim — that is oo7bench
+// -warm's acceptance gate.
+func TestWarmCacheBenchSmoke(t *testing.T) {
+	res, err := RunWarmCacheBench(WarmCacheOpts{
+		Objects:       32,
+		ObjectSize:    512,
+		Rounds:        6,
+		DirtyPerRound: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []WarmCachePoint{res.Coherent, res.Baseline} {
+		if p.StaleReads != 0 {
+			t.Errorf("%s mode observed %d stale reads", p.Mode, p.StaleReads)
+		}
+		if p.Bytes <= 0 {
+			t.Errorf("%s mode metered %d bytes", p.Mode, p.Bytes)
+		}
+	}
+	if res.Coherent.Validates != 6 {
+		t.Errorf("coherent run served %d validate batches, want 6", res.Coherent.Validates)
+	}
+	if res.Coherent.Deltas+res.Coherent.Fulls == 0 {
+		t.Error("coherent run repaired nothing; the writer's updates never reached the reader")
+	}
+	if res.Baseline.Validates != 0 || res.Baseline.Deltas != 0 || res.Baseline.Fulls != 0 {
+		t.Errorf("refetch baseline shows coherence traffic: %+v", res.Baseline)
+	}
+	if res.Reduction <= 1 {
+		t.Errorf("coherent mode saved no bytes: reduction %.2fx", res.Reduction)
+	}
+}

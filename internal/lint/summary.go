@@ -38,6 +38,10 @@ type lockSpec struct {
 // own components: repl releases Node.mu before re-entering the server,
 // the version store is called under Server.mu (20 < 26), and the router's
 // locks only ever wrap interface calls the static graph cannot follow.
+// The coherence version table (esm.cohState.mu) is taken under Server.mu
+// and under a frame content latch (the abort undo bumps versions while
+// holding the exclusive latch), so it ranks above both and acquires
+// nothing itself.
 var lockSpecs = []lockSpec{
 	{"internal/esm", "Server", "catMu", lockClass{name: "esm.Server.catMu", rank: 10, server: true}},
 	{"internal/repl", "Node", "mu", lockClass{name: "repl.Node.mu", rank: 15}},
@@ -46,6 +50,7 @@ var lockSpecs = []lockSpec{
 	{"internal/buffer", "latchStripe", "mu", lockClass{name: "buffer stripe latch", rank: 22, latch: true}},
 	{"internal/buffer", "latchFrame", "content", lockClass{name: "buffer frame content latch", rank: 24, latch: true}},
 	{"internal/mvcc", "Store", "mu", lockClass{name: "mvcc.Store.mu", rank: 26}},
+	{"internal/esm", "cohState", "mu", lockClass{name: "esm.cohState.mu", rank: 27}},
 	{"internal/wal", "Log", "mu", lockClass{name: "wal.Log.mu", rank: 30}},
 	{"internal/disk", "volumeCore", "mu", lockClass{name: "disk volume lock", rank: 32}},
 	{"internal/lock", "Manager", "mu", lockClass{name: "lock.Manager.mu", rank: 40}},

@@ -1,0 +1,194 @@
+// Package pagedelta finds the modified byte regions between two images of
+// a page and encodes them as a compact patch. The region finder is the
+// SWAR diff that client-side recovery logging uses (DESIGN.md §5, the
+// paper's Section 3.6 interleaved diff/logging); it lives here so both
+// internal/core (log-record generation) and internal/esm (coherent
+// warm-cache delta shipping, DESIGN.md §18) can share one implementation
+// without an import cycle.
+//
+// The patch wire format is a sequence of runs:
+//
+//	u16 off | u16 n | n bytes of new data
+//
+// with offsets strictly increasing and non-overlapping. Apply validates
+// every run against the page bounds and rejects truncated or overlapping
+// input, so a patch from an untrusted peer can never write outside the
+// page or be silently half-applied.
+package pagedelta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Region is one modified byte range of a page.
+type Region struct{ Off, N int }
+
+// Regions finds the modified regions between old and cur and merges
+// neighbouring regions when encoding them separately would cost more than
+// carrying the clean gap between them: a separate run pays hdr header
+// bytes, a merged run pays 2*gap payload bytes (the convention of the
+// log-record diff, whose records carry both old and new images of the
+// gap). This is the paper's example: bytes 1 and 1024 of an object become
+// two records, bytes 1, 3 and 5 become one. Bytes past the shorter buffer
+// (page growth) form one final region.
+func Regions(old, cur []byte, hdr int) []Region {
+	n := len(cur)
+	if len(old) < n {
+		n = len(old)
+	}
+	var regs []Region
+	i := 0
+	for i < n {
+		i = skipEqual(old, cur, i, n)
+		if i >= n {
+			break
+		}
+		j := skipDiff(old, cur, i+1, n)
+		if len(regs) > 0 {
+			last := &regs[len(regs)-1]
+			gap := i - (last.Off + last.N)
+			if 2*gap <= hdr {
+				last.N = j - last.Off
+				i = j
+				continue
+			}
+		}
+		regs = append(regs, Region{Off: i, N: j - i})
+		i = j
+	}
+	if len(cur) > len(old) {
+		regs = append(regs, Region{Off: len(old), N: len(cur) - len(old)})
+	}
+	return regs
+}
+
+// swarOnes has the low bit of every byte lane set; swarHighs the high bit.
+// They drive the classic "does this word contain a zero byte" test:
+// (v - swarOnes) & ^v & swarHighs is nonzero iff some byte of v is zero,
+// and its lowest set bit sits in the word's first zero byte.
+const (
+	swarOnes  = 0x0101010101010101
+	swarHighs = 0x8080808080808080
+)
+
+// skipEqual advances i past bytes where old and cur agree, eight at a time:
+// the XOR of two equal words is zero, and when a word finally differs the
+// first mismatching byte is the XOR's lowest nonzero byte.
+func skipEqual(old, cur []byte, i, n int) int {
+	for ; i+8 <= n; i += 8 {
+		x := binary.LittleEndian.Uint64(old[i:]) ^ binary.LittleEndian.Uint64(cur[i:])
+		if x != 0 {
+			return i + bits.TrailingZeros64(x)>>3
+		}
+	}
+	for i < n && old[i] == cur[i] {
+		i++
+	}
+	return i
+}
+
+// skipDiff advances j past bytes where old and cur differ, eight at a time:
+// a word extends the run iff its XOR has no zero byte, and when a run ends
+// the first agreeing byte is the XOR's first zero byte.
+func skipDiff(old, cur []byte, j, n int) int {
+	for ; j+8 <= n; j += 8 {
+		x := binary.LittleEndian.Uint64(old[j:]) ^ binary.LittleEndian.Uint64(cur[j:])
+		if zeros := (x - swarOnes) & ^x & swarHighs; zeros != 0 {
+			return j + bits.TrailingZeros64(zeros)>>3
+		}
+	}
+	for j < n && old[j] != cur[j] {
+		j++
+	}
+	return j
+}
+
+// runHdr is the per-run wire overhead: u16 offset + u16 length. For the
+// region merge rule a patch run carries only the new image, so merging two
+// runs separated by gap bytes trades runHdr header bytes for gap payload
+// bytes; passing 2*runHdr as hdr to Regions makes the 2*gap rule merge
+// exactly when gap <= runHdr.
+const runHdr = 4
+
+// maxRun caps a single run's length at what its u16 field can carry.
+const maxRun = 1<<16 - 1
+
+// Encode builds a patch transforming old into cur. Both images must be the
+// same length (pages are fixed-size); Encode returns nil when the patch
+// would not be smaller than shipping cur outright, so a nil result means
+// "send the full page".
+func Encode(old, cur []byte) []byte {
+	if len(old) != len(cur) {
+		return nil
+	}
+	regs := Regions(old, cur, 2*runHdr)
+	size := 0
+	for _, r := range regs {
+		size += runHdr*(1+(r.N-1)/maxRun) + r.N
+	}
+	if size == 0 || size >= len(cur) {
+		return nil
+	}
+	out := make([]byte, 0, size)
+	for _, r := range regs {
+		for off, n := r.Off, r.N; n > 0; {
+			run := n
+			if run > maxRun {
+				run = maxRun
+			}
+			out = binary.LittleEndian.AppendUint16(out, uint16(off))
+			out = binary.LittleEndian.AppendUint16(out, uint16(run))
+			out = append(out, cur[off:off+run]...)
+			off += run
+			n -= run
+		}
+	}
+	return out
+}
+
+// Apply patches page in place. Runs must be non-empty, strictly ordered,
+// non-overlapping, and in bounds; any violation (including a truncated
+// final run) returns an error before ANY byte of the page is modified, so
+// a rejected patch leaves the cached image intact.
+func Apply(page, patch []byte) error {
+	if err := validate(len(page), patch); err != nil {
+		return err
+	}
+	for p := 0; p < len(patch); {
+		off := int(binary.LittleEndian.Uint16(patch[p:]))
+		n := int(binary.LittleEndian.Uint16(patch[p+2:]))
+		copy(page[off:off+n], patch[p+runHdr:p+runHdr+n])
+		p += runHdr + n
+	}
+	return nil
+}
+
+// validate walks the patch without writing, enforcing the format's
+// invariants against pageLen.
+func validate(pageLen int, patch []byte) error {
+	p, prevEnd := 0, 0
+	for p < len(patch) {
+		if len(patch)-p < runHdr {
+			return fmt.Errorf("pagedelta: truncated run header at %d (%d bytes left)", p, len(patch)-p)
+		}
+		off := int(binary.LittleEndian.Uint16(patch[p:]))
+		n := int(binary.LittleEndian.Uint16(patch[p+2:]))
+		if n == 0 {
+			return fmt.Errorf("pagedelta: empty run at %d", p)
+		}
+		if off < prevEnd {
+			return fmt.Errorf("pagedelta: run at %d overlaps or reorders (off %d < prev end %d)", p, off, prevEnd)
+		}
+		if off+n > pageLen {
+			return fmt.Errorf("pagedelta: run at %d out of bounds (off %d + n %d > page %d)", p, off, n, pageLen)
+		}
+		if len(patch)-p-runHdr < n {
+			return fmt.Errorf("pagedelta: truncated run payload at %d (want %d, have %d)", p, n, len(patch)-p-runHdr)
+		}
+		prevEnd = off + n
+		p += runHdr + n
+	}
+	return nil
+}

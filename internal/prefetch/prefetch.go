@@ -79,11 +79,13 @@ func (c Config) withDefaults() Config {
 type Funcs struct {
 	// Resident reports whether pid is already in the client pool.
 	Resident func(pid disk.PageID) bool
-	// Fetch performs one batched read (esm.Client.ReadPagesBatch).
-	Fetch func(pids []disk.PageID) ([][]byte, error)
+	// Fetch performs one batched read (esm.Client.ReadPagesBatch). The
+	// returned tokens are the pages' coherence versions (nil or zeros
+	// when the session runs uncoherent).
+	Fetch func(pids []disk.PageID) ([][]byte, []uint64, error)
 	// Install lands one pre-read image (esm.Client.InstallPrefetched),
 	// reporting false when the pool had no room for speculation.
-	Install func(pid disk.PageID, data []byte) bool
+	Install func(pid disk.PageID, data []byte, token uint64) bool
 }
 
 // Prefetcher accumulates page hints between faults and fetches them in
@@ -173,6 +175,7 @@ func (p *Prefetcher) Pump() error {
 
 	type result struct {
 		images [][]byte
+		tokens []uint64
 		err    error
 	}
 	results := make([]result, len(batches))
@@ -186,8 +189,8 @@ func (p *Prefetcher) Pump() error {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			for b := w; b < len(batches); b += workers {
-				images, err := p.fn.Fetch(batches[b])
-				results[b] = result{images, err}
+				images, tokens, err := p.fn.Fetch(batches[b])
+				results[b] = result{images, tokens, err}
 			}
 			done <- w
 		}(w)
@@ -203,7 +206,11 @@ func (p *Prefetcher) Pump() error {
 			return results[b].err
 		}
 		for i, pid := range batch {
-			p.fn.Install(pid, results[b].images[i])
+			var token uint64
+			if results[b].tokens != nil {
+				token = results[b].tokens[i]
+			}
+			p.fn.Install(pid, results[b].images[i], token)
 		}
 	}
 	return nil

@@ -22,22 +22,27 @@ type harness struct {
 func (h *harness) funcs() Funcs {
 	return Funcs{
 		Resident: func(pid disk.PageID) bool { return h.resident[pid] },
-		Fetch: func(pids []disk.PageID) ([][]byte, error) {
+		Fetch: func(pids []disk.PageID) ([][]byte, []uint64, error) {
 			h.mu.Lock()
 			h.batches = append(h.batches, append([]disk.PageID(nil), pids...))
 			h.mu.Unlock()
 			if h.fetchErr != nil {
-				return nil, h.fetchErr
+				return nil, nil, h.fetchErr
 			}
 			out := make([][]byte, len(pids))
+			tokens := make([]uint64, len(pids))
 			for i, pid := range pids {
 				out[i] = []byte{byte(pid)}
+				tokens[i] = uint64(pid) * 100
 			}
-			return out, nil
+			return out, tokens, nil
 		},
-		Install: func(pid disk.PageID, data []byte) bool {
+		Install: func(pid disk.PageID, data []byte, token uint64) bool {
 			if len(data) != 1 || data[0] != byte(pid) {
 				panic("image/page mismatch")
+			}
+			if token != uint64(pid)*100 {
+				panic("token/page mismatch")
 			}
 			h.installed = append(h.installed, pid)
 			return true

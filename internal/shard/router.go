@@ -213,6 +213,9 @@ func (r *Router) Call(req *esm.Request) (*esm.Response, error) {
 	case esm.OpReadPages:
 		return r.readPages(req)
 
+	case esm.OpValidatePages:
+		return r.validatePages(req)
+
 	case esm.OpCreateFile, esm.OpOpenFile:
 		shard := ShardOfName(req.Name, len(r.trs))
 		resp, err := r.call(shard, req)
@@ -392,6 +395,78 @@ func (r *Router) logBatch(req *esm.Request) (*esm.Response, error) {
 	return &esm.Response{N: max}, nil
 }
 
+// validatePages splits a warm-cache validation batch by each entry's page
+// shard, rewrites page ids local, fans out concurrently, and reassembles
+// one stale bitmap in request order with repair page ids re-globalized.
+// The per-shard requests carry no transaction id: validation is read-only
+// and hint sessions do not exist under sharding, so enlisting untouched
+// shards into the 2PC cohort for it would only widen commits.
+func (r *Router) validatePages(req *esm.Request) (*esm.Response, error) {
+	pids, tokens, err := esm.ParseValidateEntries(req.Data, req.N)
+	if err != nil {
+		return nil, err
+	}
+	byShard := map[int][]int{} // shard -> indexes into the request order
+	for i, pid := range pids {
+		byShard[ShardOfPage(pid)] = append(byShard[ShardOfPage(pid)], i)
+	}
+	type result struct {
+		shard   int
+		idx     []int
+		stale   []bool
+		repairs []esm.ValidateRepair
+		err     error
+	}
+	results := make(chan result, len(byShard))
+	for shard, idx := range byShard {
+		entries := make([]byte, 0, len(idx)*esm.ValidateReqEntryBytes)
+		for _, i := range idx {
+			entries = esm.AppendValidateEntry(entries, LocalPage(pids[i]), tokens[i])
+		}
+		go func(shard int, idx []int, entries []byte) {
+			resp, err := r.call(shard, &esm.Request{Op: esm.OpValidatePages, N: uint64(len(idx)), Data: entries})
+			if err == nil && resp.Err != "" {
+				err = fmt.Errorf("shard %d: %s", shard, resp.Err)
+			}
+			if err != nil {
+				results <- result{shard: shard, err: err}
+				return
+			}
+			stale, repairs, err := esm.ParseValidateResponse(resp.Data, len(idx))
+			results <- result{shard: shard, idx: idx, stale: stale, repairs: repairs, err: err}
+		}(shard, idx, entries)
+	}
+	stale := make([]bool, len(pids))
+	repairAt := make(map[int]*esm.ValidateRepair, len(pids)) // request index -> repair
+	for range byShard {
+		res := <-results
+		if res.err != nil {
+			return nil, res.err
+		}
+		localIdx := map[uint32]int{} // local pid -> request index, this shard
+		for k, i := range res.idx {
+			stale[i] = res.stale[k]
+			localIdx[LocalPage(pids[i])] = i
+		}
+		for k := range res.repairs {
+			rep := res.repairs[k]
+			i, ok := localIdx[rep.Page]
+			if !ok {
+				return nil, fmt.Errorf("shard %d: validate repair for unrequested page %d", res.shard, rep.Page)
+			}
+			rep.Page = pids[i]
+			repairAt[i] = &rep
+		}
+	}
+	var repairs []esm.ValidateRepair
+	for i := range pids {
+		if rep := repairAt[i]; rep != nil {
+			repairs = append(repairs, *rep)
+		}
+	}
+	return &esm.Response{N: req.N, Data: esm.AppendValidateResponse(nil, stale, repairs)}, nil
+}
+
 // readPages splits a batch read by shard, fans out, and reassembles the
 // page images in request order with global ids.
 func (r *Router) readPages(req *esm.Request) (*esm.Response, error) {
@@ -406,7 +481,12 @@ func (r *Router) readPages(req *esm.Request) (*esm.Response, error) {
 		shard := ShardOfPage(pids[i])
 		byShard[shard] = append(byShard[shard], i)
 	}
-	const rec = 4 + disk.PageSize
+	// Versioned batch records carry an extra 8-byte coherence token
+	// between the id and the image (see esm.Server.readPagesBatch).
+	rec := 4 + disk.PageSize
+	if req.Mode&esm.ReadVersioned != 0 {
+		rec += 8
+	}
 	out := make([]byte, n*rec)
 	type result struct {
 		shard int
@@ -423,7 +503,7 @@ func (r *Router) readPages(req *esm.Request) (*esm.Response, error) {
 			payload = append(payload, b[:]...)
 		}
 		go func(shard int, idx []int, payload []byte) {
-			resp, err := r.call(shard, &esm.Request{Op: esm.OpReadPages, N: uint64(len(idx)), Data: payload})
+			resp, err := r.call(shard, &esm.Request{Op: esm.OpReadPages, N: uint64(len(idx)), Mode: req.Mode, Data: payload})
 			if err == nil && resp.Err != "" {
 				err = fmt.Errorf("shard %d: %s", shard, resp.Err)
 			}
